@@ -1,0 +1,35 @@
+//! Regenerates the extension artifacts (hybrid model, dirty preference,
+//! block-level consistency) and benchmarks the hybrid simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_core::{ClusterSim, SimConfig};
+use nvfs_experiments::{ablations, consistency_protocol};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let hybrid = ablations::hybrid(env);
+    show("Ablation: hybrid vs unified", &hybrid.figure.render());
+    let pref = ablations::dirty_preference(env);
+    show("Ablation: dirty-block preference", &pref.table.render());
+    let cons = consistency_protocol::run(env);
+    show("Extension: consistency protocols", &cons.table.render());
+
+    let trace7 = env.trace7();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("hybrid_8p1", |b| {
+        let cfg = SimConfig::hybrid(8 << 20, 1 << 20);
+        b.iter(|| black_box(ClusterSim::new(cfg.clone()).run(trace7.ops())))
+    });
+    g.bench_function("block_consistency_8p1", |b| {
+        let cfg = SimConfig::unified(8 << 20, 1 << 20)
+            .with_consistency(nvfs_core::ConsistencyMode::BlockOnDemand);
+        b.iter(|| black_box(ClusterSim::new(cfg.clone()).run(trace7.ops())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the §2.6 bus-traffic / NVRAM-access comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_experiments::bus_nvram;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = bus_nvram::run(env);
+    show("§2.6 bus traffic and NVRAM accesses", &out.table.render());
+    println!(
+        "bus ratio (write-aside/unified): {:.2}   NVRAM access ratio (unified/write-aside): {:.2}",
+        out.bus_ratio(),
+        out.access_ratio()
+    );
+    let mut g = c.benchmark_group("bus_nvram");
+    g.sample_size(10);
+    g.bench_function("run_8mb_8mb", |b| b.iter(|| black_box(bus_nvram::run(env))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the §3 disk-sorting claim (7% random vs ~40% sorted) and
+//! benchmarks batch servicing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvfs_bench::show;
+use nvfs_disk::{Discipline, DiskParams, DiskQueue, DiskRequest};
+use nvfs_experiments::disk_sort;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = disk_sort::run();
+    show("§3 disk bandwidth: random vs sorted writes", &out.table.render());
+    let disk = DiskParams::sprite_era();
+    let mut rng = StdRng::seed_from_u64(3);
+    let reqs: Vec<DiskRequest> = (0..1000)
+        .map(|_| DiskRequest { addr: rng.gen_range(0..disk.capacity - 4096), len: 4096 })
+        .collect();
+    let mut g = c.benchmark_group("disk_sort");
+    for d in [Discipline::Fifo, Discipline::Elevator] {
+        g.bench_with_input(BenchmarkId::new("service_1000", format!("{d:?}")), &d, |b, &d| {
+            b.iter(|| black_box(DiskQueue::new(disk).service_batch(&reqs, d)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates Figure 2 (byte lifetimes) and benchmarks the infinite-cache
+//! lifetime pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_core::LifetimeLog;
+use nvfs_experiments::fig2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = fig2::run(env);
+    show("Figure 2: byte lifetimes", &out.figure.render());
+    let trace7 = env.trace7();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("lifetime_pass_trace7", |b| {
+        b.iter(|| black_box(LifetimeLog::analyze(trace7.ops())))
+    });
+    let log = LifetimeLog::analyze(trace7.ops());
+    g.bench_function("delay_sweep", |b| {
+        b.iter(|| {
+            for &m in &fig2::DELAY_MINUTES {
+                black_box(log.net_write_traffic_at_delay(
+                    nvfs_types::SimDuration::from_secs_f64(m * 60.0),
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

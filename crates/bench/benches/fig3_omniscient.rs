@@ -1,0 +1,28 @@
+//! Regenerates Figure 3 (omniscient policy vs NVRAM size) and benchmarks
+//! the unified-model simulation and the omniscient pre-pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_core::{ClusterSim, OmniscientSchedule, PolicyKind, SimConfig};
+use nvfs_experiments::fig3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = fig3::run(env);
+    show("Figure 3: omniscient replacement policy", &out.figure.render());
+    let trace7 = env.trace7();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("schedule_build_trace7", |b| {
+        b.iter(|| black_box(OmniscientSchedule::build(trace7.ops())))
+    });
+    g.bench_function("unified_omniscient_1mb", |b| {
+        let cfg = SimConfig::unified(8 << 20, 1 << 20).with_policy(PolicyKind::Omniscient);
+        b.iter(|| black_box(ClusterSim::new(cfg.clone()).run(trace7.ops())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

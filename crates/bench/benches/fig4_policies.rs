@@ -1,0 +1,31 @@
+//! Regenerates Figure 4 (replacement policies) and benchmarks each policy
+//! at 1 MB of NVRAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_core::{ClusterSim, PolicyKind, SimConfig};
+use nvfs_experiments::fig4;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = fig4::run(env);
+    show("Figure 4: replacement policies (Trace 7)", &out.figure.render());
+    let trace7 = env.trace7();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("lru", PolicyKind::Lru),
+        ("random", PolicyKind::Random { seed: 1992 }),
+        ("omniscient", PolicyKind::Omniscient),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = SimConfig::unified(8 << 20, 1 << 20).with_policy(policy);
+            b.iter(|| black_box(ClusterSim::new(cfg.clone()).run(trace7.ops())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

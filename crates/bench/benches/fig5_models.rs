@@ -1,0 +1,30 @@
+//! Regenerates Figure 5 (cache models vs total traffic) and benchmarks the
+//! three models at +4 MB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_core::{ClusterSim, SimConfig};
+use nvfs_experiments::fig5;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = fig5::run(env);
+    show("Figure 5: cache models, net total traffic", &out.figure.render());
+    let trace7 = env.trace7();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("volatile_12mb", SimConfig::volatile(12 << 20)),
+        ("write_aside_8p4", SimConfig::write_aside(8 << 20, 4 << 20)),
+        ("unified_8p4", SimConfig::unified(8 << 20, 4 << 20)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(ClusterSim::new(cfg.clone()).run(trace7.ops())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

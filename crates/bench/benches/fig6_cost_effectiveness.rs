@@ -1,0 +1,30 @@
+//! Regenerates Figure 6 (NVRAM vs volatile memory) and benchmarks the cost
+//! interpolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_core::cost::{equivalent_extra_mb, TrafficPoint};
+use nvfs_experiments::fig6;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = fig6::run(env);
+    show("Figure 6: benefits of additional memory", &out.figure.render());
+    let curve: Vec<TrafficPoint> = out
+        .figure
+        .series("Volatile-8MB")
+        .expect("series present")
+        .points
+        .iter()
+        .map(|&(x, y)| TrafficPoint { extra_mb: x, traffic_pct: y })
+        .collect();
+    let mut g = c.benchmark_group("fig6");
+    g.bench_function("equivalent_extra_mb", |b| {
+        b.iter(|| black_box(equivalent_extra_mb(&curve, 40.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

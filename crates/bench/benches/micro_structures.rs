@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the core data structures: RangeSet algebra, the
+//! block store, segment packing, and workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_core::block_store::BlockStore;
+use nvfs_lfs::{SegmentCause, SegmentWriter};
+use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+use nvfs_types::{BlockId, ByteRange, FileId, RangeSet, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    g.bench_function("rangeset_insert_remove", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut s = RangeSet::new();
+            for _ in 0..200 {
+                let start = rng.gen_range(0..1_000_000u64);
+                let len = rng.gen_range(1..10_000u64);
+                s.insert(ByteRange::at(start, len));
+            }
+            for _ in 0..100 {
+                let start = rng.gen_range(0..1_000_000u64);
+                s.remove(ByteRange::at(start, 5_000));
+            }
+            black_box(s.len_bytes())
+        })
+    });
+
+    g.bench_function("block_store_churn", |b| {
+        b.iter(|| {
+            let mut store = BlockStore::new(512);
+            for i in 0..4096u64 {
+                let id = BlockId::new(FileId((i % 64) as u32), i / 64);
+                if store.is_full() {
+                    let (victim, _) = store.lru_block().expect("non-empty");
+                    store.remove(victim);
+                }
+                if !store.contains(id) {
+                    store.insert(id, SimTime::from_micros(i));
+                }
+                store.mark_dirty(id, id.byte_range(), SimTime::from_micros(i));
+            }
+            black_box(store.total_dirty_bytes())
+        })
+    });
+
+    g.bench_function("segment_packing_1mb", |b| {
+        b.iter(|| {
+            let mut w = SegmentWriter::new(nvfs_lfs::SEGMENT_BYTES);
+            let chunks: Vec<(FileId, RangeSet)> = (0..16)
+                .map(|i| (FileId(i), RangeSet::from_range(ByteRange::new(0, 64 << 10))))
+                .collect();
+            w.write_all(SimTime::ZERO, &chunks, SegmentCause::Timeout, false);
+            black_box(w.records().len())
+        })
+    });
+
+    let mut g2 = {
+        g.finish();
+        c.benchmark_group("generation")
+    };
+    g2.sample_size(10);
+    g2.bench_function("sprite_trace_set_tiny", |b| {
+        b.iter(|| black_box(SpriteTraceSet::generate(&TraceSetConfig::tiny())))
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

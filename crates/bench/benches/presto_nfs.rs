@@ -1,0 +1,35 @@
+//! Regenerates the §3 NFS/Prestoserve comparison and benchmarks both
+//! servicing paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::show;
+use nvfs_disk::DiskParams;
+use nvfs_experiments::presto;
+use nvfs_server::presto::{nfs_synchronous, prestoserve, PrestoConfig, WriteRequest};
+use nvfs_types::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = presto::run();
+    show("§3 NFS synchronous writes vs Prestoserve NVRAM", &out.table.render());
+    let disk = DiskParams::sprite_era();
+    let mut rng = StdRng::seed_from_u64(5);
+    let reqs: Vec<WriteRequest> = (0..1000)
+        .map(|i| WriteRequest {
+            time: SimTime::from_millis(i * 20),
+            addr: rng.gen_range(0..disk.capacity - 8192),
+            len: 8192,
+        })
+        .collect();
+    let mut g = c.benchmark_group("presto");
+    g.bench_function("nfs_synchronous", |b| b.iter(|| black_box(nfs_synchronous(&reqs, disk))));
+    g.bench_function("prestoserve", |b| {
+        b.iter(|| black_box(prestoserve(&reqs, disk, PrestoConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Table 1 (NVRAM costs) and benchmarks the catalogue queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::show;
+use nvfs_experiments::tab1;
+use nvfs_nvram::cost::{cheapest_nvram_for, nvram_to_dram_ratio};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = tab1::run();
+    show("Table 1: current NVRAM costs", &out.table.render());
+    let mut g = c.benchmark_group("tab1");
+    g.bench_function("run", |b| b.iter(|| black_box(tab1::run())));
+    g.bench_function("cheapest_for_16mb", |b| b.iter(|| black_box(cheapest_nvram_for(16.0))));
+    g.bench_function("price_ratio", |b| b.iter(|| black_box(nvram_to_dram_ratio(4.0))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

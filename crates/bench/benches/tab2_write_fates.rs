@@ -1,0 +1,20 @@
+//! Regenerates Table 2 (fate of written bytes) and benchmarks the fate
+//! aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_experiments::tab2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = tab2::run(env);
+    show("Table 2: summary of types of write traffic", &out.table.render());
+    let mut g = c.benchmark_group("tab2");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(|| black_box(tab2::run(env))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

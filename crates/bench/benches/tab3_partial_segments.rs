@@ -1,0 +1,25 @@
+//! Regenerates Table 3 (forced partial segments) and benchmarks the LFS
+//! server simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_experiments::tab3;
+use nvfs_lfs::fs::{run_filesystem, LfsConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = tab3::run(env);
+    show("Table 3: forced partial segments", &out.table.render());
+    let user6 = &env.server[0];
+    let mut g = c.benchmark_group("tab3");
+    g.sample_size(10);
+    g.bench_function("user6_direct", |b| {
+        b.iter(|| black_box(run_filesystem(user6, &LfsConfig::direct())))
+    });
+    g.bench_function("all_filesystems", |b| b.iter(|| black_box(tab3::run(env))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Table 4 (partial segment sizes and space cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_experiments::tab4;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = tab4::run(env);
+    show("Table 4: partial segment sizes", &out.table.render());
+    let mut g = c.benchmark_group("tab4");
+    g.sample_size(10);
+    g.bench_function("run", |b| b.iter(|| black_box(tab4::run(env))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

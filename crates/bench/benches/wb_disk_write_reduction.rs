@@ -1,0 +1,35 @@
+//! Regenerates the §3 headline (½ MB write buffer reductions) and sweeps
+//! the buffer capacity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvfs_bench::{bench_env, show};
+use nvfs_experiments::{read_latency, write_buffer};
+use nvfs_lfs::fs::{run_filesystem, LfsConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let env = bench_env();
+    let out = write_buffer::run(env);
+    show("§3 write-buffer disk access reductions", &out.table.render());
+    // Capacity sweep: how the /user6 reduction varies with buffer size.
+    println!("capacity sweep (/user6 reduction):");
+    for kb in [64u64, 128, 256, 512, 1024, 2048] {
+        let sweep = write_buffer::run_with_capacity(env, kb << 10);
+        let u6 = sweep.of("/user6").expect("/user6 present");
+        println!("  {:>5} KB buffer -> {:>5.1}% fewer accesses", kb, 100.0 * u6.reduction);
+    }
+    let rl = read_latency::run();
+    show("§3 read response vs write size", &rl.table.render());
+    let user6 = &env.server[0];
+    let mut g = c.benchmark_group("write_buffer");
+    g.sample_size(10);
+    for kb in [128u64, 512] {
+        g.bench_with_input(BenchmarkId::new("user6_buffered", kb), &kb, |b, &kb| {
+            b.iter(|| black_box(run_filesystem(user6, &LfsConfig::with_fsync_buffer(kb << 10))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Shared plumbing for the Criterion benchmark harness.
+//!
+//! Every bench target under `benches/` regenerates one table or figure of
+//! Baker et al. (ASPLOS 1992) — it first prints the artifact (so `cargo
+//! bench` doubles as the reproduction driver), then measures the runner.
+//! See `EXPERIMENTS.md` for the artifact index.
+
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use nvfs_experiments::env::Env;
+
+/// The shared benchmark environment. Benchmarks default to the tiny scale
+/// so a full `cargo bench` sweep completes quickly; set `NVFS_BENCH_SCALE`
+/// to `small` or `paper` for higher-fidelity runs.
+pub fn bench_env() -> &'static Env {
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| match std::env::var("NVFS_BENCH_SCALE").as_deref() {
+        Ok("paper") => Env::paper(),
+        Ok("small") => Env::small(),
+        _ => Env::tiny(),
+    })
+}
+
+/// Prints a regenerated artifact with a banner.
+pub fn show(artifact: &str, body: &str) {
+    println!("\n=== regenerated: {artifact} ===");
+    println!("{body}");
+}

@@ -1,0 +1,466 @@
+//! A capacity-bounded store of 4 KB cache blocks with LRU bookkeeping and a
+//! dirty-age index.
+//!
+//! Mirrors the structure §2.1 describes for Sprite's client caches: blocks
+//! carry access and modify times, dirty state is tracked at byte
+//! granularity within each block (an application write of less than a block
+//! dirties only those bytes, but replacement operates on whole blocks), and
+//! the block cleaner needs to find blocks whose dirty data has aged past
+//! the write-back delay.
+
+use std::collections::BTreeMap;
+
+use nvfs_types::{BlockId, ByteRange, FileId, RangeSet, SimTime};
+
+/// One cached block.
+#[derive(Debug, Clone)]
+pub struct BlockEntry {
+    /// Dirty bytes within this block (absolute file offsets).
+    pub dirty: RangeSet,
+    /// Last access (read or write) time.
+    pub last_access: SimTime,
+    /// Last modification time.
+    pub last_modify: SimTime,
+    /// When the block first became dirty since it was last clean.
+    pub dirty_since: Option<SimTime>,
+    /// Key into the LRU index.
+    lru_key: (SimTime, u64),
+}
+
+impl BlockEntry {
+    /// Whether the block holds any dirty bytes.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Number of dirty bytes.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty.len_bytes()
+    }
+}
+
+/// Outcome of marking bytes dirty in a block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirtyOutcome {
+    /// Bytes that were clean (or absent) and are now dirty.
+    pub newly_dirty: u64,
+    /// Bytes that were already dirty and were overwritten — dirty data that
+    /// died in the cache.
+    pub overwritten: u64,
+}
+
+/// A bounded block cache with LRU and dirty-age indexes.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_core::block_store::BlockStore;
+/// use nvfs_types::{BlockId, ByteRange, FileId, SimTime};
+///
+/// let mut s = BlockStore::new(2);
+/// let b = BlockId::new(FileId(0), 0);
+/// s.insert(b, SimTime::ZERO);
+/// let out = s.mark_dirty(b, ByteRange::new(0, 100), SimTime::from_secs(1));
+/// assert_eq!(out.newly_dirty, 100);
+/// assert_eq!(s.total_dirty_bytes(), 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    capacity: usize,
+    blocks: BTreeMap<BlockId, BlockEntry>,
+    lru: BTreeMap<(SimTime, u64), BlockId>,
+    dirty_age: BTreeMap<(SimTime, BlockId), ()>,
+    tie: u64,
+}
+
+impl BlockStore {
+    /// Creates a store holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        BlockStore { capacity, ..BlockStore::default() }
+    }
+
+    /// Maximum number of blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the store holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Whether the store is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.blocks.len() >= self.capacity
+    }
+
+    /// Whether `id` is cached.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Borrows the entry for `id`.
+    pub fn get(&self, id: BlockId) -> Option<&BlockEntry> {
+        self.blocks.get(&id)
+    }
+
+    /// Inserts a clean block accessed at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is full or the block is already present —
+    /// callers must evict first.
+    pub fn insert(&mut self, id: BlockId, t: SimTime) {
+        self.insert_with_access(id, t, t);
+    }
+
+    /// Inserts a clean block with an explicit `last_access` time (used when
+    /// demoting a block from NVRAM to the volatile cache, which must keep
+    /// the original access time for LRU comparisons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is full or the block is already present.
+    pub fn insert_with_access(&mut self, id: BlockId, last_access: SimTime, last_modify: SimTime) {
+        assert!(!self.is_full(), "insert into full BlockStore; evict first");
+        assert!(!self.blocks.contains_key(&id), "block {id} already cached");
+        let key = (last_access, self.next_tie());
+        self.lru.insert(key, id);
+        self.blocks.insert(
+            id,
+            BlockEntry { dirty: RangeSet::new(), last_access, last_modify, dirty_since: None, lru_key: key },
+        );
+    }
+
+    /// Inserts a block with explicit dirty state (used when the hybrid
+    /// model migrates an aged dirty block from the volatile cache into the
+    /// NVRAM, preserving its history).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is full or the block is already present.
+    pub fn insert_with_state(
+        &mut self,
+        id: BlockId,
+        last_access: SimTime,
+        last_modify: SimTime,
+        dirty: RangeSet,
+        dirty_since: Option<SimTime>,
+    ) {
+        assert!(!self.is_full(), "insert into full BlockStore; evict first");
+        assert!(!self.blocks.contains_key(&id), "block {id} already cached");
+        let key = (last_access, self.next_tie());
+        self.lru.insert(key, id);
+        let effective_since = if dirty.is_empty() { None } else { dirty_since.or(Some(last_modify)) };
+        if let Some(since) = effective_since {
+            self.dirty_age.insert((since, id), ());
+        }
+        self.blocks.insert(
+            id,
+            BlockEntry { dirty, last_access, last_modify, dirty_since: effective_since, lru_key: key },
+        );
+    }
+
+    /// Updates the access time of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not cached.
+    pub fn touch(&mut self, id: BlockId, t: SimTime) {
+        let tie = self.next_tie();
+        let entry = self.blocks.get_mut(&id).expect("touch of uncached block");
+        self.lru.remove(&entry.lru_key);
+        entry.last_access = t;
+        entry.lru_key = (t, tie);
+        self.lru.insert(entry.lru_key, id);
+    }
+
+    /// Marks `range` (clipped to the block) dirty at time `t`, touching the
+    /// block. Returns how many bytes were newly dirty vs overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not cached.
+    pub fn mark_dirty(&mut self, id: BlockId, range: ByteRange, t: SimTime) -> DirtyOutcome {
+        self.touch(id, t);
+        let entry = self.blocks.get_mut(&id).expect("mark_dirty of uncached block");
+        let clipped = match id.byte_range().intersection(range) {
+            Some(r) => r,
+            None => return DirtyOutcome::default(),
+        };
+        let overwritten = entry.dirty.overlap_bytes(clipped);
+        let newly_dirty = entry.dirty.insert(clipped);
+        entry.last_modify = t;
+        if entry.dirty_since.is_none() && entry.is_dirty() {
+            entry.dirty_since = Some(t);
+            self.dirty_age.insert((t, id), ());
+        }
+        DirtyOutcome { newly_dirty, overwritten }
+    }
+
+    /// Clears all dirty state of `id` (it was written to the server or its
+    /// data died). Returns the number of bytes that were dirty.
+    pub fn clean(&mut self, id: BlockId) -> u64 {
+        let Some(entry) = self.blocks.get_mut(&id) else { return 0 };
+        let bytes = entry.dirty.len_bytes();
+        entry.dirty.clear();
+        if let Some(since) = entry.dirty_since.take() {
+            self.dirty_age.remove(&(since, id));
+        }
+        bytes
+    }
+
+    /// Kills the dirty bytes of `id` that fall within `range` (truncation).
+    /// Returns the number of dirty bytes killed. The block stays cached.
+    pub fn kill_dirty(&mut self, id: BlockId, range: ByteRange) -> u64 {
+        let Some(entry) = self.blocks.get_mut(&id) else { return 0 };
+        let killed = entry.dirty.remove(range);
+        if !entry.is_dirty() {
+            if let Some(since) = entry.dirty_since.take() {
+                self.dirty_age.remove(&(since, id));
+            }
+        }
+        killed
+    }
+
+    /// Removes `id` entirely, returning its entry.
+    pub fn remove(&mut self, id: BlockId) -> Option<BlockEntry> {
+        let entry = self.blocks.remove(&id)?;
+        self.lru.remove(&entry.lru_key);
+        if let Some(since) = entry.dirty_since {
+            self.dirty_age.remove(&(since, id));
+        }
+        Some(entry)
+    }
+
+    /// The least-recently accessed block, if any.
+    pub fn lru_block(&self) -> Option<(BlockId, SimTime)> {
+        self.lru.iter().next().map(|(&(t, _), &id)| (id, t))
+    }
+
+    /// The least-recently accessed *clean* block, if any (Sprite's volatile
+    /// cache prefers replacing clean blocks; used by the dirty-preference
+    /// ablation).
+    pub fn lru_clean_block(&self) -> Option<(BlockId, SimTime)> {
+        self.lru
+            .iter()
+            .map(|(&(t, _), &id)| (id, t))
+            .find(|(id, _)| !self.blocks[id].is_dirty())
+    }
+
+    /// All cached blocks of `file`, in index order.
+    pub fn file_blocks(&self, file: FileId) -> Vec<BlockId> {
+        self.blocks
+            .range(BlockId::new(file, 0)..BlockId::new(FileId(file.0 + 1), 0))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Blocks whose dirty data is older than `cutoff` (i.e. became dirty at
+    /// or before it), oldest first.
+    pub fn dirty_older_than(&self, cutoff: SimTime) -> Vec<BlockId> {
+        self.dirty_age
+            .range(..=(cutoff, BlockId::new(FileId(u32::MAX), u64::MAX)))
+            .map(|(&(_, id), ())| id)
+            .collect()
+    }
+
+    /// Iterates over `(BlockId, &BlockEntry)` in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BlockEntry)> {
+        self.blocks.iter().map(|(&id, e)| (id, e))
+    }
+
+    /// The `n`-th block in block order (for random replacement sampling).
+    pub fn nth_block(&self, n: usize) -> Option<BlockId> {
+        self.blocks.keys().nth(n).copied()
+    }
+
+    /// Sum of dirty bytes across all blocks.
+    pub fn total_dirty_bytes(&self) -> u64 {
+        // The dirty_age index holds exactly the dirty blocks.
+        self.dirty_age.keys().map(|&(_, id)| self.blocks[&id].dirty_bytes()).sum()
+    }
+
+    /// Number of dirty blocks.
+    pub fn dirty_block_count(&self) -> usize {
+        self.dirty_age.len()
+    }
+
+    /// Verifies internal index consistency (for tests).
+    pub fn check_invariants(&self) -> bool {
+        if self.blocks.len() > self.capacity || self.lru.len() != self.blocks.len() {
+            return false;
+        }
+        for (key, id) in &self.lru {
+            match self.blocks.get(id) {
+                Some(e) if e.lru_key == *key => {}
+                _ => return false,
+            }
+        }
+        for (&(since, id), ()) in &self.dirty_age {
+            match self.blocks.get(&id) {
+                Some(e) if e.dirty_since == Some(since) && e.is_dirty() => {}
+                _ => return false,
+            }
+        }
+        self.blocks.values().filter(|e| e.is_dirty()).count() == self.dirty_age.len()
+    }
+
+    fn next_tie(&mut self) -> u64 {
+        self.tie += 1;
+        self.tie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(f: u32, i: u64) -> BlockId {
+        BlockId::new(FileId(f), i)
+    }
+
+    #[test]
+    fn lru_order_follows_touches() {
+        let mut s = BlockStore::new(3);
+        s.insert(bid(0, 0), SimTime::from_secs(1));
+        s.insert(bid(0, 1), SimTime::from_secs(2));
+        s.insert(bid(0, 2), SimTime::from_secs(3));
+        assert_eq!(s.lru_block().unwrap().0, bid(0, 0));
+        s.touch(bid(0, 0), SimTime::from_secs(4));
+        assert_eq!(s.lru_block().unwrap().0, bid(0, 1));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "evict first")]
+    fn insert_into_full_store_panics() {
+        let mut s = BlockStore::new(1);
+        s.insert(bid(0, 0), SimTime::ZERO);
+        s.insert(bid(0, 1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn dirty_accounting() {
+        let mut s = BlockStore::new(2);
+        let b = bid(0, 0);
+        s.insert(b, SimTime::ZERO);
+        let o1 = s.mark_dirty(b, ByteRange::new(0, 100), SimTime::from_secs(1));
+        assert_eq!(o1, DirtyOutcome { newly_dirty: 100, overwritten: 0 });
+        let o2 = s.mark_dirty(b, ByteRange::new(50, 150), SimTime::from_secs(2));
+        assert_eq!(o2, DirtyOutcome { newly_dirty: 50, overwritten: 50 });
+        // dirty_since is set by the first write, not reset by the second.
+        assert_eq!(s.get(b).unwrap().dirty_since, Some(SimTime::from_secs(1)));
+        assert_eq!(s.total_dirty_bytes(), 150);
+        assert_eq!(s.clean(b), 150);
+        assert_eq!(s.total_dirty_bytes(), 0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn mark_dirty_clips_to_block() {
+        let mut s = BlockStore::new(2);
+        let b = bid(0, 1); // covers bytes 4096..8192
+        s.insert(b, SimTime::ZERO);
+        let o = s.mark_dirty(b, ByteRange::new(0, 10_000), SimTime::from_secs(1));
+        assert_eq!(o.newly_dirty, 4096);
+        let o2 = s.mark_dirty(b, ByteRange::new(0, 100), SimTime::from_secs(2));
+        assert_eq!(o2, DirtyOutcome::default());
+    }
+
+    #[test]
+    fn kill_dirty_partial() {
+        let mut s = BlockStore::new(2);
+        let b = bid(0, 0);
+        s.insert(b, SimTime::ZERO);
+        s.mark_dirty(b, ByteRange::new(0, 4096), SimTime::from_secs(1));
+        assert_eq!(s.kill_dirty(b, ByteRange::new(2048, 4096)), 2048);
+        assert!(s.get(b).unwrap().is_dirty());
+        assert_eq!(s.kill_dirty(b, ByteRange::new(0, 2048)), 2048);
+        assert!(!s.get(b).unwrap().is_dirty());
+        assert_eq!(s.dirty_block_count(), 0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn dirty_age_queue_finds_old_blocks() {
+        let mut s = BlockStore::new(4);
+        for i in 0..3 {
+            let b = bid(0, i);
+            s.insert(b, SimTime::ZERO);
+            s.mark_dirty(b, b.byte_range(), SimTime::from_secs(10 * (i + 1)));
+        }
+        let old = s.dirty_older_than(SimTime::from_secs(20));
+        assert_eq!(old, vec![bid(0, 0), bid(0, 1)]);
+        s.clean(bid(0, 0));
+        assert_eq!(s.dirty_older_than(SimTime::from_secs(20)), vec![bid(0, 1)]);
+    }
+
+    #[test]
+    fn file_blocks_filters_by_file() {
+        let mut s = BlockStore::new(4);
+        s.insert(bid(1, 0), SimTime::ZERO);
+        s.insert(bid(1, 5), SimTime::ZERO);
+        s.insert(bid(2, 0), SimTime::ZERO);
+        assert_eq!(s.file_blocks(FileId(1)), vec![bid(1, 0), bid(1, 5)]);
+        assert_eq!(s.file_blocks(FileId(3)), Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn lru_clean_block_skips_dirty() {
+        let mut s = BlockStore::new(3);
+        s.insert(bid(0, 0), SimTime::from_secs(1));
+        s.insert(bid(0, 1), SimTime::from_secs(2));
+        s.mark_dirty(bid(0, 0), bid(0, 0).byte_range(), SimTime::from_secs(3));
+        // 0,0 is now most recent *and* dirty; LRU clean is 0,1.
+        assert_eq!(s.lru_clean_block().unwrap().0, bid(0, 1));
+        assert_eq!(s.lru_block().unwrap().0, bid(0, 1));
+    }
+
+    #[test]
+    fn remove_clears_all_indexes() {
+        let mut s = BlockStore::new(2);
+        let b = bid(0, 0);
+        s.insert(b, SimTime::ZERO);
+        s.mark_dirty(b, b.byte_range(), SimTime::from_secs(1));
+        let e = s.remove(b).unwrap();
+        assert_eq!(e.dirty_bytes(), 4096);
+        assert!(s.is_empty());
+        assert_eq!(s.dirty_block_count(), 0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn insert_with_state_preserves_dirty_age() {
+        let mut s = BlockStore::new(2);
+        let id = bid(0, 0);
+        let mut dirty = RangeSet::new();
+        dirty.insert(ByteRange::new(0, 100));
+        s.insert_with_state(
+            id,
+            SimTime::from_secs(9),
+            SimTime::from_secs(8),
+            dirty,
+            Some(SimTime::from_secs(5)),
+        );
+        assert_eq!(s.total_dirty_bytes(), 100);
+        assert_eq!(s.dirty_older_than(SimTime::from_secs(5)), vec![id]);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn demotion_preserves_access_time() {
+        let mut a = BlockStore::new(2);
+        let mut b = BlockStore::new(2);
+        let id = bid(0, 0);
+        a.insert(id, SimTime::from_secs(5));
+        let e = a.remove(id).unwrap();
+        b.insert_with_access(id, e.last_access, e.last_modify);
+        assert_eq!(b.get(id).unwrap().last_access, SimTime::from_secs(5));
+    }
+}

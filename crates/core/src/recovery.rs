@@ -1,0 +1,162 @@
+//! §4 crash recovery, integrated with the cache simulator.
+//!
+//! "Modified data may become unavailable if it resides in an NVRAM cache on
+//! a crashed client. To avoid this problem for clients that do not recover
+//! quickly, it must be possible to move an NVRAM component to another
+//! client and retrieve its data from the new location."
+//!
+//! [`snapshot_nvram`] captures a crashed client's NVRAM contents onto a
+//! removable [`NvramBoard`]; [`recover`] drains a (possibly relocated)
+//! board into the write stream a recovery agent would send to the file
+//! server. Together with [`ClientCache`] this closes the loop: dirty data
+//! that was "as permanent as disk" in the simulation really can be turned
+//! back into server writes after a crash.
+
+use nvfs_nvram::{NvramBoard, RecoveredData};
+use nvfs_types::{ClientId, FileId, RangeSet, SimTime};
+
+use crate::client::{ClientCache, FlushCause, ServerWrite};
+
+/// Captures the dirty contents of a crashed client's NVRAM onto a board
+/// installed in that client.
+///
+/// Only data the model guarantees to be in NVRAM is captured: for the
+/// volatile model that is nothing (a crash loses everything not yet
+/// written back), which is exactly the paper's motivation.
+pub fn snapshot_nvram(cache: &ClientCache, host: ClientId, capacity: u64) -> NvramBoard {
+    let mut board = NvramBoard::new(host, capacity);
+    for (file, ranges) in cache.nvram_dirty_contents() {
+        for r in ranges.iter() {
+            board.store(file, r);
+        }
+    }
+    board
+}
+
+/// Outcome of recovering a board on a healthy client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The writes sent to the server to make the data durable on disk.
+    pub writes: Vec<ServerWrite>,
+    /// Total bytes recovered.
+    pub bytes: u64,
+    /// Whether the board's batteries had preserved the data at all.
+    pub data_survived: bool,
+}
+
+/// Drains `board` on the client it has been moved to, producing the write
+/// stream the recovery agent sends to the server.
+pub fn recover(board: &mut NvramBoard, at: SimTime) -> RecoveryOutcome {
+    let survived = board.batteries_mut().preserves_data();
+    let contents: RecoveredData = board.drain();
+    let host = board.host();
+    let mut writes = Vec::new();
+    let mut bytes = 0;
+    for (file, ranges) in contents {
+        let len = ranges.len_bytes();
+        bytes += len;
+        writes.push(ServerWrite {
+            time: at,
+            client: host,
+            file,
+            bytes: len,
+            cause: FlushCause::Callback,
+        });
+    }
+    RecoveryOutcome { writes, bytes, data_survived: survived }
+}
+
+impl ClientCache {
+    /// The dirty byte ranges currently guaranteed to reside in NVRAM —
+    /// what a crash preserves. Volatile-model caches return nothing; the
+    /// hybrid model loses data still inside its 30-second volatile window.
+    pub fn nvram_dirty_contents(&self) -> Vec<(FileId, RangeSet)> {
+        self.nvram_dirty_by_file()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheModelKind, PolicyKind, SimConfig};
+    use crate::metrics::TrafficStats;
+    use crate::policy::Policy;
+    use nvfs_types::{ByteRange, BLOCK_SIZE};
+
+    fn cache(model: CacheModelKind) -> ClientCache {
+        let mut cfg = SimConfig::volatile(8 * BLOCK_SIZE);
+        cfg.model = model;
+        cfg.nvram_bytes = 4 * BLOCK_SIZE;
+        ClientCache::new(&cfg, Policy::from_kind(PolicyKind::Lru, None), ClientId(0))
+    }
+
+    fn write_block(c: &mut ClientCache, file: u32, block: u64, t: u64) {
+        let mut stats = TrafficStats::default();
+        c.write(
+            FileId(file),
+            ByteRange::at(block * BLOCK_SIZE, BLOCK_SIZE),
+            SimTime::from_secs(t),
+            &mut stats,
+        );
+    }
+
+    #[test]
+    fn nvram_models_survive_crashes() {
+        for model in [CacheModelKind::WriteAside, CacheModelKind::Unified] {
+            let mut c = cache(model);
+            write_block(&mut c, 1, 0, 1);
+            write_block(&mut c, 2, 3, 2);
+            let mut board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+            assert_eq!(board.dirty_bytes(), 2 * BLOCK_SIZE, "{model:?}");
+            board.move_to(ClientId(5));
+            let outcome = recover(&mut board, SimTime::from_secs(100));
+            assert_eq!(outcome.bytes, 2 * BLOCK_SIZE, "{model:?}");
+            assert_eq!(outcome.writes.len(), 2);
+            assert!(outcome.data_survived);
+            assert!(outcome.writes.iter().all(|w| w.client == ClientId(5)));
+        }
+    }
+
+    #[test]
+    fn volatile_model_loses_everything() {
+        let mut c = cache(CacheModelKind::Volatile);
+        write_block(&mut c, 1, 0, 1);
+        let board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+        assert_eq!(board.dirty_bytes(), 0, "a volatile cache has no NVRAM to save");
+    }
+
+    #[test]
+    fn hybrid_loses_only_the_unaged_window() {
+        let mut c = cache(CacheModelKind::Hybrid);
+        let mut stats = TrafficStats::default();
+        write_block(&mut c, 1, 0, 1);
+        // Age the first block into NVRAM; the second stays volatile.
+        c.writeback_older_than(SimTime::from_secs(5), SimTime::from_secs(35), &mut stats);
+        write_block(&mut c, 2, 0, 40);
+        let board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+        assert_eq!(board.dirty_bytes(), BLOCK_SIZE, "only the aged block survives");
+        assert_eq!(c.remaining_dirty_bytes(), 2 * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn dead_batteries_mean_no_recovery() {
+        let mut c = cache(CacheModelKind::Unified);
+        write_block(&mut c, 1, 0, 1);
+        let mut board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+        for _ in 0..3 {
+            board.batteries_mut().fail_one();
+        }
+        let outcome = recover(&mut board, SimTime::from_secs(10));
+        assert_eq!(outcome.bytes, 0);
+        assert!(!outcome.data_survived);
+    }
+
+    #[test]
+    fn write_aside_snapshot_matches_remaining_dirty() {
+        let mut c = cache(CacheModelKind::WriteAside);
+        write_block(&mut c, 1, 0, 1);
+        write_block(&mut c, 1, 1, 2);
+        let board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+        assert_eq!(board.dirty_bytes(), c.remaining_dirty_bytes());
+    }
+}

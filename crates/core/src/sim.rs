@@ -1,0 +1,480 @@
+//! The trace-driven cluster simulator (§2.2).
+//!
+//! [`ClusterSim`] replays a canonical [`OpStream`] against one
+//! [`ClientCache`] per client plus the server-side
+//! [`ConsistencyServer`], producing the [`TrafficStats`] from which
+//! Figures 3–6 are derived. The volatile model's 30-second delayed
+//! write-back is driven by a 5-second cleaner tick, exactly as in Sprite.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nvfs_types::{ClientId, SimTime};
+use nvfs_trace::op::{OpKind, OpStream};
+
+use crate::client::{ClientCache, FlushCause, ServerWrite};
+use crate::config::{CacheModelKind, ConsistencyMode, PolicyKind, SimConfig};
+use crate::consistency::ConsistencyServer;
+use crate::metrics::TrafficStats;
+use crate::omniscient::OmniscientSchedule;
+use crate::policy::Policy;
+
+/// A configured cluster simulation, ready to run over op streams.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_core::{ClusterSim, SimConfig};
+/// use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+///
+/// let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+/// let stats = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10))
+///     .run(traces.trace(0).ops());
+/// assert!(stats.app_write_bytes > 0);
+/// assert!(stats.net_write_traffic_pct() <= 100.0 + 1e-9 || stats.server_read_bytes > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: SimConfig,
+}
+
+impl ClusterSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        ClusterSim { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays `ops` and returns the aggregated traffic statistics.
+    ///
+    /// The omniscient policy builds its schedule from this same stream (the
+    /// paper's third pass).
+    pub fn run(&self, ops: &OpStream) -> TrafficStats {
+        self.run_detailed(ops).0
+    }
+
+    /// Runs with a warm-up prefix: the first `warmup` fraction of the
+    /// stream populates the caches, then every counter is reset, so the
+    /// returned statistics describe steady state only.
+    ///
+    /// The paper notes its own simulations "started with empty caches,
+    /// thereby misclassifying some writes as new data rather than
+    /// overwrites" — this quantifies that cold-start bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= warmup < 1.0`.
+    pub fn run_with_warmup(&self, ops: &OpStream, warmup: f64) -> TrafficStats {
+        assert!((0.0..1.0).contains(&warmup), "warmup must be in [0, 1)");
+        let cut = (ops.len() as f64 * warmup) as usize;
+        self.run_detailed_until(ops, usize::MAX, Some(cut)).0
+    }
+
+    /// Like [`ClusterSim::run`], but also returns the time-ordered log of
+    /// every write the clients sent to the server — the input for a
+    /// server-side (LFS) simulation downstream.
+    pub fn run_detailed(&self, ops: &OpStream) -> (TrafficStats, Vec<ServerWrite>) {
+        self.run_detailed_until(ops, usize::MAX, None)
+    }
+
+    /// Core driver: replays ops up to index `stop` (exclusive); if
+    /// `reset_at` is given, every counter is zeroed after that op index so
+    /// the result reflects only the steady-state suffix.
+    fn run_detailed_until(
+        &self,
+        ops: &OpStream,
+        stop: usize,
+        reset_at: Option<usize>,
+    ) -> (TrafficStats, Vec<ServerWrite>) {
+        let schedule = match self.config.policy {
+            PolicyKind::Omniscient => Some(Arc::new(OmniscientSchedule::build(ops))),
+            _ => None,
+        };
+        let mut clients: BTreeMap<ClientId, ClientCache> = BTreeMap::new();
+        let mut server = ConsistencyServer::with_mode(self.config.consistency);
+        let mut stats = TrafficStats::default();
+        let mut next_tick = SimTime::ZERO + self.config.cleaner_period;
+        let run_cleaner = matches!(
+            self.config.model,
+            CacheModelKind::Volatile | CacheModelKind::Hybrid
+        );
+
+        macro_rules! client {
+            ($id:expr) => {
+                clients.entry($id).or_insert_with(|| {
+                    ClientCache::new(
+                        &self.config,
+                        Policy::from_kind(self.config.policy, schedule.clone()),
+                        $id,
+                    )
+                })
+            };
+        }
+
+        for (op_index, op) in ops.iter().enumerate() {
+            if op_index >= stop {
+                break;
+            }
+            if reset_at == Some(op_index) {
+                stats = TrafficStats::default();
+                for cache in clients.values_mut() {
+                    cache.reset_counters();
+                }
+            }
+            // Advance the 5-second block cleaner up to this op's time.
+            if run_cleaner {
+                while next_tick <= op.time {
+                    if next_tick >= SimTime::ZERO + self.config.write_back_delay {
+                        let cutoff = next_tick - self.config.write_back_delay;
+                        for (&cid, cache) in clients.iter_mut() {
+                            for file in cache.writeback_older_than(cutoff, next_tick, &mut stats) {
+                                server.note_flush(file, cid);
+                            }
+                        }
+                    }
+                    next_tick += self.config.cleaner_period;
+                }
+            }
+
+            match &op.kind {
+                OpKind::Open { file, mode } => {
+                    let outcome = server.on_open(*file, op.client, *mode);
+                    if let Some(w) = outcome.recall_from {
+                        if let Some(cache) = clients.get_mut(&w) {
+                            cache.flush_file(*file, FlushCause::Callback, op.time, &mut stats);
+                        }
+                        // After the recall the writer holds nothing dirty,
+                        // whether or not any bytes moved.
+                        server.note_flush(*file, w);
+                    }
+                    if outcome.invalidate_opener {
+                        // Stale copies from a previous open are discarded.
+                        client!(op.client).invalidate_file(*file, FlushCause::Callback, op.time, &mut stats);
+                    }
+                    if outcome.disable_caching {
+                        for cache in clients.values_mut() {
+                            cache.invalidate_file(*file, FlushCause::Callback, op.time, &mut stats);
+                        }
+                    }
+                }
+                OpKind::Close { file } => {
+                    server.on_close(*file, op.client);
+                }
+                OpKind::Read { file, range } => {
+                    stats.app_read_bytes += range.len();
+                    if server.is_disabled(*file) {
+                        stats.concurrent_read_bytes += range.len();
+                    } else {
+                        // Block-on-demand consistency: recall only the dirty
+                        // blocks this read actually touches (§2.3, [21]).
+                        if self.config.consistency == ConsistencyMode::BlockOnDemand {
+                            if let Some(w) = server.last_writer(*file) {
+                                if w != op.client {
+                                    let mut recalled = 0;
+                                    if let Some(writer) = clients.get_mut(&w) {
+                                        recalled = writer.flush_range(
+                                            *file,
+                                            *range,
+                                            FlushCause::Callback,
+                                            op.time,
+                                            &mut stats,
+                                        );
+                                    }
+                                    if recalled > 0 {
+                                        // The reader's copies of those
+                                        // blocks are stale.
+                                        client!(op.client).invalidate_range(
+                                            *file,
+                                            *range,
+                                            FlushCause::Callback,
+                                            op.time,
+                                            &mut stats,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        client!(op.client).read(*file, *range, op.time, &mut stats);
+                    }
+                }
+                OpKind::Write { file, range } => {
+                    stats.app_write_bytes += range.len();
+                    if server.is_disabled(*file) {
+                        stats.concurrent_write_bytes += range.len();
+                    } else {
+                        client!(op.client).write(*file, *range, op.time, &mut stats);
+                        server.note_write(*file, op.client);
+                    }
+                }
+                OpKind::Truncate { file, new_len } => {
+                    for cache in clients.values_mut() {
+                        cache.truncate_file(*file, *new_len, &mut stats);
+                    }
+                }
+                OpKind::Delete { file } => {
+                    for cache in clients.values_mut() {
+                        cache.delete_file(*file, &mut stats);
+                    }
+                    server.on_delete(*file);
+                }
+                OpKind::Fsync { file } => {
+                    if let Some(cache) = clients.get_mut(&op.client) {
+                        // Only the volatile model actually sends the data
+                        // to the server; the NVRAM models keep it dirty
+                        // locally, so the last-writer record must survive.
+                        if cache.fsync(*file, op.time, &mut stats) {
+                            server.note_flush(*file, op.client);
+                        }
+                    }
+                }
+                OpKind::Migrate { files, .. } => {
+                    if let Some(cache) = clients.get_mut(&op.client) {
+                        for file in files {
+                            cache.flush_file(*file, FlushCause::Migration, op.time, &mut stats);
+                            server.note_flush(*file, op.client);
+                        }
+                    }
+                }
+            }
+        }
+
+        // End of trace: dirty bytes still cached count as eventual traffic.
+        for cache in clients.values() {
+            stats.remaining_dirty_bytes += cache.remaining_dirty_bytes();
+            debug_assert!(cache.check_invariants());
+        }
+        // Fold NVRAM device counters into the stats and merge the logs.
+        let mut writes: Vec<ServerWrite> = Vec::new();
+        for cache in clients.values_mut() {
+            let d = cache.device();
+            stats.nvram_reads += d.reads();
+            stats.nvram_writes += d.writes();
+            stats.nvram_bytes += d.bytes_transferred();
+            writes.append(&mut cache.take_server_writes());
+        }
+        writes.sort_by_key(|w| w.time);
+        (stats, writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfs_trace::event::OpenMode;
+    use nvfs_trace::op::Op;
+    use nvfs_types::{ByteRange, FileId, BLOCK_SIZE};
+
+    fn op(t: u64, client: u32, kind: OpKind) -> Op {
+        Op { time: SimTime::from_secs(t), client: ClientId(client), kind }
+    }
+
+    fn wr(t: u64, client: u32, file: u32, block: u64) -> Op {
+        op(t, client, OpKind::Write {
+            file: FileId(file),
+            range: ByteRange::at(block * BLOCK_SIZE, BLOCK_SIZE),
+        })
+    }
+
+    #[test]
+    fn delayed_writeback_fires_after_30s() {
+        let ops: OpStream = vec![
+            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            wr(2, 0, 0, 0),
+            op(3, 0, OpKind::Close { file: FileId(0) }),
+            // A much later op lets the cleaner run.
+            op(100, 0, OpKind::Open { file: FileId(1), mode: OpenMode::Read }),
+        ]
+        .into_iter()
+        .collect();
+        let stats = ClusterSim::new(SimConfig::volatile(1 << 20)).run(&ops);
+        assert_eq!(stats.writeback_bytes, BLOCK_SIZE);
+        assert_eq!(stats.remaining_dirty_bytes, 0);
+    }
+
+    #[test]
+    fn nvram_models_hold_dirty_data_to_the_end() {
+        let ops: OpStream = vec![
+            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            wr(2, 0, 0, 0),
+            op(3, 0, OpKind::Close { file: FileId(0) }),
+            op(100, 0, OpKind::Open { file: FileId(1), mode: OpenMode::Read }),
+        ]
+        .into_iter()
+        .collect();
+        for cfg in [SimConfig::write_aside(1 << 20, 512 << 10), SimConfig::unified(1 << 20, 512 << 10)] {
+            let stats = ClusterSim::new(cfg).run(&ops);
+            assert_eq!(stats.writeback_bytes, 0);
+            assert_eq!(stats.remaining_dirty_bytes, BLOCK_SIZE);
+            assert_eq!(stats.server_write_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn absorbed_write_never_reaches_server_in_nvram_model() {
+        let ops: OpStream = vec![
+            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            wr(2, 0, 0, 0),
+            op(50, 0, OpKind::Delete { file: FileId(0) }),
+            op(100, 0, OpKind::Open { file: FileId(1), mode: OpenMode::Read }),
+        ]
+        .into_iter()
+        .collect();
+        let stats = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10)).run(&ops);
+        assert_eq!(stats.deleted_dead_bytes, BLOCK_SIZE);
+        assert_eq!(stats.server_write_bytes, 0);
+        assert_eq!(stats.net_write_traffic_pct(), 0.0);
+        // The volatile model, by contrast, wrote it back at ~32s.
+        let v = ClusterSim::new(SimConfig::volatile(1 << 20)).run(&ops);
+        assert_eq!(v.writeback_bytes, BLOCK_SIZE);
+    }
+
+    #[test]
+    fn foreign_open_recalls_dirty_data() {
+        let ops: OpStream = vec![
+            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            wr(2, 0, 0, 0),
+            op(3, 0, OpKind::Close { file: FileId(0) }),
+            op(10, 1, OpKind::Open { file: FileId(0), mode: OpenMode::Read }),
+            op(11, 1, OpKind::Read { file: FileId(0), range: ByteRange::at(0, BLOCK_SIZE) }),
+            op(12, 1, OpKind::Close { file: FileId(0) }),
+        ]
+        .into_iter()
+        .collect();
+        let stats = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10)).run(&ops);
+        assert_eq!(stats.callback_bytes, BLOCK_SIZE);
+        assert_eq!(stats.remaining_dirty_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_write_sharing_bypasses_caches() {
+        let ops: OpStream = vec![
+            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(2, 1, OpKind::Open { file: FileId(0), mode: OpenMode::ReadWrite }),
+            wr(3, 0, 0, 0),
+            wr(4, 1, 0, 0),
+            op(5, 1, OpKind::Read { file: FileId(0), range: ByteRange::at(0, 100) }),
+            op(6, 0, OpKind::Close { file: FileId(0) }),
+            op(7, 1, OpKind::Close { file: FileId(0) }),
+            // After everyone closes, caching works again.
+            op(8, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            wr(9, 0, 0, 1),
+            op(10, 0, OpKind::Close { file: FileId(0) }),
+        ]
+        .into_iter()
+        .collect();
+        let stats = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10)).run(&ops);
+        assert_eq!(stats.concurrent_write_bytes, 2 * BLOCK_SIZE);
+        assert_eq!(stats.concurrent_read_bytes, 100);
+        // The post-sharing write is cached normally.
+        assert_eq!(stats.remaining_dirty_bytes, BLOCK_SIZE);
+    }
+
+    #[test]
+    fn migration_flushes_dirty_files() {
+        use nvfs_types::ProcessId;
+        let ops: OpStream = vec![
+            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            wr(2, 0, 0, 0),
+            op(3, 0, OpKind::Migrate {
+                pid: ProcessId(0),
+                to: ClientId(1),
+                files: vec![FileId(0)],
+            }),
+        ]
+        .into_iter()
+        .collect();
+        let stats = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10)).run(&ops);
+        assert_eq!(stats.migration_bytes, BLOCK_SIZE);
+        assert_eq!(stats.remaining_dirty_bytes, 0);
+    }
+
+    #[test]
+    fn block_consistency_recalls_only_read_blocks() {
+        use crate::config::ConsistencyMode;
+        // Client 0 dirties two blocks; client 1 reads only the first.
+        let ops: OpStream = vec![
+            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            wr(2, 0, 0, 0),
+            wr(3, 0, 0, 1),
+            op(4, 0, OpKind::Close { file: FileId(0) }),
+            op(5, 1, OpKind::Open { file: FileId(0), mode: OpenMode::Read }),
+            op(6, 1, OpKind::Read { file: FileId(0), range: ByteRange::at(0, BLOCK_SIZE) }),
+            op(7, 1, OpKind::Close { file: FileId(0) }),
+        ]
+        .into_iter()
+        .collect();
+        let whole = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10)).run(&ops);
+        assert_eq!(whole.callback_bytes, 2 * BLOCK_SIZE, "whole-file recall takes both blocks");
+        let block = ClusterSim::new(
+            SimConfig::unified(1 << 20, 512 << 10)
+                .with_consistency(ConsistencyMode::BlockOnDemand),
+        )
+        .run(&ops);
+        assert_eq!(block.callback_bytes, BLOCK_SIZE, "lazy recall takes only the read block");
+        // The unread block stays dirty in client 0's NVRAM.
+        assert_eq!(block.remaining_dirty_bytes, BLOCK_SIZE);
+    }
+
+    #[test]
+    fn warmup_reduces_cold_start_misses() {
+        use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let ops = traces.trace(6).ops();
+        let sim = ClusterSim::new(SimConfig::unified(2 << 20, 512 << 10));
+        let warm = sim.run_with_warmup(ops, 0.3);
+        // The clean comparison: the same steady-state suffix replayed from
+        // empty caches.
+        let cut = (ops.len() as f64 * 0.3) as usize;
+        let suffix: OpStream = ops.as_slice()[cut..].to_vec().into_iter().collect();
+        let cold_suffix = sim.run(&suffix);
+        assert_eq!(warm.app_write_bytes, cold_suffix.app_write_bytes);
+        // Warmed caches can only hit more often on identical requests.
+        assert!(
+            warm.read_hit_ratio() >= cold_suffix.read_hit_ratio(),
+            "warm {:.3} vs cold {:.3}",
+            warm.read_hit_ratio(),
+            cold_suffix.read_hit_ratio()
+        );
+        // And the paper's noted bias: cold caches misclassify overwrites of
+        // earlier data as new writes, so warm runs absorb at least as much.
+        assert!(warm.absorbed_bytes() >= cold_suffix.absorbed_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must be in")]
+    fn warmup_rejects_full_fraction() {
+        let sim = ClusterSim::new(SimConfig::volatile(1 << 20));
+        let _ = sim.run_with_warmup(&OpStream::new(), 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let cfg = SimConfig::unified(1 << 20, 256 << 10).with_policy(PolicyKind::Random { seed: 5 });
+        let a = ClusterSim::new(cfg.clone()).run(traces.trace(4).ops());
+        let b = ClusterSim::new(cfg).run(traces.trace(4).ops());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn omniscient_policy_runs_end_to_end() {
+        use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let cfg = SimConfig::unified(1 << 20, 128 << 10).with_policy(PolicyKind::Omniscient);
+        let omni = ClusterSim::new(cfg).run(traces.trace(6).ops());
+        let lru = ClusterSim::new(SimConfig::unified(1 << 20, 128 << 10)).run(traces.trace(6).ops());
+        // Omniscient replacement can only help (small tolerance for the
+        // block-vs-byte optimality caveat the paper itself notes).
+        assert!(
+            omni.net_write_traffic_pct() <= lru.net_write_traffic_pct() * 1.05,
+            "omniscient {:.2}% vs LRU {:.2}%",
+            omni.net_write_traffic_pct(),
+            lru.net_write_traffic_pct()
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests over random op streams: every byte an application writes
+//! must be accounted for exactly once, in every cache model.
+//!
+//! The conservation identity: a written byte either
+//! * dies in the cache by being overwritten (`overwritten_dead_bytes`),
+//! * dies by delete/truncate (`deleted_dead_bytes`),
+//! * reaches the server (`server_write_bytes`),
+//! * bypasses the cache during concurrent write-sharing
+//!   (`concurrent_write_bytes`), or
+//! * is still dirty at the end (`remaining_dirty_bytes`).
+
+use nvfs_core::{ClusterSim, PolicyKind, SimConfig};
+use nvfs_trace::event::OpenMode;
+use nvfs_trace::op::{Op, OpKind, OpStream};
+use nvfs_types::{ByteRange, ClientId, FileId, ProcessId, SimTime, BLOCK_SIZE};
+use proptest::prelude::*;
+
+const FILES: u32 = 6;
+const CLIENTS: u32 = 3;
+const MAX_LEN: u64 = 6 * BLOCK_SIZE;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Open(u32, u32, bool),
+    Close(u32, u32),
+    Read(u32, u32, u64, u64),
+    Write(u32, u32, u64, u64),
+    Truncate(u32, u32, u64),
+    Delete(u32, u32),
+    Fsync(u32, u32),
+    Migrate(u32, u32),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let c = 0..CLIENTS;
+    let f = 0..FILES;
+    prop_oneof![
+        (c.clone(), f.clone(), any::<bool>()).prop_map(|(c, f, w)| Action::Open(c, f, w)),
+        (c.clone(), f.clone()).prop_map(|(c, f)| Action::Close(c, f)),
+        (c.clone(), f.clone(), 0..MAX_LEN, 1..MAX_LEN).prop_map(|(c, f, o, l)| Action::Read(c, f, o, l)),
+        (c.clone(), f.clone(), 0..MAX_LEN, 1..MAX_LEN).prop_map(|(c, f, o, l)| Action::Write(c, f, o, l)),
+        (c.clone(), f.clone(), 0..MAX_LEN).prop_map(|(c, f, n)| Action::Truncate(c, f, n)),
+        (c.clone(), f.clone()).prop_map(|(c, f)| Action::Delete(c, f)),
+        (c.clone(), f.clone()).prop_map(|(c, f)| Action::Fsync(c, f)),
+        (c.clone(), f.clone()).prop_map(|(c, f)| Action::Migrate(c, f)),
+    ]
+}
+
+fn to_stream(actions: &[Action]) -> OpStream {
+    actions
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let time = SimTime::from_secs(i as u64 * 7); // spans cleaner ticks
+            let op = |client: u32, kind: OpKind| Op { time, client: ClientId(client), kind };
+            match *a {
+                Action::Open(c, f, w) => op(
+                    c,
+                    OpKind::Open {
+                        file: FileId(f),
+                        mode: if w { OpenMode::Write } else { OpenMode::Read },
+                    },
+                ),
+                Action::Close(c, f) => op(c, OpKind::Close { file: FileId(f) }),
+                Action::Read(c, f, o, l) => {
+                    op(c, OpKind::Read { file: FileId(f), range: ByteRange::at(o, l) })
+                }
+                Action::Write(c, f, o, l) => {
+                    op(c, OpKind::Write { file: FileId(f), range: ByteRange::at(o, l) })
+                }
+                Action::Truncate(c, f, n) => {
+                    op(c, OpKind::Truncate { file: FileId(f), new_len: n })
+                }
+                Action::Delete(c, f) => op(c, OpKind::Delete { file: FileId(f) }),
+                Action::Fsync(c, f) => op(c, OpKind::Fsync { file: FileId(f) }),
+                Action::Migrate(c, f) => op(
+                    c,
+                    OpKind::Migrate {
+                        pid: ProcessId(c),
+                        to: ClientId((c + 1) % CLIENTS),
+                        files: vec![FileId(f)],
+                    },
+                ),
+            }
+        })
+        .collect()
+}
+
+fn configs() -> Vec<SimConfig> {
+    vec![
+        SimConfig::volatile(4 * BLOCK_SIZE),
+        SimConfig::volatile(64 * BLOCK_SIZE),
+        SimConfig::write_aside(8 * BLOCK_SIZE, 2 * BLOCK_SIZE),
+        SimConfig::write_aside(64 * BLOCK_SIZE, 32 * BLOCK_SIZE),
+        SimConfig::unified(8 * BLOCK_SIZE, 2 * BLOCK_SIZE),
+        SimConfig::unified(64 * BLOCK_SIZE, 32 * BLOCK_SIZE),
+        SimConfig::unified(8 * BLOCK_SIZE, 4 * BLOCK_SIZE)
+            .with_policy(PolicyKind::Random { seed: 11 }),
+        SimConfig::unified(8 * BLOCK_SIZE, 4 * BLOCK_SIZE).with_policy(PolicyKind::Omniscient),
+        SimConfig::hybrid(8 * BLOCK_SIZE, 2 * BLOCK_SIZE),
+        SimConfig::hybrid(64 * BLOCK_SIZE, 32 * BLOCK_SIZE),
+        SimConfig::volatile(16 * BLOCK_SIZE).with_dirty_preference(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_written_byte_is_accounted_for(actions in proptest::collection::vec(arb_action(), 1..120)) {
+        let ops = to_stream(&actions);
+        for cfg in configs() {
+            let model = cfg.model;
+            let policy = cfg.policy;
+            let stats = ClusterSim::new(cfg).run(&ops);
+            let accounted = stats.server_write_bytes
+                + stats.concurrent_write_bytes
+                + stats.overwritten_dead_bytes
+                + stats.deleted_dead_bytes
+                + stats.remaining_dirty_bytes;
+            prop_assert_eq!(
+                accounted,
+                stats.app_write_bytes,
+                "model {:?} policy {:?}: {:?}",
+                model,
+                policy,
+                stats
+            );
+        }
+    }
+
+    #[test]
+    fn cause_breakdown_sums_to_server_writes(actions in proptest::collection::vec(arb_action(), 1..120)) {
+        let ops = to_stream(&actions);
+        for cfg in configs() {
+            let stats = ClusterSim::new(cfg).run(&ops);
+            let by_cause = stats.writeback_bytes
+                + stats.replacement_bytes
+                + stats.callback_bytes
+                + stats.migration_bytes
+                + stats.fsync_bytes;
+            prop_assert_eq!(by_cause, stats.server_write_bytes, "{:?}", stats);
+        }
+    }
+
+    #[test]
+    fn detailed_log_matches_totals(actions in proptest::collection::vec(arb_action(), 1..100)) {
+        let ops = to_stream(&actions);
+        for cfg in configs() {
+            let (stats, writes) = ClusterSim::new(cfg).run_detailed(&ops);
+            let logged: u64 = writes.iter().map(|w| w.bytes).sum();
+            prop_assert_eq!(logged, stats.server_write_bytes);
+            // The log is time ordered.
+            for pair in writes.windows(2) {
+                prop_assert!(pair[0].time <= pair[1].time);
+            }
+        }
+    }
+
+    #[test]
+    fn nvram_models_never_write_back_on_fsync(actions in proptest::collection::vec(arb_action(), 1..80)) {
+        let ops = to_stream(&actions);
+        for cfg in [
+            SimConfig::write_aside(16 * BLOCK_SIZE, 8 * BLOCK_SIZE),
+            SimConfig::unified(16 * BLOCK_SIZE, 8 * BLOCK_SIZE),
+        ] {
+            let stats = ClusterSim::new(cfg).run(&ops);
+            prop_assert_eq!(stats.fsync_bytes, 0);
+            prop_assert_eq!(stats.writeback_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn lifetime_log_is_conserved_too(actions in proptest::collection::vec(arb_action(), 1..100)) {
+        let ops = to_stream(&actions);
+        let log = nvfs_core::LifetimeLog::analyze(&ops);
+        let sum: u64 = log.records.iter().map(|r| r.len).sum();
+        prop_assert_eq!(sum, log.total_write_bytes);
+        prop_assert_eq!(log.total_write_bytes, ops.app_write_bytes());
+        // Fates never predate births.
+        for r in &log.records {
+            prop_assert!(r.fate_time >= r.birth);
+        }
+    }
+}

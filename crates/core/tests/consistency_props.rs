@@ -1,0 +1,142 @@
+//! Property tests on the consistency-server state machine: arbitrary
+//! open/close/write/delete interleavings must never panic, the disabled
+//! state must hold exactly while a write-sharing conflict exists, and
+//! recalls must only ever point at real last-writers.
+
+use nvfs_core::consistency::ConsistencyServer;
+use nvfs_core::ConsistencyMode;
+use nvfs_trace::event::OpenMode;
+use nvfs_types::{ClientId, FileId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const CLIENTS: u32 = 4;
+const FILES: u32 = 3;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Open(u32, u32, bool),
+    Close(u32, u32),
+    Write(u32, u32),
+    Flush(u32, u32),
+    Delete(u32),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    let c = 0..CLIENTS;
+    let f = 0..FILES;
+    prop_oneof![
+        (c.clone(), f.clone(), any::<bool>()).prop_map(|(c, f, w)| Step::Open(c, f, w)),
+        (c.clone(), f.clone()).prop_map(|(c, f)| Step::Close(c, f)),
+        (c.clone(), f.clone()).prop_map(|(c, f)| Step::Write(c, f)),
+        (c.clone(), f.clone()).prop_map(|(c, f)| Step::Flush(c, f)),
+        f.prop_map(Step::Delete),
+    ]
+}
+
+/// Reference model: per-file multiset of (client, writing) opens.
+#[derive(Default)]
+struct Model {
+    opens: BTreeMap<u32, Vec<(u32, bool)>>,
+}
+
+impl Model {
+    fn sharing_conflict(&self, file: u32) -> bool {
+        let Some(list) = self.opens.get(&file) else { return false };
+        let clients: std::collections::BTreeSet<u32> = list.iter().map(|&(c, _)| c).collect();
+        clients.len() >= 2 && list.iter().any(|&(_, w)| w)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn state_machine_is_sound(steps in proptest::collection::vec(arb_step(), 1..80)) {
+        for mode in [ConsistencyMode::WholeFile, ConsistencyMode::BlockOnDemand] {
+            let mut server = ConsistencyServer::with_mode(mode);
+            let mut model = Model::default();
+            let mut last_writer: BTreeMap<u32, u32> = BTreeMap::new();
+
+            for step in &steps {
+                match *step {
+                    Step::Open(c, f, w) => {
+                        let outcome = server.on_open(FileId(f), ClientId(c), if w {
+                            OpenMode::Write
+                        } else {
+                            OpenMode::Read
+                        });
+                        // A recall may only target the recorded last writer,
+                        // and never the opener itself.
+                        if let Some(target) = outcome.recall_from {
+                            prop_assert_eq!(mode, ConsistencyMode::WholeFile);
+                            prop_assert_ne!(target, ClientId(c));
+                            prop_assert_eq!(Some(&target.0), last_writer.get(&f));
+                            last_writer.remove(&f);
+                        }
+                        model.opens.entry(f).or_default().push((c, w));
+                        // Once a conflict exists, caching must be disabled.
+                        if model.sharing_conflict(f) {
+                            prop_assert!(server.is_disabled(FileId(f)));
+                        }
+                    }
+                    Step::Close(c, f) => {
+                        server.on_close(FileId(f), ClientId(c));
+                        if let Some(list) = model.opens.get_mut(&f) {
+                            if let Some(pos) = list.iter().position(|&(mc, _)| mc == c) {
+                                list.remove(pos);
+                            }
+                            if list.is_empty() {
+                                model.opens.remove(&f);
+                                // Everyone closed: caching re-enabled.
+                                prop_assert!(!server.is_disabled(FileId(f)));
+                            }
+                        }
+                    }
+                    Step::Write(c, f) => {
+                        server.note_write(FileId(f), ClientId(c));
+                        if !server.is_disabled(FileId(f)) {
+                            last_writer.insert(f, c);
+                        }
+                    }
+                    Step::Flush(c, f) => {
+                        server.note_flush(FileId(f), ClientId(c));
+                        if last_writer.get(&f) == Some(&c) {
+                            last_writer.remove(&f);
+                        }
+                    }
+                    Step::Delete(f) => {
+                        server.on_delete(FileId(f));
+                        model.opens.remove(&f);
+                        last_writer.remove(&f);
+                        prop_assert!(!server.is_disabled(FileId(f)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_mode_never_recalls_at_open(steps in proptest::collection::vec(arb_step(), 1..60)) {
+        let mut server = ConsistencyServer::with_mode(ConsistencyMode::BlockOnDemand);
+        for step in &steps {
+            match *step {
+                Step::Open(c, f, w) => {
+                    let outcome = server.on_open(FileId(f), ClientId(c), if w {
+                        OpenMode::Write
+                    } else {
+                        OpenMode::Read
+                    });
+                    prop_assert_eq!(outcome.recall_from, None);
+                    prop_assert!(!outcome.invalidate_opener);
+                }
+                Step::Close(c, f) => {
+                    server.on_close(FileId(f), ClientId(c));
+                }
+                Step::Write(c, f) => server.note_write(FileId(f), ClientId(c)),
+                Step::Flush(c, f) => server.note_flush(FileId(f), ClientId(c)),
+                Step::Delete(f) => server.on_delete(FileId(f)),
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Parametric disk model.
+//!
+//! §3 of the paper reasons about disks in terms of seeks, rotational
+//! latency, and transfer bandwidth: LFS amortizes one seek over a 512 KB
+//! segment, while the cited simulation results (\[20\]) show that writing
+//! dirty 4 KB blocks at random places uses only ~7% of the disk bandwidth,
+//! and that sorting a large buffered batch recovers ~40%. [`DiskParams`]
+//! captures a late-80s/early-90s disk; [`DiskParams::service_time_ms`] and
+//! the utilization helpers reproduce that arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Average seek time in milliseconds.
+    pub avg_seek_ms: f64,
+    /// Minimum (track-to-track) seek time in milliseconds.
+    pub min_seek_ms: f64,
+    /// Rotation speed in RPM.
+    pub rpm: f64,
+    /// Sustained transfer bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Track capacity in bytes (the paper cites 25–35 KB tracks; "two disk
+    /// tracks, typically 50 - 70 kilobytes").
+    pub track_bytes: u64,
+    /// Number of recording surfaces (tracks per cylinder).
+    pub surfaces: u32,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+}
+
+impl DiskParams {
+    /// A disk typical of the paper's era (Wren-class): ~16 ms average seek,
+    /// 3600 RPM, ~2 MB/s transfer, ~35 KB tracks, 9 surfaces, 300 MB.
+    pub fn sprite_era() -> Self {
+        DiskParams {
+            avg_seek_ms: 16.0,
+            min_seek_ms: 3.0,
+            rpm: 3600.0,
+            bandwidth: 2.0e6,
+            track_bytes: 35 * 1024,
+            surfaces: 9,
+            capacity: 300 << 20,
+        }
+    }
+
+    /// Bytes per cylinder (track capacity times surfaces): accesses within
+    /// a cylinder need no head movement, only rotational positioning.
+    pub fn cylinder_bytes(&self) -> u64 {
+        self.track_bytes * self.surfaces as u64
+    }
+
+    /// Time for half a rotation (average rotational latency) in ms.
+    pub fn avg_rotation_ms(&self) -> f64 {
+        30_000.0 / self.rpm
+    }
+
+    /// Pure transfer time for `bytes`, in ms.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 * 1000.0 / self.bandwidth
+    }
+
+    /// Service time of one random access of `bytes`: average seek +
+    /// average rotational latency + transfer.
+    pub fn service_time_ms(&self, bytes: u64) -> f64 {
+        self.avg_seek_ms + self.avg_rotation_ms() + self.transfer_ms(bytes)
+    }
+
+    /// Service time of a near-sequential access: after sorting, successive
+    /// requests usually land in the same or an adjacent cylinder, so only
+    /// rotational positioning remains.
+    pub fn sorted_service_time_ms(&self, bytes: u64) -> f64 {
+        self.avg_rotation_ms() / 2.0 + self.transfer_ms(bytes)
+    }
+
+    /// Fraction of the disk's raw bandwidth achieved by issuing `count`
+    /// random accesses of `bytes` each.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfs_disk::model::DiskParams;
+    ///
+    /// // Random 4 KB writes achieve only single-digit utilization (\[20\]).
+    /// let u = DiskParams::sprite_era().random_utilization(4096);
+    /// assert!(u > 0.03 && u < 0.12, "utilization was {u}");
+    /// ```
+    pub fn random_utilization(&self, bytes: u64) -> f64 {
+        self.transfer_ms(bytes) / self.service_time_ms(bytes)
+    }
+
+    /// Fraction of raw bandwidth achieved by sorted (elevator-order)
+    /// accesses of `bytes` each.
+    pub fn sorted_utilization(&self, bytes: u64) -> f64 {
+        self.transfer_ms(bytes) / self.sorted_service_time_ms(bytes)
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams::sprite_era()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_latency_matches_rpm() {
+        let d = DiskParams::sprite_era();
+        // 3600 RPM -> full rotation 16.7 ms, average latency half that.
+        assert!((d.avg_rotation_ms() - 8.33).abs() < 0.05);
+        assert_eq!(d.cylinder_bytes(), 9 * 35 * 1024);
+    }
+
+    #[test]
+    fn service_time_components_add_up() {
+        let d = DiskParams::sprite_era();
+        let t = d.service_time_ms(0);
+        assert!((t - (16.0 + d.avg_rotation_ms())).abs() < 1e-9);
+        assert!(d.service_time_ms(1 << 20) > t);
+    }
+
+    #[test]
+    fn random_4k_utilization_is_single_digit() {
+        // The paper's cited figure: ~7% of bandwidth for random dirty-block
+        // writes.
+        let u = DiskParams::sprite_era().random_utilization(4096);
+        assert!((0.04..0.12).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn sorting_multiplies_utilization() {
+        let d = DiskParams::sprite_era();
+        let random = d.random_utilization(4096);
+        let sorted = d.sorted_utilization(4096);
+        assert!(sorted > 3.0 * random, "random {random} sorted {sorted}");
+    }
+
+    #[test]
+    fn big_sequential_writes_approach_full_bandwidth() {
+        let d = DiskParams::sprite_era();
+        assert!(d.sorted_utilization(512 << 10) > 0.95);
+    }
+}

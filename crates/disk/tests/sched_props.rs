@@ -1,0 +1,64 @@
+//! Property tests on the disk model: service times are physical (positive,
+//! bounded), elevator scheduling never loses against FIFO, and byte
+//! accounting is exact.
+
+use nvfs_disk::{Discipline, DiskParams, DiskQueue, DiskRequest};
+use proptest::prelude::*;
+
+fn arb_batch() -> impl Strategy<Value = Vec<DiskRequest>> {
+    proptest::collection::vec(
+        (0u64..(290 << 20), prop_oneof![Just(512u64), Just(4096), Just(64 << 10), Just(512 << 10)])
+            .prop_map(|(addr, len)| DiskRequest { addr, len }),
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn service_times_are_physical(batch in arb_batch()) {
+        let p = DiskParams::sprite_era();
+        let mut q = DiskQueue::new(p);
+        for r in &batch {
+            let t = q.service_one(*r);
+            // At least the transfer time, at most transfer + max seek + a
+            // full rotation.
+            prop_assert!(t >= p.transfer_ms(r.len) - 1e-9);
+            let bound = p.transfer_ms(r.len) + 2.0 * p.avg_seek_ms + 2.0 * p.avg_rotation_ms();
+            prop_assert!(t <= bound, "t={t} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn elevator_never_loses_to_fifo(batch in arb_batch()) {
+        let p = DiskParams::sprite_era();
+        let fifo = DiskQueue::new(p).service_batch(&batch, Discipline::Fifo);
+        let sorted = DiskQueue::new(p).service_batch(&batch, Discipline::Elevator);
+        prop_assert_eq!(fifo.bytes, sorted.bytes);
+        prop_assert_eq!(fifo.requests, sorted.requests);
+        // Sorting can only shrink head movement; allow a tiny numeric slop.
+        prop_assert!(
+            sorted.total_ms <= fifo.total_ms * 1.0001 + 1e-6,
+            "sorted {} > fifo {}",
+            sorted.total_ms,
+            fifo.total_ms
+        );
+        prop_assert!(sorted.utilization() <= 1.0 + 1e-9);
+        prop_assert!(fifo.utilization() >= 0.0);
+    }
+
+    #[test]
+    fn utilization_matches_definition(batch in arb_batch()) {
+        let p = DiskParams::sprite_era();
+        let out = DiskQueue::new(p).service_batch(&batch, Discipline::Elevator);
+        let expected = p.transfer_ms(out.bytes);
+        prop_assert!((out.transfer_ms - expected).abs() < 1e-6);
+        prop_assert!(out.total_ms >= out.transfer_ms - 1e-9);
+    }
+
+    #[test]
+    fn seek_time_is_monotone(d1 in 0u64..(300 << 20), d2 in 0u64..(300 << 20)) {
+        let q = DiskQueue::new(DiskParams::sprite_era());
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        prop_assert!(q.seek_ms(lo) <= q.seek_ms(hi) + 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared workload environment for experiment runners.
+//!
+//! Generating the synthetic trace set is the most expensive step of most
+//! experiments, so runners share one [`Env`].
+
+use nvfs_trace::synth::lfs_workload::{sprite_server_workloads, FsWorkload, ServerWorkloadConfig};
+use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+
+/// Pre-generated workloads at a chosen scale.
+#[derive(Debug, Clone)]
+pub struct Env {
+    /// The eight client traces.
+    pub traces: SpriteTraceSet,
+    /// The eight server file-system workloads.
+    pub server: Vec<FsWorkload>,
+    /// The client trace configuration used.
+    pub trace_config: TraceSetConfig,
+}
+
+impl Env {
+    /// Builds an environment from explicit configurations.
+    pub fn new(trace_config: TraceSetConfig, server_config: ServerWorkloadConfig) -> Self {
+        Env {
+            traces: SpriteTraceSet::generate(&trace_config),
+            server: sprite_server_workloads(&server_config),
+            trace_config,
+        }
+    }
+
+    /// Paper-scale environment (24-hour traces; slow — intended for the
+    /// final benchmark runs).
+    pub fn paper() -> Self {
+        Env::new(TraceSetConfig::paper(), ServerWorkloadConfig::paper())
+    }
+
+    /// Reduced-scale environment preserving all workload shapes; the
+    /// default for examples and integration tests.
+    pub fn small() -> Self {
+        Env::new(TraceSetConfig::small(), ServerWorkloadConfig::small())
+    }
+
+    /// Minimal environment for unit tests.
+    pub fn tiny() -> Self {
+        Env::new(TraceSetConfig::tiny(), ServerWorkloadConfig::tiny())
+    }
+
+    /// The paper's "typical" trace 7 (zero-based index 6), used by
+    /// Figures 4–6.
+    pub fn trace7(&self) -> &nvfs_trace::synth::Trace {
+        self.traces.trace(6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_env_has_all_workloads() {
+        let env = Env::tiny();
+        assert_eq!(env.traces.traces().len(), 8);
+        assert_eq!(env.server.len(), 8);
+        assert_eq!(env.trace7().number(), 7);
+    }
+}

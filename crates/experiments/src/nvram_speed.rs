@@ -1,0 +1,99 @@
+//! The §2.6 caveat, quantified: "If NVRAM access times were significantly
+//! slower than volatile memory access times, this could make NVRAM less
+//! appealing" — because the unified model makes 2–2.5× as many NVRAM
+//! accesses as write-aside, a slow NVRAM taxes it harder.
+//!
+//! We charge every byte moved over the memory bus one unit at DRAM speed
+//! and every byte moved through the NVRAM an extra `(ratio − 1)` units,
+//! then sweep the ratio to find where the unified model's memory-time
+//! advantage over write-aside disappears.
+
+use nvfs_core::TrafficStats;
+use nvfs_report::{Cell, Table};
+
+use crate::bus_nvram;
+use crate::env::Env;
+
+/// Output of the access-ratio sweep.
+#[derive(Debug, Clone)]
+pub struct NvramSpeed {
+    /// Memory-time comparison per ratio.
+    pub table: Table,
+    /// The smallest swept ratio at which write-aside's memory time drops
+    /// below unified's, if any (the paper's "less appealing" point).
+    pub crossover_ratio: Option<f64>,
+    /// `(ratio, unified_cost, write_aside_cost)` rows in arbitrary units.
+    pub rows: Vec<(f64, f64, f64)>,
+}
+
+/// Ratios swept (1.0 = NVRAM as fast as DRAM).
+pub const RATIOS: [f64; 7] = [1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0];
+
+/// Memory time in arbitrary units: bus bytes at DRAM speed plus the
+/// slowdown surcharge on bytes that moved through the NVRAM.
+pub fn memory_cost(stats: &TrafficStats, ratio: f64) -> f64 {
+    stats.bus_bytes as f64 + (ratio - 1.0) * stats.nvram_bytes as f64
+}
+
+/// Runs the sweep over the 8 MB + 8 MB configuration of §2.6.
+pub fn run(env: &Env) -> NvramSpeed {
+    let base = bus_nvram::run(env);
+    let mut table = Table::new(
+        "§2.6: memory time vs NVRAM access ratio (8 MB + 8 MB, Trace 7)",
+        &["NVRAM/DRAM ratio", "Unified (rel.)", "Write-aside (rel.)", "Winner"],
+    );
+    let mut rows = Vec::new();
+    let mut crossover_ratio = None;
+    let unit = memory_cost(&base.unified, 1.0);
+    for &ratio in &RATIOS {
+        let u = memory_cost(&base.unified, ratio) / unit;
+        let w = memory_cost(&base.write_aside, ratio) / unit;
+        if w < u && crossover_ratio.is_none() {
+            crossover_ratio = Some(ratio);
+        }
+        table.push_row(vec![
+            Cell::f2(ratio),
+            Cell::f2(u),
+            Cell::f2(w),
+            Cell::from(if u <= w { "unified" } else { "write-aside" }),
+        ]);
+        rows.push((ratio, u, w));
+    }
+    NvramSpeed { table, crossover_ratio, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_wins_at_parity() {
+        let out = run(&Env::tiny());
+        let (_, u, w) = out.rows[0];
+        assert!(u <= w, "at ratio 1.0 unified must win: {u} vs {w}");
+    }
+
+    #[test]
+    fn slow_nvram_eventually_favors_write_aside() {
+        let out = run(&Env::tiny());
+        // Unified moves far more bytes through NVRAM, so some finite
+        // slowdown flips the comparison — the §2.6 caveat.
+        assert!(
+            out.crossover_ratio.is_some(),
+            "no crossover found up to {}x: {:?}",
+            RATIOS.last().unwrap(),
+            out.rows
+        );
+        let r = out.crossover_ratio.unwrap();
+        assert!(r > 1.0, "crossover at parity would contradict the parity win");
+    }
+
+    #[test]
+    fn costs_increase_monotonically_with_ratio() {
+        let out = run(&Env::tiny());
+        for pair in out.rows.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+            assert!(pair[1].2 >= pair[0].2);
+        }
+    }
+}

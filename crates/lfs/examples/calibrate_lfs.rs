@@ -1,0 +1,60 @@
+//! Scratch calibration harness for the §3 study: prints the Table 3/4
+//! shapes and the write-buffer reductions for the synthetic server
+//! workloads. Not part of the reproduction API.
+
+use nvfs_lfs::fs::{run_server, segment_share, LfsConfig};
+use nvfs_trace::synth::lfs_workload::{sprite_server_workloads, ServerWorkloadConfig};
+
+fn main() {
+    let cfg = ServerWorkloadConfig::small();
+    let ws = sprite_server_workloads(&cfg);
+    let direct = run_server(&ws, &LfsConfig::direct());
+    let shares = segment_share(&direct);
+
+    println!("== Table 3 shape (direct) ==");
+    println!(
+        "{:<20} {:>8} {:>9} {:>9} {:>8} {:>10} {:>10}",
+        "fs", "segs", "%partial", "%fsync", "%share", "KB/part", "KB/fsync"
+    );
+    for (r, (_, share)) in direct.iter().zip(&shares) {
+        println!(
+            "{:<20} {:>8} {:>9.1} {:>9.1} {:>8.1} {:>10.1} {:>10.1}",
+            r.name,
+            r.disk_write_accesses(),
+            r.pct_partial(),
+            r.pct_fsync_partial(),
+            share,
+            r.avg_partial_kb().unwrap_or(0.0),
+            r.avg_fsync_partial_kb().unwrap_or(0.0),
+        );
+    }
+
+    let total_bytes: u64 = direct.iter().map(|r| r.data_bytes()).sum();
+    println!("\n== byte shares (Table 4 last column) ==");
+    for r in &direct {
+        println!(
+            "{:<20} {:>8.1} MB  {:>5.1}%  overhead {:>4.1}%",
+            r.name,
+            r.data_bytes() as f64 / (1 << 20) as f64,
+            100.0 * r.data_bytes() as f64 / total_bytes as f64,
+            100.0 * r.overhead_fraction(),
+        );
+    }
+
+    println!("\n== write-buffer reduction (1/2 MB, fsync-absorbing) ==");
+    let buffered = run_server(&ws, &LfsConfig::with_fsync_buffer(512 << 10));
+    for (d, b) in direct.iter().zip(&buffered) {
+        let red = if d.disk_write_accesses() == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - b.disk_write_accesses() as f64 / d.disk_write_accesses() as f64)
+        };
+        println!(
+            "{:<20} {:>6} -> {:>6} accesses  ({:>5.1}% reduction)",
+            d.name,
+            d.disk_write_accesses(),
+            b.disk_write_accesses(),
+            red
+        );
+    }
+}

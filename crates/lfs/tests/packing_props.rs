@@ -1,0 +1,109 @@
+//! Property tests on the LFS segment writer: block conservation, segment
+//! size limits, and equivalence between direct and buffered data paths.
+
+use nvfs_lfs::fs::{run_filesystem, LfsConfig};
+use nvfs_lfs::layout::{SegmentCause, SEGMENT_BYTES};
+use nvfs_lfs::SegmentWriter;
+use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOp, LfsOpKind};
+use nvfs_types::{blocks_of_range, ByteRange, FileId, RangeSet, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_chunks() -> impl Strategy<Value = Vec<(u32, u64, u64)>> {
+    proptest::collection::vec(
+        (0u32..8, 0u64..(64 << 10), 1u64..(96 << 10)),
+        1..20,
+    )
+}
+
+fn to_chunks(raw: &[(u32, u64, u64)]) -> Vec<(FileId, RangeSet)> {
+    raw.iter()
+        .map(|&(f, off, len)| (FileId(f), RangeSet::from_range(ByteRange::at(off, len))))
+        .collect()
+}
+
+/// The distinct 4 KB blocks covered by the chunks.
+fn distinct_blocks(raw: &[(u32, u64, u64)]) -> usize {
+    let mut set = BTreeSet::new();
+    for &(f, off, len) in raw {
+        for b in blocks_of_range(FileId(f), ByteRange::at(off, len)) {
+            set.insert(b);
+        }
+    }
+    set.len()
+}
+
+proptest! {
+    #[test]
+    fn write_all_conserves_blocks(raw in arb_chunks()) {
+        let chunks = to_chunks(&raw);
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        w.write_all(SimTime::ZERO, &chunks, SegmentCause::Timeout, false);
+        let written_blocks: u64 = w.records().iter().map(|r| r.data_bytes / 4096).sum();
+        prop_assert_eq!(written_blocks as usize, distinct_blocks(&raw));
+        // Usage table agrees.
+        prop_assert_eq!(w.usage().total_live_bytes() as usize / 4096, distinct_blocks(&raw));
+    }
+
+    #[test]
+    fn segments_never_exceed_their_size(raw in arb_chunks()) {
+        let chunks = to_chunks(&raw);
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        w.write_all(SimTime::ZERO, &chunks, SegmentCause::Fsync, false);
+        for r in w.records() {
+            prop_assert!(r.on_disk_bytes() <= SEGMENT_BYTES, "{:?}", r);
+            prop_assert!(r.data_bytes > 0, "no empty segments");
+        }
+        // At most the final segment may be partial.
+        let partials = w.records().iter().filter(|r| r.is_partial()).count();
+        prop_assert!(partials <= 1);
+    }
+
+    #[test]
+    fn full_only_plus_remainder_is_lossless(raw in arb_chunks()) {
+        let chunks = to_chunks(&raw);
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        let (_, remainder) = w.write_full_only(SimTime::ZERO, &chunks);
+        let on_disk_blocks: u64 = w.records().iter().map(|r| r.data_bytes / 4096).sum();
+        let rem_blocks: usize = {
+            let mut set = BTreeSet::new();
+            for (f, ranges) in &remainder {
+                for r in ranges.iter() {
+                    for b in blocks_of_range(*f, r) {
+                        set.insert(b);
+                    }
+                }
+            }
+            set.len()
+        };
+        prop_assert_eq!(on_disk_blocks as usize + rem_blocks, distinct_blocks(&raw));
+        // The remainder is strictly less than one segment of data.
+        prop_assert!((rem_blocks as u64 * 4096) < SEGMENT_BYTES);
+    }
+
+    #[test]
+    fn buffered_path_writes_the_same_data(raw in arb_chunks()) {
+        // Interleave writes and fsyncs; the fsync-absorbing buffer must not
+        // lose or invent data relative to the direct path.
+        let mut ops = Vec::new();
+        for (i, &(f, off, len)) in raw.iter().enumerate() {
+            let t = SimTime::from_secs(i as u64);
+            ops.push(LfsOp {
+                time: t,
+                kind: LfsOpKind::Write { file: FileId(f), range: ByteRange::at(off, len) },
+            });
+            if i % 3 == 0 {
+                ops.push(LfsOp { time: t, kind: LfsOpKind::Fsync { file: FileId(f) } });
+            }
+        }
+        let w = FsWorkload { name: "/prop", ops };
+        let direct = run_filesystem(&w, &LfsConfig::direct());
+        let buffered = run_filesystem(&w, &LfsConfig::with_fsync_buffer(SEGMENT_BYTES));
+        // Buffering may absorb rewrites of a block that the direct path
+        // wrote twice (that is the point of the buffer), so it writes at
+        // most as much — and at least every distinct block once.
+        prop_assert!(buffered.data_bytes() <= direct.data_bytes());
+        prop_assert!(buffered.data_bytes() >= distinct_blocks(&raw) as u64 * 4096);
+        prop_assert!(buffered.disk_write_accesses() <= direct.disk_write_accesses());
+    }
+}

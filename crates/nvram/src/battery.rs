@@ -1,0 +1,208 @@
+//! Battery bank state machine.
+//!
+//! Table 1's components carry one to three lithium batteries; "most of the
+//! components have at least one extra battery in case the first battery
+//! fails", and the boards use "triply redundant batteries". Data is safe as
+//! long as at least one battery (or bus power) survives.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Health of the battery bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatteryState {
+    /// All batteries healthy.
+    Healthy,
+    /// Some batteries failed but at least one survives; data is safe but
+    /// the component should be serviced.
+    Degraded,
+    /// Every battery failed; contents are no longer non-volatile.
+    Dead,
+}
+
+impl fmt::Display for BatteryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BatteryState::Healthy => "healthy",
+            BatteryState::Degraded => "degraded",
+            BatteryState::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A bank of redundant lithium batteries backing an NVRAM component.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::{BatteryBank, BatteryState};
+///
+/// let mut bank = BatteryBank::new(3);
+/// assert_eq!(bank.state(), BatteryState::Healthy);
+/// bank.fail_one();
+/// bank.fail_one();
+/// assert_eq!(bank.state(), BatteryState::Degraded);
+/// assert!(bank.preserves_data());
+/// bank.fail_one();
+/// assert_eq!(bank.state(), BatteryState::Dead);
+/// assert!(!bank.preserves_data());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatteryBank {
+    total: u8,
+    alive: u8,
+}
+
+impl BatteryBank {
+    /// Creates a bank of `count` healthy batteries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero (a battery-less part is just DRAM).
+    pub fn new(count: u8) -> Self {
+        assert!(count > 0, "an NVRAM component needs at least one battery");
+        BatteryBank { total: count, alive: count }
+    }
+
+    /// Number of batteries installed.
+    pub fn total(&self) -> u8 {
+        self.total
+    }
+
+    /// Number of batteries still working.
+    pub fn alive(&self) -> u8 {
+        self.alive
+    }
+
+    /// Current health.
+    pub fn state(&self) -> BatteryState {
+        match self.alive {
+            0 => BatteryState::Dead,
+            a if a == self.total => BatteryState::Healthy,
+            _ => BatteryState::Degraded,
+        }
+    }
+
+    /// Whether stored data would survive a power outage right now.
+    pub fn preserves_data(&self) -> bool {
+        self.alive > 0
+    }
+
+    /// Fails one battery (no-op once the bank is dead). Returns the new
+    /// state so callers can trigger servicing on the transition to
+    /// [`BatteryState::Degraded`].
+    pub fn fail_one(&mut self) -> BatteryState {
+        self.alive = self.alive.saturating_sub(1);
+        self.state()
+    }
+
+    /// Replaces every failed battery.
+    pub fn service(&mut self) {
+        self.alive = self.total;
+    }
+}
+
+/// Probability that at least one of `batteries` independent cells is still
+/// working after `years`, given a per-cell annual failure probability.
+///
+/// This is the arithmetic behind Table 1's redundancy choices: lithium
+/// cells with a ~10-year life (annual failure ≈ 0.1) give a single-battery
+/// SIMM ≈ 59% five-year survival, while a triply redundant board exceeds
+/// 93%.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::battery::survival_probability;
+///
+/// let single = survival_probability(1, 0.1, 5.0);
+/// let triple = survival_probability(3, 0.1, 5.0);
+/// assert!(triple > single);
+/// assert!(triple > 0.9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `batteries` is zero, or if `annual_failure` is outside
+/// `[0, 1]`, or if `years` is negative.
+pub fn survival_probability(batteries: u8, annual_failure: f64, years: f64) -> f64 {
+    assert!(batteries > 0, "need at least one battery");
+    assert!((0.0..=1.0).contains(&annual_failure), "failure probability out of range");
+    assert!(years >= 0.0, "years must be non-negative");
+    // Exponential cell lifetime with the given annual failure probability.
+    let cell_survives = (1.0 - annual_failure).powf(years);
+    1.0 - (1.0 - cell_survives).powi(batteries as i32)
+}
+
+impl Default for BatteryBank {
+    /// A board-style triply redundant bank.
+    fn default() -> Self {
+        BatteryBank::new(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_battery_simm_dies_on_first_failure() {
+        let mut bank = BatteryBank::new(1);
+        assert_eq!(bank.fail_one(), BatteryState::Dead);
+        assert!(!bank.preserves_data());
+    }
+
+    #[test]
+    fn service_restores_full_health() {
+        let mut bank = BatteryBank::new(2);
+        bank.fail_one();
+        assert_eq!(bank.state(), BatteryState::Degraded);
+        bank.service();
+        assert_eq!(bank.state(), BatteryState::Healthy);
+        assert_eq!(bank.alive(), 2);
+    }
+
+    #[test]
+    fn fail_is_idempotent_at_zero() {
+        let mut bank = BatteryBank::new(1);
+        bank.fail_one();
+        bank.fail_one();
+        assert_eq!(bank.alive(), 0);
+        assert_eq!(bank.state(), BatteryState::Dead);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one battery")]
+    fn zero_batteries_rejected() {
+        let _ = BatteryBank::new(0);
+    }
+
+    #[test]
+    fn survival_probability_math() {
+        // No time elapsed: certain survival.
+        assert_eq!(survival_probability(1, 0.1, 0.0), 1.0);
+        // Monotone in redundancy…
+        let s1 = survival_probability(1, 0.1, 5.0);
+        let s2 = survival_probability(2, 0.1, 5.0);
+        let s3 = survival_probability(3, 0.1, 5.0);
+        assert!(s1 < s2 && s2 < s3);
+        // …and decreasing in time.
+        assert!(survival_probability(2, 0.1, 10.0) < s2);
+        // A perfectly reliable cell never fails.
+        assert_eq!(survival_probability(1, 0.0, 100.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_failure_probability_rejected() {
+        let _ = survival_probability(1, 1.5, 1.0);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(BatteryState::Healthy.to_string(), "healthy");
+        assert_eq!(BatteryState::Degraded.to_string(), "degraded");
+        assert_eq!(BatteryState::Dead.to_string(), "dead");
+    }
+}

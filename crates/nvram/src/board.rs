@@ -1,0 +1,169 @@
+//! Removable NVRAM boards and §4 crash recovery.
+//!
+//! §4 of the paper: "modified data may become unavailable if it resides in
+//! an NVRAM cache on a crashed client. To avoid this problem for clients
+//! that do not recover quickly, it must be possible to move an NVRAM
+//! component to another client and retrieve its data from the new
+//! location." [`NvramBoard`] holds the dirty byte ranges a client cache had
+//! in NVRAM at crash time; moving the board and draining it recovers every
+//! byte.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use nvfs_types::{ByteRange, ClientId, FileId, RangeSet};
+
+use crate::battery::BatteryBank;
+
+/// Dirty data recovered from a moved board, per file.
+pub type RecoveredData = BTreeMap<FileId, RangeSet>;
+
+/// A physically removable NVRAM component holding dirty file data.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::NvramBoard;
+/// use nvfs_types::{ByteRange, ClientId, FileId};
+///
+/// let mut board = NvramBoard::new(ClientId(0), 1 << 20);
+/// board.store(FileId(1), ByteRange::new(0, 4096));
+/// // The host crashes; the board is moved to another client…
+/// board.move_to(ClientId(5));
+/// let recovered = board.drain();
+/// assert_eq!(recovered[&FileId(1)].len_bytes(), 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NvramBoard {
+    host: ClientId,
+    capacity: u64,
+    batteries: BatteryBank,
+    contents: BTreeMap<FileId, RangeSet>,
+}
+
+impl NvramBoard {
+    /// Creates an empty board installed in `host`.
+    pub fn new(host: ClientId, capacity: u64) -> Self {
+        NvramBoard { host, capacity, batteries: BatteryBank::default(), contents: BTreeMap::new() }
+    }
+
+    /// The client the board is currently installed in.
+    pub fn host(&self) -> ClientId {
+        self.host
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Battery bank (mutable, for failure injection).
+    pub fn batteries_mut(&mut self) -> &mut BatteryBank {
+        &mut self.batteries
+    }
+
+    /// Total dirty bytes currently held.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.contents.values().map(RangeSet::len_bytes).sum()
+    }
+
+    /// Records `range` of `file` as dirty in the board. Returns the number
+    /// of newly dirty bytes.
+    pub fn store(&mut self, file: FileId, range: ByteRange) -> u64 {
+        self.contents.entry(file).or_default().insert(range)
+    }
+
+    /// Marks `range` of `file` clean (written back or dead). Returns the
+    /// number of bytes cleaned.
+    pub fn clean(&mut self, file: FileId, range: ByteRange) -> u64 {
+        match self.contents.get_mut(&file) {
+            Some(set) => {
+                let removed = set.remove(range);
+                if set.is_empty() {
+                    self.contents.remove(&file);
+                }
+                removed
+            }
+            None => 0,
+        }
+    }
+
+    /// Drops every dirty byte of `file` (the file was deleted).
+    pub fn forget_file(&mut self, file: FileId) -> u64 {
+        self.contents.remove(&file).map_or(0, |s| s.len_bytes())
+    }
+
+    /// Simulates physically moving the board into `new_host`. Contents are
+    /// untouched: this is the whole point of battery-backed boards.
+    pub fn move_to(&mut self, new_host: ClientId) {
+        self.host = new_host;
+    }
+
+    /// Removes and returns every dirty range, e.g. to flush to the server
+    /// during recovery. Afterwards the board is empty.
+    ///
+    /// If all batteries are dead the contents were lost: an empty map is
+    /// returned.
+    pub fn drain(&mut self) -> RecoveredData {
+        if !self.batteries.preserves_data() {
+            self.contents.clear();
+            return RecoveredData::new();
+        }
+        std::mem::take(&mut self.contents)
+    }
+
+    /// Dirty ranges currently held for `file`.
+    pub fn dirty_of(&self, file: FileId) -> Option<&RangeSet> {
+        self.contents.get(&file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_clean_round_trip() {
+        let mut b = NvramBoard::new(ClientId(0), 1 << 20);
+        assert_eq!(b.store(FileId(1), ByteRange::new(0, 100)), 100);
+        assert_eq!(b.store(FileId(1), ByteRange::new(50, 150)), 50);
+        assert_eq!(b.dirty_bytes(), 150);
+        assert_eq!(b.clean(FileId(1), ByteRange::new(0, 150)), 150);
+        assert_eq!(b.dirty_bytes(), 0);
+        assert!(b.dirty_of(FileId(1)).is_none());
+    }
+
+    #[test]
+    fn crash_move_recover_loses_nothing() {
+        let mut b = NvramBoard::new(ClientId(2), 1 << 20);
+        b.store(FileId(1), ByteRange::new(0, 4096));
+        b.store(FileId(2), ByteRange::new(8192, 16384));
+        let before = b.dirty_bytes();
+        b.move_to(ClientId(7));
+        assert_eq!(b.host(), ClientId(7));
+        let rec = b.drain();
+        let recovered: u64 = rec.values().map(RangeSet::len_bytes).sum();
+        assert_eq!(recovered, before);
+        assert_eq!(b.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn dead_batteries_lose_contents() {
+        let mut b = NvramBoard::new(ClientId(0), 1 << 20);
+        b.store(FileId(1), ByteRange::new(0, 4096));
+        for _ in 0..3 {
+            b.batteries_mut().fail_one();
+        }
+        assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn forget_file_drops_all_ranges() {
+        let mut b = NvramBoard::new(ClientId(0), 1 << 20);
+        b.store(FileId(3), ByteRange::new(0, 100));
+        b.store(FileId(3), ByteRange::new(200, 300));
+        assert_eq!(b.forget_file(FileId(3)), 200);
+        assert_eq!(b.forget_file(FileId(3)), 0);
+    }
+}

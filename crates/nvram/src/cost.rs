@@ -1,0 +1,270 @@
+//! The Table 1 cost catalogue and §2.7 cost-effectiveness arithmetic.
+//!
+//! Table 1 of the paper lists 1992 list prices (lots of 5000+) for
+//! non-volatile memory components from Dallas Semiconductor, NVRAM boards,
+//! and a volatile DRAM part for comparison. The paper's §2.7 conclusion —
+//! NVRAM is worth buying once the volatile cache is already large — is pure
+//! arithmetic over these prices and the simulated traffic reductions, so we
+//! carry the catalogue as data.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of memory product a catalogue row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// Battery-backed SRAM SIMM.
+    NvramSimm,
+    /// NVRAM board (batteries amortized over more megabytes).
+    NvramBoard,
+    /// Ordinary volatile DRAM.
+    Dram,
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryKind::NvramSimm => "NVRAM SIMM",
+            MemoryKind::NvramBoard => "NVRAM board",
+            MemoryKind::Dram => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProduct {
+    /// Component description (as printed in Table 1).
+    pub component: &'static str,
+    /// Product kind.
+    pub kind: MemoryKind,
+    /// Access speed in nanoseconds.
+    pub speed_ns: u32,
+    /// Number of lithium batteries on the part (0 for DRAM).
+    pub lithium_batteries: u8,
+    /// Amortized price per megabyte in 1992 dollars.
+    pub price_per_mb: f64,
+    /// Minimum purchasable configuration in megabytes.
+    pub min_config_mb: f64,
+}
+
+impl MemoryProduct {
+    /// Price of a configuration of `mb` megabytes (at least the minimum
+    /// configuration is always purchased).
+    pub fn price_for(&self, mb: f64) -> f64 {
+        self.price_per_mb * mb.max(self.min_config_mb)
+    }
+}
+
+/// The NVRAM rows of Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::cost::nvram_catalogue;
+///
+/// let rows = nvram_catalogue();
+/// assert_eq!(rows.len(), 7);
+/// assert!(rows.iter().all(|r| r.lithium_batteries >= 1));
+/// ```
+pub fn nvram_catalogue() -> Vec<MemoryProduct> {
+    vec![
+        MemoryProduct {
+            component: "128K*9 SRAM SIMM (120ns)",
+            kind: MemoryKind::NvramSimm,
+            speed_ns: 120,
+            lithium_batteries: 2,
+            price_per_mb: 328.0,
+            min_config_mb: 0.5,
+        },
+        MemoryProduct {
+            component: "1M*1 SRAM SIMM (85ns)",
+            kind: MemoryKind::NvramSimm,
+            speed_ns: 85,
+            lithium_batteries: 2,
+            price_per_mb: 336.0,
+            min_config_mb: 32.0,
+        },
+        MemoryProduct {
+            component: "512K*8 RAM SIMM (70ns)",
+            kind: MemoryKind::NvramSimm,
+            speed_ns: 70,
+            lithium_batteries: 1,
+            price_per_mb: 370.0,
+            min_config_mb: 2.0,
+        },
+        MemoryProduct {
+            component: "PC-AT bus board, 1 MB",
+            kind: MemoryKind::NvramBoard,
+            speed_ns: 70,
+            lithium_batteries: 3,
+            price_per_mb: 439.0,
+            min_config_mb: 1.0,
+        },
+        MemoryProduct {
+            component: "PC-AT bus board, 16 MB",
+            kind: MemoryKind::NvramBoard,
+            speed_ns: 70,
+            lithium_batteries: 3,
+            price_per_mb: 134.0,
+            min_config_mb: 16.0,
+        },
+        MemoryProduct {
+            component: "VME bus board, 1 MB",
+            kind: MemoryKind::NvramBoard,
+            speed_ns: 70,
+            lithium_batteries: 3,
+            price_per_mb: 634.0,
+            min_config_mb: 1.0,
+        },
+        MemoryProduct {
+            component: "VME bus board, 16 MB",
+            kind: MemoryKind::NvramBoard,
+            speed_ns: 70,
+            lithium_batteries: 3,
+            price_per_mb: 147.0,
+            min_config_mb: 16.0,
+        },
+    ]
+}
+
+/// The volatile comparison row of Table 1: 1M*9 DRAM at 70 ns, $33/MB.
+pub fn dram() -> MemoryProduct {
+    MemoryProduct {
+        component: "1M*9 DRAM (70ns)",
+        kind: MemoryKind::Dram,
+        speed_ns: 70,
+        lithium_batteries: 0,
+        price_per_mb: 33.0,
+        min_config_mb: 4.0,
+    }
+}
+
+/// Cheapest NVRAM product (by total price) for a configuration of `mb`
+/// megabytes.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::cost::cheapest_nvram_for;
+///
+/// // At 16 MB the boards beat the SIMMs by a wide margin.
+/// let best = cheapest_nvram_for(16.0);
+/// assert!(best.component.contains("16 MB"));
+/// ```
+pub fn cheapest_nvram_for(mb: f64) -> MemoryProduct {
+    nvram_catalogue()
+        .into_iter()
+        .min_by(|a, b| a.price_for(mb).total_cmp(&b.price_for(mb)))
+        .expect("catalogue is non-empty")
+}
+
+/// Approximate minimum cost of an uninterruptible power supply able to hold
+/// up a workstation for one to two hours (the paper's UPS comparison).
+pub const UPS_MIN_PRICE: f64 = 800.0;
+
+/// Ratio of the cheapest suitable NVRAM's per-megabyte price to DRAM's
+/// per-megabyte price at a given configuration size; the paper's rule of
+/// thumb is "four to six times" (large boards amortize down to ~4×).
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::cost::nvram_to_dram_ratio;
+///
+/// let r = nvram_to_dram_ratio(16.0);
+/// assert!(r >= 3.5 && r <= 6.5, "ratio was {r}");
+/// ```
+pub fn nvram_to_dram_ratio(mb: f64) -> f64 {
+    let nv = cheapest_nvram_for(mb);
+    nv.price_per_mb / dram().price_per_mb
+}
+
+/// §2.7 decision rule: given the marginal traffic reduction per NVRAM
+/// megabyte and per DRAM megabyte (both as fractions of total traffic),
+/// returns `true` when spending on NVRAM buys more reduction per dollar.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::cost::nvram_wins;
+///
+/// // With 16 MB of volatile cache, ½ MB of NVRAM matched 6 MB of DRAM in
+/// // the paper: NVRAM reduction per MB is 12× DRAM's, far above the ≈4–6×
+/// // price ratio, so NVRAM wins.
+/// assert!(nvram_wins(0.12, 0.01, 1.0));
+/// // With only 8 MB volatile, the paper found NVRAM roughly 2× as
+/// // effective per MB — below the price ratio, so DRAM wins.
+/// assert!(!nvram_wins(0.02, 0.01, 1.0));
+/// ```
+pub fn nvram_wins(nvram_reduction_per_mb: f64, dram_reduction_per_mb: f64, mb: f64) -> bool {
+    let nv_price = cheapest_nvram_for(mb).price_per_mb;
+    let d_price = dram().price_per_mb;
+    nvram_reduction_per_mb / nv_price > dram_reduction_per_mb / d_price
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_table_1() {
+        let rows = nvram_catalogue();
+        // Spot-check the printed prices.
+        assert_eq!(rows[0].price_per_mb, 328.0);
+        assert_eq!(rows[4].price_per_mb, 134.0);
+        assert_eq!(rows[6].price_per_mb, 147.0);
+        assert_eq!(dram().price_per_mb, 33.0);
+    }
+
+    #[test]
+    fn sixteen_mb_boards_beat_simms() {
+        // Paper: "the 16-megabyte boards are nearly 60% less expensive than
+        // SIMMs and only four times the cost of an equivalent amount of
+        // DRAM."
+        let board = cheapest_nvram_for(16.0);
+        assert_eq!(board.kind, MemoryKind::NvramBoard);
+        let cheapest_simm_price = nvram_catalogue()
+            .iter()
+            .filter(|r| r.kind == MemoryKind::NvramSimm)
+            .map(|r| r.price_for(16.0))
+            .fold(f64::INFINITY, f64::min);
+        let saving = 1.0 - board.price_for(16.0) / cheapest_simm_price;
+        assert!(saving > 0.5, "board saving over SIMMs was {saving:.2}");
+        let ratio = nvram_to_dram_ratio(16.0);
+        assert!((3.5..=4.5).contains(&ratio), "ratio to DRAM was {ratio:.2}");
+    }
+
+    #[test]
+    fn one_mb_boards_cost_more_than_simms() {
+        // Paper: "For one-megabyte boards, the boards are 20 - 70% more
+        // expensive than SIMMs depending on the bus."
+        let simm = &nvram_catalogue()[0]; // 128K*9 at $328/MB, 0.5 MB min
+        for board in nvram_catalogue().iter().filter(|r| r.min_config_mb == 1.0) {
+            let premium = board.price_for(1.0) / simm.price_for(1.0) - 1.0;
+            assert!((0.15..=0.95).contains(&premium), "premium was {premium:.2}");
+        }
+    }
+
+    #[test]
+    fn price_for_respects_minimum_configuration() {
+        let simm = &nvram_catalogue()[1]; // 32 MB minimum.
+        assert_eq!(simm.price_for(1.0), simm.price_for(32.0));
+        assert!(simm.price_for(64.0) > simm.price_for(32.0));
+    }
+
+    #[test]
+    fn ups_is_pricier_than_small_nvram() {
+        // A 1 MB NVRAM board is cheaper than the cheapest UPS.
+        let board = cheapest_nvram_for(1.0);
+        assert!(board.price_for(1.0) < UPS_MIN_PRICE);
+    }
+
+    #[test]
+    fn kind_display_is_nonempty() {
+        assert_eq!(MemoryKind::Dram.to_string(), "DRAM");
+        assert_eq!(MemoryKind::NvramSimm.to_string(), "NVRAM SIMM");
+        assert_eq!(MemoryKind::NvramBoard.to_string(), "NVRAM board");
+    }
+}

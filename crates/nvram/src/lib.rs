@@ -1,0 +1,29 @@
+//! NVRAM hardware models: device, batteries, crash recovery, and costs.
+//!
+//! The paper treats NVRAM as "RAM with battery backup" whose essential
+//! properties are (a) it survives machine failures, (b) it may be slower
+//! than DRAM, (c) it costs several times more per megabyte (Table 1), and
+//! (d) a board can be moved to another machine to recover its contents
+//! after a client crash (§4). This crate models exactly those properties:
+//!
+//! * [`device`] — a capacity-bounded device with access counters and an
+//!   access-time ratio relative to DRAM;
+//! * [`battery`] — the battery bank state machine (the Table 1 components
+//!   carry one to three lithium batteries with failover);
+//! * [`board`] — a removable board holding dirty byte ranges, with the
+//!   crash → move → recover flow of §4;
+//! * [`cost`] — the Table 1 price catalogue and the cost-effectiveness
+//!   arithmetic of §2.7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod board;
+pub mod cost;
+pub mod device;
+
+pub use battery::{survival_probability, BatteryBank, BatteryState};
+pub use board::{NvramBoard, RecoveredData};
+pub use cost::{dram, nvram_catalogue, MemoryKind, MemoryProduct};
+pub use device::NvramDevice;

@@ -1,0 +1,114 @@
+//! Summary statistics over op streams.
+
+use std::collections::BTreeSet;
+
+use nvfs_types::{ClientId, FileId};
+
+use crate::op::{OpKind, OpStream};
+
+/// Aggregate statistics for one op stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of operations.
+    pub ops: usize,
+    /// Bytes read by applications.
+    pub read_bytes: u64,
+    /// Bytes written by applications.
+    pub write_bytes: u64,
+    /// Distinct files referenced.
+    pub files: usize,
+    /// Distinct clients active.
+    pub clients: usize,
+    /// Number of delete operations.
+    pub deletes: usize,
+    /// Number of fsync operations.
+    pub fsyncs: usize,
+    /// Number of open operations.
+    pub opens: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `ops`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfs_trace::op::OpStream;
+    /// use nvfs_trace::stats::TraceStats;
+    ///
+    /// let stats = TraceStats::for_stream(&OpStream::new());
+    /// assert_eq!(stats.ops, 0);
+    /// ```
+    pub fn for_stream(ops: &OpStream) -> Self {
+        let mut files: BTreeSet<FileId> = BTreeSet::new();
+        let mut clients: BTreeSet<ClientId> = BTreeSet::new();
+        let mut s = TraceStats { ops: ops.len(), ..TraceStats::default() };
+        for op in ops {
+            clients.insert(op.client);
+            if let Some(f) = op.file() {
+                files.insert(f);
+            }
+            match &op.kind {
+                OpKind::Read { range, .. } => s.read_bytes += range.len(),
+                OpKind::Write { range, .. } => s.write_bytes += range.len(),
+                OpKind::Delete { .. } => s.deletes += 1,
+                OpKind::Fsync { .. } => s.fsyncs += 1,
+                OpKind::Open { .. } => s.opens += 1,
+                _ => {}
+            }
+        }
+        s.files = files.len();
+        s.clients = clients.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpenMode;
+    use crate::op::Op;
+    use nvfs_types::{ByteRange, SimTime};
+
+    #[test]
+    fn counts_are_accurate() {
+        let ops: OpStream = vec![
+            Op {
+                time: SimTime::ZERO,
+                client: ClientId(0),
+                kind: OpKind::Open { file: FileId(0), mode: OpenMode::Write },
+            },
+            Op {
+                time: SimTime::from_secs(1),
+                client: ClientId(0),
+                kind: OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) },
+            },
+            Op {
+                time: SimTime::from_secs(2),
+                client: ClientId(1),
+                kind: OpKind::Read { file: FileId(1), range: ByteRange::new(0, 50) },
+            },
+            Op {
+                time: SimTime::from_secs(3),
+                client: ClientId(0),
+                kind: OpKind::Fsync { file: FileId(0) },
+            },
+            Op {
+                time: SimTime::from_secs(4),
+                client: ClientId(0),
+                kind: OpKind::Delete { file: FileId(0) },
+            },
+        ]
+        .into_iter()
+        .collect();
+        let s = TraceStats::for_stream(&ops);
+        assert_eq!(s.ops, 5);
+        assert_eq!(s.write_bytes, 100);
+        assert_eq!(s.read_bytes, 50);
+        assert_eq!(s.files, 2);
+        assert_eq!(s.clients, 2);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.fsyncs, 1);
+        assert_eq!(s.opens, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the op-stream text format: arbitrary streams must
+//! round-trip exactly, and the parser must be total over rendered output.
+
+use nvfs_trace::event::OpenMode;
+use nvfs_trace::op::{Op, OpKind, OpStream};
+use nvfs_trace::serialize::{parse_ops, render_ops};
+use nvfs_types::{ByteRange, ClientId, FileId, ProcessId, SimTime};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    let file = (0u32..50).prop_map(FileId);
+    prop_oneof![
+        (file.clone(), prop_oneof![
+            Just(OpenMode::Read),
+            Just(OpenMode::Write),
+            Just(OpenMode::ReadWrite)
+        ])
+            .prop_map(|(file, mode)| OpKind::Open { file, mode }),
+        file.clone().prop_map(|file| OpKind::Close { file }),
+        (file.clone(), 0u64..1_000_000, 1u64..100_000)
+            .prop_map(|(file, o, l)| OpKind::Read { file, range: ByteRange::at(o, l) }),
+        (file.clone(), 0u64..1_000_000, 1u64..100_000)
+            .prop_map(|(file, o, l)| OpKind::Write { file, range: ByteRange::at(o, l) }),
+        (file.clone(), 0u64..1_000_000)
+            .prop_map(|(file, n)| OpKind::Truncate { file, new_len: n }),
+        file.clone().prop_map(|file| OpKind::Delete { file }),
+        file.prop_map(|file| OpKind::Fsync { file }),
+        (0u32..8, 0u32..8, proptest::collection::vec(0u32..50, 0..5)).prop_map(
+            |(pid, to, files)| OpKind::Migrate {
+                pid: ProcessId(pid),
+                to: ClientId(to),
+                files: files.into_iter().map(FileId).collect(),
+            }
+        ),
+    ]
+}
+
+fn arb_stream() -> impl Strategy<Value = OpStream> {
+    proptest::collection::vec((0u64..1_000_000u64, 0u32..8, arb_kind()), 0..60).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(t, c, kind)| Op { time: SimTime::from_micros(t), client: ClientId(c), kind })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn render_parse_round_trips(stream in arb_stream()) {
+        let text = render_ops(&stream);
+        let parsed = parse_ops(&text).expect("rendered output must parse");
+        prop_assert_eq!(parsed, stream);
+    }
+
+    #[test]
+    fn rendered_text_is_line_per_op(stream in arb_stream()) {
+        let text = render_ops(&stream);
+        // Header comment plus one line per op.
+        prop_assert_eq!(text.lines().count(), stream.len() + 1);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(noise in "[ -~\n]{0,200}") {
+        // Totality: arbitrary printable input either parses or errors.
+        let _ = parse_ops(&noise);
+    }
+}

@@ -1,0 +1,147 @@
+//! Entity identifiers.
+//!
+//! Newtypes keep the many small integers of a trace-driven simulation from
+//! being confused with one another (C-NEWTYPE): a [`ClientId`] can never be
+//! passed where a [`FileId`] is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index value.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A client workstation in the simulated Sprite cluster.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfs_types::ClientId;
+    /// assert_eq!(ClientId(3).to_string(), "client3");
+    /// ```
+    ClientId,
+    "client"
+);
+
+id_newtype!(
+    /// A file, unique across the whole simulated file system.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfs_types::FileId;
+    /// assert_eq!(FileId(17).to_string(), "file17");
+    /// ```
+    FileId,
+    "file"
+);
+
+id_newtype!(
+    /// A process; only used to attribute activity for process migration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfs_types::ProcessId;
+    /// assert_eq!(ProcessId(5).to_string(), "pid5");
+    /// ```
+    ProcessId,
+    "pid"
+);
+
+/// Zero-based index of a 4 KB block within a file.
+pub type BlockIndex = u64;
+
+/// A cache/FS block: a specific 4 KB-aligned block of a specific file.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_types::{BlockId, FileId};
+///
+/// let b = BlockId::new(FileId(1), 2);
+/// assert_eq!(b.byte_range().start, 8192);
+/// assert_eq!(b.byte_range().end, 12288);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId {
+    /// The file this block belongs to.
+    pub file: FileId,
+    /// The zero-based 4 KB block index within the file.
+    pub index: BlockIndex,
+}
+
+impl BlockId {
+    /// Creates a block id for block `index` of `file`.
+    pub const fn new(file: FileId, index: BlockIndex) -> Self {
+        BlockId { file, index }
+    }
+
+    /// The byte range this block covers within its file.
+    pub const fn byte_range(self) -> crate::ByteRange {
+        let start = self.index * crate::BLOCK_SIZE;
+        crate::ByteRange { start, end: start + crate::BLOCK_SIZE }
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.file, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_display() {
+        assert_eq!(ClientId(0).to_string(), "client0");
+        assert_eq!(FileId(9).to_string(), "file9");
+        assert_eq!(ProcessId(2).to_string(), "pid2");
+        assert_eq!(ClientId::from(7), ClientId(7));
+        assert_eq!(FileId(4).index(), 4);
+    }
+
+    #[test]
+    fn block_id_range() {
+        let b = BlockId::new(FileId(3), 0);
+        assert_eq!(b.byte_range().start, 0);
+        assert_eq!(b.byte_range().len(), crate::BLOCK_SIZE);
+        assert_eq!(b.to_string(), "file3[0]");
+    }
+
+    #[test]
+    fn block_id_ordering_groups_by_file() {
+        let a = BlockId::new(FileId(1), 9);
+        let b = BlockId::new(FileId(2), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,40 @@
+//! Base types shared by every `nvfs` crate.
+//!
+//! This crate defines the vocabulary of the simulation toolkit that reproduces
+//! Baker et al., *Non-Volatile Memory for Fast, Reliable File Systems*
+//! (ASPLOS 1992):
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time,
+//!   plus the Sprite policy constants (30-second delayed write-back,
+//!   5-second block cleaner period).
+//! * [`ClientId`], [`FileId`], [`ProcessId`], [`BlockId`] — entity identifiers.
+//! * [`ByteRange`] and [`RangeSet`] — half-open byte intervals and disjoint
+//!   interval sets, the workhorses of byte-level dirty tracking and the
+//!   byte-lifetime analysis of §2.3 of the paper.
+//! * [`block`] — 4 KB cache/FS block geometry helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvfs_types::{ByteRange, RangeSet};
+//!
+//! let mut dirty = RangeSet::new();
+//! dirty.insert(ByteRange::new(0, 4096));
+//! dirty.insert(ByteRange::new(8192, 12288));
+//! assert_eq!(dirty.len_bytes(), 8192);
+//! dirty.remove(ByteRange::new(0, 2048));
+//! assert_eq!(dirty.len_bytes(), 6144);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod id;
+pub mod range;
+pub mod time;
+
+pub use block::{blocks_of_range, BLOCK_SIZE};
+pub use id::{BlockId, BlockIndex, ClientId, FileId, ProcessId};
+pub use range::{ByteRange, RangeSet};
+pub use time::{SimDuration, SimTime, BLOCK_CLEANER_PERIOD, DELAYED_WRITE_BACK};

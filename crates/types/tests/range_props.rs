@@ -1,0 +1,127 @@
+//! Property tests for the `RangeSet` interval algebra, which underpins all
+//! byte-level dirty tracking in the simulator.
+
+use nvfs_types::{ByteRange, RangeSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A small byte universe keeps the naive model cheap while still exercising
+/// every merge/split path.
+const UNIVERSE: u64 = 256;
+
+fn arb_range() -> impl Strategy<Value = ByteRange> {
+    (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| ByteRange::new(a.min(b), a.max(b)))
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Insert(ByteRange),
+    Remove(ByteRange),
+    Truncate(u64),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        arb_range().prop_map(Action::Insert),
+        arb_range().prop_map(Action::Remove),
+        (0..UNIVERSE).prop_map(Action::Truncate),
+    ]
+}
+
+/// Naive model: an explicit set of byte offsets.
+fn model_bytes(r: ByteRange) -> BTreeSet<u64> {
+    (r.start..r.end).collect()
+}
+
+proptest! {
+    #[test]
+    fn matches_naive_model(actions in proptest::collection::vec(arb_action(), 1..40)) {
+        let mut real = RangeSet::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for action in actions {
+            match action {
+                Action::Insert(r) => {
+                    let added = real.insert(r);
+                    let before = model.len();
+                    model.extend(model_bytes(r));
+                    prop_assert_eq!(added, (model.len() - before) as u64);
+                }
+                Action::Remove(r) => {
+                    let removed = real.remove(r);
+                    let before = model.len();
+                    model.retain(|b| !r.contains(*b));
+                    prop_assert_eq!(removed, (before - model.len()) as u64);
+                }
+                Action::Truncate(off) => {
+                    let removed = real.truncate(off);
+                    let before = model.len();
+                    model.retain(|b| *b < off);
+                    prop_assert_eq!(removed, (before - model.len()) as u64);
+                }
+            }
+            prop_assert!(real.check_invariants());
+            prop_assert_eq!(real.len_bytes(), model.len() as u64);
+        }
+        // Byte membership agrees everywhere.
+        for b in 0..UNIVERSE {
+            prop_assert_eq!(real.contains(b), model.contains(&b));
+        }
+    }
+
+    #[test]
+    fn overlap_bytes_matches_model(
+        ranges in proptest::collection::vec(arb_range(), 1..10),
+        probe in arb_range(),
+    ) {
+        let mut real = RangeSet::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for r in ranges {
+            real.insert(r);
+            model.extend(model_bytes(r));
+        }
+        let expected = model.iter().filter(|b| probe.contains(**b)).count() as u64;
+        prop_assert_eq!(real.overlap_bytes(probe), expected);
+        // overlapping() pieces are disjoint, sorted, and sum to overlap_bytes.
+        let pieces: Vec<ByteRange> = real.overlapping(probe).collect();
+        let mut last_end = 0;
+        let mut sum = 0;
+        for p in &pieces {
+            prop_assert!(p.start >= last_end);
+            prop_assert!(probe.contains_range(*p));
+            last_end = p.end;
+            sum += p.len();
+        }
+        prop_assert_eq!(sum, expected);
+    }
+
+    #[test]
+    fn insert_is_idempotent(ranges in proptest::collection::vec(arb_range(), 1..10)) {
+        let mut s = RangeSet::new();
+        for r in &ranges {
+            s.insert(*r);
+        }
+        let snapshot = s.clone();
+        for r in &ranges {
+            prop_assert_eq!(s.insert(*r), 0);
+        }
+        prop_assert_eq!(s, snapshot);
+    }
+
+    #[test]
+    fn union_subtract_round_trip(
+        a in proptest::collection::vec(arb_range(), 0..8),
+        b in proptest::collection::vec(arb_range(), 0..8),
+    ) {
+        let sa: RangeSet = a.into_iter().collect();
+        let sb: RangeSet = b.into_iter().collect();
+        let mut u = sa.clone();
+        let added = u.union_with(&sb);
+        prop_assert!(u.len_bytes() == sa.len_bytes() + added);
+        let mut back = u.clone();
+        back.subtract(&sb);
+        // After removing b, exactly a-minus-b remains.
+        let mut expected = sa.clone();
+        expected.subtract(&sb);
+        prop_assert_eq!(back, expected);
+    }
+}

@@ -1,0 +1,16 @@
+//! One-shot reproduction: evaluates every paper claim and prints the
+//! scorecard with PASS/FAIL verdicts.
+//!
+//! ```bash
+//! cargo run --release --example reproduce_all
+//! ```
+
+use nvfs::experiments::{env::Env, scorecard};
+
+fn main() {
+    println!("Evaluating every claim of Baker et al. (ASPLOS 1992) at small scale…\n");
+    let card = scorecard::run(&Env::small());
+    println!("{}", card.table.render());
+    println!("{} of {} checks passed", card.passed(), card.checks.len());
+    assert!(card.all_passed(), "reproduction regressed: {:?}", card.first_failure());
+}

@@ -1,0 +1,377 @@
+//! `nvfs` — command-line driver for the reproduction toolkit.
+//!
+//! ```text
+//! nvfs gen-traces   [--scale S] [--out DIR]          write synthetic traces to files
+//! nvfs trace-stats  <FILE>                           stats + lint for a trace file
+//! nvfs client-sim   <FILE> [--model M] [--volatile-mb N] [--nvram-mb N]
+//!                   [--policy P] [--consistency C]   run the client cache simulator
+//! nvfs lifetime     <FILE>                           byte-lifetime fates + delay sweep
+//! nvfs lfs          [--scale S] [--buffer-kb N]      Tables 3-4 + write-buffer study
+//! nvfs experiments  [--scale S] [ID...]              regenerate paper artifacts
+//! nvfs export-csv   [--scale S] --out DIR            write every artifact as CSV
+//! ```
+//!
+//! Scales: `tiny`, `small` (default), `paper`.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Prints a line, ignoring a closed pipe: `nvfs … | head` must neither
+/// panic nor abandon work that writes files as a side effect, so once the
+/// reader is gone the remaining output is silently dropped while the
+/// command runs to completion.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(stdout, $($arg)*);
+    }};
+}
+
+use nvfs::core::lifetime::LifetimeLog;
+use nvfs::core::{ClusterSim, ConsistencyMode, PolicyKind, SimConfig};
+use nvfs::experiments as exp;
+use nvfs::experiments::env::Env;
+use nvfs::trace::serialize::{parse_ops, render_ops};
+use nvfs::trace::stats::TraceStats;
+use nvfs::trace::synth::{SpriteTraceSet, TraceSetConfig};
+use nvfs::trace::validate::validate_ignoring_leaks;
+use nvfs::report::{render_plot, PlotOptions};
+use nvfs::trace::OpStream;
+use nvfs::types::SimDuration;
+
+fn main() -> ExitCode {
+    let mut args: VecDeque<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.pop_front() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gen-traces" => cmd_gen_traces(args),
+        "trace-stats" => cmd_trace_stats(args),
+        "client-sim" => cmd_client_sim(args),
+        "lifetime" => cmd_lifetime(args),
+        "lfs" => cmd_lfs(args),
+        "experiments" => cmd_experiments(args),
+        "scorecard" => cmd_scorecard(args),
+        "export-csv" => cmd_export_csv(args),
+        "help" | "--help" | "-h" => {
+            outln!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: nvfs <command> [options]
+commands:
+  gen-traces   [--scale tiny|small|paper] [--out DIR]
+  trace-stats  <FILE>
+  client-sim   <FILE> [--model volatile|write-aside|unified|hybrid]
+               [--volatile-mb N] [--nvram-mb N]
+               [--policy lru|random|omniscient] [--consistency whole-file|block]
+  lifetime     <FILE>
+  lfs          [--scale S] [--buffer-kb N]
+  experiments  [--scale S] [tab1 fig2 tab2 fig3 fig4 fig5 fig6 tab3 tab4
+                write-buffer disk-sort bus-nvram presto pipeline ablations
+                consistency nvram-speed ...]
+  scorecard    [--scale S]
+  export-csv   [--scale S] --out DIR";
+
+/// Pulls `--flag VALUE` out of the argument list, if present.
+fn take_flag(args: &mut VecDeque<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        let mut rest = args.split_off(pos);
+        rest.pop_front();
+        let value = rest.pop_front().ok_or_else(|| format!("{flag} requires a value"))?;
+        args.append(&mut rest);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_scale(args: &mut VecDeque<String>) -> Result<TraceSetConfig, String> {
+    match take_flag(args, "--scale")?.as_deref() {
+        None | Some("small") => Ok(TraceSetConfig::small()),
+        Some("tiny") => Ok(TraceSetConfig::tiny()),
+        Some("paper") => Ok(TraceSetConfig::paper()),
+        Some(other) => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+    }
+}
+
+fn parse_env(args: &mut VecDeque<String>) -> Result<Env, String> {
+    match take_flag(args, "--scale")?.as_deref() {
+        None | Some("small") => Ok(Env::small()),
+        Some("tiny") => Ok(Env::tiny()),
+        Some("paper") => Ok(Env::paper()),
+        Some(other) => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+    }
+}
+
+fn load_ops(path: &str) -> Result<OpStream, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_ops(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen_traces(mut args: VecDeque<String>) -> Result<(), String> {
+    let cfg = parse_scale(&mut args)?;
+    let out = PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "traces".into()));
+    fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let set = SpriteTraceSet::generate(&cfg);
+    for trace in set.traces() {
+        let path = out.join(format!("trace{}.ops", trace.number()));
+        fs::write(&path, render_ops(trace.ops()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let s = TraceStats::for_stream(trace.ops());
+        outln!(
+            "{}: {} ops, {:.1} MB written, {:.1} MB read",
+            path.display(),
+            s.ops,
+            s.write_bytes as f64 / (1 << 20) as f64,
+            s.read_bytes as f64 / (1 << 20) as f64,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace_stats(mut args: VecDeque<String>) -> Result<(), String> {
+    let path = args.pop_front().ok_or("trace-stats requires a file")?;
+    let ops = load_ops(&path)?;
+    let s = TraceStats::for_stream(&ops);
+    outln!("ops:          {}", s.ops);
+    outln!("write bytes:  {} ({:.2} MB)", s.write_bytes, s.write_bytes as f64 / (1 << 20) as f64);
+    outln!("read bytes:   {} ({:.2} MB)", s.read_bytes, s.read_bytes as f64 / (1 << 20) as f64);
+    outln!("files:        {}", s.files);
+    outln!("clients:      {}", s.clients);
+    outln!("opens:        {}", s.opens);
+    outln!("deletes:      {}", s.deletes);
+    outln!("fsyncs:       {}", s.fsyncs);
+    let violations = validate_ignoring_leaks(&ops);
+    if violations.is_empty() {
+        outln!("lint:         clean");
+    } else {
+        outln!("lint:         {} violation(s)", violations.len());
+        for v in violations.iter().take(10) {
+            outln!("  {v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_client_sim(mut args: VecDeque<String>) -> Result<(), String> {
+    let model = take_flag(&mut args, "--model")?.unwrap_or_else(|| "unified".into());
+    let volatile_mb: u64 = take_flag(&mut args, "--volatile-mb")?
+        .unwrap_or_else(|| "8".into())
+        .parse()
+        .map_err(|_| "bad --volatile-mb")?;
+    let nvram_mb: u64 = take_flag(&mut args, "--nvram-mb")?
+        .unwrap_or_else(|| "1".into())
+        .parse()
+        .map_err(|_| "bad --nvram-mb")?;
+    let policy = match take_flag(&mut args, "--policy")?.as_deref() {
+        None | Some("lru") => PolicyKind::Lru,
+        Some("random") => PolicyKind::Random { seed: 1992 },
+        Some("omniscient") => PolicyKind::Omniscient,
+        Some(other) => return Err(format!("unknown policy {other:?}")),
+    };
+    let consistency = match take_flag(&mut args, "--consistency")?.as_deref() {
+        None | Some("whole-file") => ConsistencyMode::WholeFile,
+        Some("block") => ConsistencyMode::BlockOnDemand,
+        Some(other) => return Err(format!("unknown consistency mode {other:?}")),
+    };
+    let path = args.pop_front().ok_or("client-sim requires a trace file")?;
+    let ops = load_ops(&path)?;
+
+    if volatile_mb == 0 {
+        return Err("--volatile-mb must be at least 1".to_string());
+    }
+    if nvram_mb == 0 && model != "volatile" {
+        return Err(format!("--nvram-mb must be at least 1 for the {model} model"));
+    }
+    let vol = volatile_mb << 20;
+    let nv = nvram_mb << 20;
+    let cfg = match model.as_str() {
+        "volatile" => SimConfig::volatile(vol),
+        "write-aside" => SimConfig::write_aside(vol, nv),
+        "unified" => SimConfig::unified(vol, nv),
+        "hybrid" => SimConfig::hybrid(vol, nv),
+        other => return Err(format!("unknown model {other:?}")),
+    }
+    .with_policy(policy)
+    .with_consistency(consistency);
+    let kind = cfg.model;
+    let stats = ClusterSim::new(cfg).run(&ops);
+
+    let mb = |b: u64| b as f64 / (1 << 20) as f64;
+    outln!("model:              {kind:?}");
+    outln!("app writes:         {:>10.2} MB", mb(stats.app_write_bytes));
+    outln!("app reads:          {:>10.2} MB", mb(stats.app_read_bytes));
+    outln!("server writes:      {:>10.2} MB", mb(stats.server_write_bytes));
+    outln!("  write-back:       {:>10.2} MB", mb(stats.writeback_bytes));
+    outln!("  replacement:      {:>10.2} MB", mb(stats.replacement_bytes));
+    outln!("  callbacks:        {:>10.2} MB", mb(stats.callback_bytes));
+    outln!("  migration:        {:>10.2} MB", mb(stats.migration_bytes));
+    outln!("  fsync:            {:>10.2} MB", mb(stats.fsync_bytes));
+    outln!("server reads:       {:>10.2} MB", mb(stats.server_read_bytes));
+    outln!("absorbed:           {:>10.2} MB", mb(stats.absorbed_bytes()));
+    outln!("remaining dirty:    {:>10.2} MB", mb(stats.remaining_dirty_bytes));
+    outln!("net write traffic:  {:>9.1}%", stats.net_write_traffic_pct());
+    outln!("net total traffic:  {:>9.1}%", stats.net_total_traffic_pct());
+    outln!("read hit ratio:     {:>9.1}%", 100.0 * stats.read_hit_ratio());
+    if kind.has_nvram() {
+        outln!("nvram accesses:     {:>10}", stats.nvram_accesses());
+    }
+    Ok(())
+}
+
+fn cmd_lifetime(mut args: VecDeque<String>) -> Result<(), String> {
+    let path = args.pop_front().ok_or("lifetime requires a trace file")?;
+    let ops = load_ops(&path)?;
+    let log = LifetimeLog::analyze(&ops);
+    outln!("total writes: {:.2} MB", log.total_write_bytes as f64 / (1 << 20) as f64);
+    outln!("absorbed (infinite NVRAM): {:.1}%", 100.0 * log.absorbed_fraction());
+    outln!("\nfate breakdown:");
+    for (fate, bytes) in log.bytes_by_fate() {
+        outln!(
+            "  {:<12} {:>10.2} MB ({:>5.1}%)",
+            format!("{fate:?}"),
+            bytes as f64 / (1 << 20) as f64,
+            100.0 * bytes as f64 / log.total_write_bytes.max(1) as f64,
+        );
+    }
+    outln!("\nnet write traffic vs write-back delay:");
+    for mins in [0.05, 0.5, 5.0, 30.0, 240.0, 10_000.0] {
+        let d = SimDuration::from_secs_f64(mins * 60.0);
+        outln!("  {:>9.2} min  {:>5.1}%", mins, log.net_write_traffic_at_delay(d));
+    }
+    Ok(())
+}
+
+fn cmd_lfs(mut args: VecDeque<String>) -> Result<(), String> {
+    let env = parse_env(&mut args)?;
+    let buffer_kb: u64 = take_flag(&mut args, "--buffer-kb")?
+        .unwrap_or_else(|| "512".into())
+        .parse()
+        .map_err(|_| "bad --buffer-kb")?;
+    outln!("{}", exp::tab3::run(&env).table.render());
+    outln!("{}", exp::tab4::run(&env).table.render());
+    outln!("{}", exp::write_buffer::run_with_capacity(&env, buffer_kb << 10).table.render());
+    Ok(())
+}
+
+fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
+    let env = parse_env(&mut args)?;
+    let ids: Vec<String> = if args.is_empty() {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.into_iter().collect()
+    };
+    for id in &ids {
+        let text = run_experiment(&env, id)?;
+        let mut stdout = std::io::stdout().lock();
+        let _ = write!(stdout, "{text}");
+    }
+    Ok(())
+}
+
+const ALL_EXPERIMENTS: [&str; 21] = [
+    "tab1", "fig2", "tab2", "fig3", "fig4", "fig5", "fig6", "tab3", "tab4", "write-buffer",
+    "disk-sort", "bus-nvram", "presto", "pipeline", "ablations", "consistency", "read-latency",
+    "lfs-vs-ffs", "server-cache", "diagrams", "warmup",
+];
+
+fn run_experiment(env: &Env, id: &str) -> Result<String, String> {
+    Ok(match id {
+        "tab1" => exp::tab1::run().table.render(),
+        "fig2" => fig_text(&exp::fig2::run(env).figure, true),
+        "tab2" => exp::tab2::run(env).table.render(),
+        "fig3" => fig_text(&exp::fig3::run(env).figure, true),
+        "fig4" => fig_text(&exp::fig4::run(env).figure, true),
+        "fig5" => fig_text(&exp::fig5::run(env).figure, false),
+        "fig6" => fig_text(&exp::fig6::run(env).figure, false),
+        "tab3" => exp::tab3::run(env).table.render(),
+        "tab4" => exp::tab4::run(env).table.render(),
+        "write-buffer" => exp::write_buffer::run(env).table.render(),
+        "disk-sort" => exp::disk_sort::run().table.render(),
+        "bus-nvram" => exp::bus_nvram::run(env).table.render(),
+        "presto" => exp::presto::run().table.render(),
+        "pipeline" => exp::pipeline::run(env).table.render(),
+        "ablations" => {
+            let h = exp::ablations::hybrid(env);
+            let d = exp::ablations::dirty_preference(env);
+            format!("{}{}", h.figure.render(), d.table.render())
+        }
+        "consistency" => exp::consistency_protocol::run(env).table.render(),
+        "lfs-vs-ffs" => exp::lfs_vs_ffs::run(env).table.render(),
+        "diagrams" => format!("{}\n{}", exp::diagrams::figure1(), exp::diagrams::figure7()),
+        "server-cache" => exp::server_cache::run(env).table.render(),
+        "warmup" => exp::warmup::run(env).table.render(),
+        "read-latency" => {
+            let out = exp::read_latency::run();
+            format!("{}{}", out.table.render(), fig_text(&out.figure, false))
+        }
+        "nvram-speed" => exp::nvram_speed::run(env).table.render(),
+        other => return Err(format!("unknown experiment {other:?}")),
+    })
+}
+
+/// Point list plus an ASCII plot for a figure artifact.
+fn fig_text(figure: &nvfs::report::Figure, log_x: bool) -> String {
+    format!(
+        "{}{}",
+        figure.render(),
+        render_plot(figure, PlotOptions { log_x, ..PlotOptions::default() })
+    )
+}
+
+fn cmd_scorecard(mut args: VecDeque<String>) -> Result<(), String> {
+    let env = parse_env(&mut args)?;
+    let card = exp::scorecard::run(&env);
+    outln!("{}", card.table.render());
+    outln!("{} of {} checks passed", card.passed(), card.checks.len());
+    if card.all_passed() {
+        Ok(())
+    } else {
+        Err("scorecard has failures".to_string())
+    }
+}
+
+fn cmd_export_csv(mut args: VecDeque<String>) -> Result<(), String> {
+    let env = parse_env(&mut args)?;
+    let out = PathBuf::from(take_flag(&mut args, "--out")?.ok_or("export-csv requires --out DIR")?);
+    fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+
+    let write = |name: &str, csv: String| -> Result<(), String> {
+        let path: &Path = &out.join(name);
+        fs::write(path, csv).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        outln!("wrote {}", path.display());
+        Ok(())
+    };
+    write("tab1_costs.csv", exp::tab1::run().table.to_csv())?;
+    write("fig2_byte_lifetimes.csv", exp::fig2::run(&env).figure.to_csv())?;
+    write("tab2_write_fates.csv", exp::tab2::run(&env).table.to_csv())?;
+    write("fig3_omniscient.csv", exp::fig3::run(&env).figure.to_csv())?;
+    write("fig4_policies.csv", exp::fig4::run(&env).figure.to_csv())?;
+    write("fig5_models.csv", exp::fig5::run(&env).figure.to_csv())?;
+    write("fig6_cost_effectiveness.csv", exp::fig6::run(&env).figure.to_csv())?;
+    write("tab3_partial_segments.csv", exp::tab3::run(&env).table.to_csv())?;
+    write("tab4_partial_sizes.csv", exp::tab4::run(&env).table.to_csv())?;
+    write("write_buffer.csv", exp::write_buffer::run(&env).table.to_csv())?;
+    write("disk_sort.csv", exp::disk_sort::run().table.to_csv())?;
+    write("bus_nvram.csv", exp::bus_nvram::run(&env).table.to_csv())?;
+    write("presto.csv", exp::presto::run().table.to_csv())?;
+    write("pipeline.csv", exp::pipeline::run(&env).table.to_csv())?;
+    write("nvram_speed.csv", exp::nvram_speed::run(&env).table.to_csv())?;
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # nvfs — NVRAM for fast, reliable file systems
+//!
+//! A trace-driven simulation toolkit reproducing Baker, Asami, Deprit,
+//! Ousterhout & Seltzer, *Non-Volatile Memory for Fast, Reliable File
+//! Systems* (ASPLOS 1992).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`types`] — ids, simulated time, byte-range algebra.
+//! * [`trace`] — trace events, op streams, and the synthetic Sprite workload
+//!   generator (eight 24-hour traces; traces 3 and 4 carry the large-file
+//!   simulation workloads).
+//! * [`nvram`] — NVRAM device/battery/crash models and the Table 1 cost
+//!   catalogue.
+//! * [`core`] — the client cache study (§2): volatile, write-aside and
+//!   unified cache models, LRU/random/omniscient replacement, the Sprite
+//!   consistency protocol, byte-lifetime analysis, and cost-effectiveness.
+//! * [`disk`] — parametric disk model with FIFO/elevator scheduling.
+//! * [`lfs`] — the log-structured file system study (§3): segments, cleaner,
+//!   fsync-forced partial segments, and the NVRAM segment write buffer.
+//! * [`server`] — Sprite vs NFS server protocols and Prestoserve-style
+//!   server-side NVRAM.
+//! * [`report`] — tables, figure series, and the experiment registry.
+//! * [`experiments`] — runners that regenerate every table and figure of the
+//!   paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nvfs::core::{CacheModelKind, ClusterSim, SimConfig};
+//! use nvfs::trace::synth::{SpriteTraceSet, TraceSetConfig};
+//!
+//! // Generate a small deterministic Sprite-like trace and run the unified
+//! // NVRAM cache model over it.
+//! let traces = SpriteTraceSet::generate(&TraceSetConfig::small());
+//! let cfg = SimConfig::unified(8 << 20, 1 << 20);
+//! let stats = ClusterSim::new(cfg).run(traces.trace(6).ops());
+//! assert!(stats.server_write_bytes <= stats.app_write_bytes);
+//! ```
+
+pub use nvfs_core as core;
+pub use nvfs_disk as disk;
+pub use nvfs_experiments as experiments;
+pub use nvfs_lfs as lfs;
+pub use nvfs_nvram as nvram;
+pub use nvfs_report as report;
+pub use nvfs_server as server;
+pub use nvfs_trace as trace;
+pub use nvfs_types as types;

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `nvfs` command-line tool: generate traces to
+//! disk, lint them, replay them through the simulator, and export CSVs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn nvfs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nvfs")).args(args).output().expect("binary runs")
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvfs-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = nvfs(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["gen-traces", "client-sim", "lifetime", "export-csv"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = nvfs(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_stats_sim_lifetime_round_trip() {
+    let dir = tempdir("roundtrip");
+    let out_flag = dir.to_str().unwrap();
+
+    let gen = nvfs(&["gen-traces", "--scale", "tiny", "--out", out_flag]);
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    let trace7 = dir.join("trace7.ops");
+    assert!(trace7.exists());
+
+    let stats = nvfs(&["trace-stats", trace7.to_str().unwrap()]);
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("write bytes:"));
+    assert!(text.contains("lint:"));
+
+    let sim = nvfs(&[
+        "client-sim",
+        "--model",
+        "unified",
+        "--volatile-mb",
+        "2",
+        "--nvram-mb",
+        "1",
+        trace7.to_str().unwrap(),
+    ]);
+    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    let text = String::from_utf8_lossy(&sim.stdout);
+    assert!(text.contains("net write traffic:"));
+    assert!(text.contains("nvram accesses:"));
+
+    let lt = nvfs(&["lifetime", trace7.to_str().unwrap()]);
+    assert!(lt.status.success());
+    assert!(String::from_utf8_lossy(&lt.stdout).contains("fate breakdown:"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_sim_rejects_bad_model() {
+    let dir = tempdir("badmodel");
+    let trace = dir.join("t.ops");
+    std::fs::write(&trace, "# empty\n").unwrap();
+    let out = nvfs(&["client-sim", "--model", "bogus", trace.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiments_subset_runs() {
+    let out = nvfs(&["experiments", "--scale", "tiny", "tab1", "disk-sort"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("Disk bandwidth"));
+}
+
+#[test]
+fn export_csv_writes_every_artifact() {
+    let dir = tempdir("csv");
+    let out = nvfs(&["export-csv", "--scale", "tiny", "--out", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for name in [
+        "tab1_costs.csv",
+        "fig2_byte_lifetimes.csv",
+        "fig3_omniscient.csv",
+        "tab3_partial_segments.csv",
+        "write_buffer.csv",
+        "nvram_speed.csv",
+    ] {
+        let p = dir.join(name);
+        assert!(p.exists(), "missing {name}");
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.lines().count() > 1, "{name} has no data rows");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,17 @@
+//! The single release gate: every programmatically evaluated paper claim
+//! must pass at the small (default) scale.
+
+use nvfs::experiments::{env::Env, scorecard};
+
+#[test]
+fn the_whole_paper_reproduces() {
+    let card = scorecard::run(&Env::small());
+    assert!(
+        card.all_passed(),
+        "failed: {:?} ({} of {} passed)\n{}",
+        card.first_failure(),
+        card.passed(),
+        card.checks.len(),
+        card.table.render()
+    );
+}
