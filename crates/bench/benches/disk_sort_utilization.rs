@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nvfs_bench::show;
 use nvfs_disk::{Discipline, DiskParams, DiskQueue, DiskRequest};
 use nvfs_experiments::disk_sort;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -6,8 +6,7 @@ use nvfs_core::block_store::BlockStore;
 use nvfs_lfs::{SegmentCause, SegmentWriter};
 use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
 use nvfs_types::{BlockId, ByteRange, FileId, RangeSet, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

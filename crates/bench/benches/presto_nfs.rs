@@ -7,8 +7,7 @@ use nvfs_disk::DiskParams;
 use nvfs_experiments::presto;
 use nvfs_server::presto::{nfs_synchronous, prestoserve, PrestoConfig, WriteRequest};
 use nvfs_types::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

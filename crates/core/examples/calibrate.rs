@@ -50,7 +50,11 @@ fn main() {
     for nv_kb in [128u64, 256, 512, 1024, 2048, 4096, 8192] {
         let cfg = SimConfig::unified(8 << 20, nv_kb << 10).with_policy(PolicyKind::Omniscient);
         let s = ClusterSim::new(cfg).run(t7.ops());
-        println!("  nvram {:>5} KB -> net write {:>5.1}%", nv_kb, s.net_write_traffic_pct());
+        println!(
+            "  nvram {:>5} KB -> net write {:>5.1}%",
+            nv_kb,
+            s.net_write_traffic_pct()
+        );
     }
 
     println!("\n== policies at 1MB NVRAM, trace 7 (Fig 4 shape) ==");
@@ -60,7 +64,11 @@ fn main() {
         ("omniscient", PolicyKind::Omniscient),
     ] {
         let s = ClusterSim::new(SimConfig::unified(8 << 20, 1 << 20).with_policy(p)).run(t7.ops());
-        println!("  {:>10} -> net write {:>5.1}%", name, s.net_write_traffic_pct());
+        println!(
+            "  {:>10} -> net write {:>5.1}%",
+            name,
+            s.net_write_traffic_pct()
+        );
     }
 
     println!("\n== model comparison, trace 7, 8MB base (Fig 5 shape) ==");

@@ -76,7 +76,10 @@ pub struct BlockStore {
 impl BlockStore {
     /// Creates a store holding at most `capacity` blocks.
     pub fn new(capacity: usize) -> Self {
-        BlockStore { capacity, ..BlockStore::default() }
+        BlockStore {
+            capacity,
+            ..BlockStore::default()
+        }
     }
 
     /// Maximum number of blocks.
@@ -133,7 +136,13 @@ impl BlockStore {
         self.lru.insert(key, id);
         self.blocks.insert(
             id,
-            BlockEntry { dirty: RangeSet::new(), last_access, last_modify, dirty_since: None, lru_key: key },
+            BlockEntry {
+                dirty: RangeSet::new(),
+                last_access,
+                last_modify,
+                dirty_since: None,
+                lru_key: key,
+            },
         );
     }
 
@@ -156,13 +165,23 @@ impl BlockStore {
         assert!(!self.blocks.contains_key(&id), "block {id} already cached");
         let key = (last_access, self.next_tie());
         self.lru.insert(key, id);
-        let effective_since = if dirty.is_empty() { None } else { dirty_since.or(Some(last_modify)) };
+        let effective_since = if dirty.is_empty() {
+            None
+        } else {
+            dirty_since.or(Some(last_modify))
+        };
         if let Some(since) = effective_since {
             self.dirty_age.insert((since, id), ());
         }
         self.blocks.insert(
             id,
-            BlockEntry { dirty, last_access, last_modify, dirty_since: effective_since, lru_key: key },
+            BlockEntry {
+                dirty,
+                last_access,
+                last_modify,
+                dirty_since: effective_since,
+                lru_key: key,
+            },
         );
     }
 
@@ -188,7 +207,10 @@ impl BlockStore {
     /// Panics if `id` is not cached.
     pub fn mark_dirty(&mut self, id: BlockId, range: ByteRange, t: SimTime) -> DirtyOutcome {
         self.touch(id, t);
-        let entry = self.blocks.get_mut(&id).expect("mark_dirty of uncached block");
+        let entry = self
+            .blocks
+            .get_mut(&id)
+            .expect("mark_dirty of uncached block");
         let clipped = match id.byte_range().intersection(range) {
             Some(r) => r,
             None => return DirtyOutcome::default(),
@@ -200,13 +222,18 @@ impl BlockStore {
             entry.dirty_since = Some(t);
             self.dirty_age.insert((t, id), ());
         }
-        DirtyOutcome { newly_dirty, overwritten }
+        DirtyOutcome {
+            newly_dirty,
+            overwritten,
+        }
     }
 
     /// Clears all dirty state of `id` (it was written to the server or its
     /// data died). Returns the number of bytes that were dirty.
     pub fn clean(&mut self, id: BlockId) -> u64 {
-        let Some(entry) = self.blocks.get_mut(&id) else { return 0 };
+        let Some(entry) = self.blocks.get_mut(&id) else {
+            return 0;
+        };
         let bytes = entry.dirty.len_bytes();
         entry.dirty.clear();
         if let Some(since) = entry.dirty_since.take() {
@@ -218,7 +245,9 @@ impl BlockStore {
     /// Kills the dirty bytes of `id` that fall within `range` (truncation).
     /// Returns the number of dirty bytes killed. The block stays cached.
     pub fn kill_dirty(&mut self, id: BlockId, range: ByteRange) -> u64 {
-        let Some(entry) = self.blocks.get_mut(&id) else { return 0 };
+        let Some(entry) = self.blocks.get_mut(&id) else {
+            return 0;
+        };
         let killed = entry.dirty.remove(range);
         if !entry.is_dirty() {
             if let Some(since) = entry.dirty_since.take() {
@@ -283,7 +312,10 @@ impl BlockStore {
     /// Sum of dirty bytes across all blocks.
     pub fn total_dirty_bytes(&self) -> u64 {
         // The dirty_age index holds exactly the dirty blocks.
-        self.dirty_age.keys().map(|&(_, id)| self.blocks[&id].dirty_bytes()).sum()
+        self.dirty_age
+            .keys()
+            .map(|&(_, id)| self.blocks[&id].dirty_bytes())
+            .sum()
     }
 
     /// Number of dirty blocks.
@@ -351,9 +383,21 @@ mod tests {
         let b = bid(0, 0);
         s.insert(b, SimTime::ZERO);
         let o1 = s.mark_dirty(b, ByteRange::new(0, 100), SimTime::from_secs(1));
-        assert_eq!(o1, DirtyOutcome { newly_dirty: 100, overwritten: 0 });
+        assert_eq!(
+            o1,
+            DirtyOutcome {
+                newly_dirty: 100,
+                overwritten: 0
+            }
+        );
         let o2 = s.mark_dirty(b, ByteRange::new(50, 150), SimTime::from_secs(2));
-        assert_eq!(o2, DirtyOutcome { newly_dirty: 50, overwritten: 50 });
+        assert_eq!(
+            o2,
+            DirtyOutcome {
+                newly_dirty: 50,
+                overwritten: 50
+            }
+        );
         // dirty_since is set by the first write, not reset by the second.
         assert_eq!(s.get(b).unwrap().dirty_since, Some(SimTime::from_secs(1)));
         assert_eq!(s.total_dirty_bytes(), 150);

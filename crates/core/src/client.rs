@@ -16,8 +16,8 @@
 //!   (if dirty) and demoted to the volatile cache as a clean copy when it
 //!   is younger than the volatile LRU block.
 
-use nvfs_types::{blocks_of_range, BlockId, ByteRange, ClientId, FileId, SimTime, BLOCK_SIZE};
 use nvfs_nvram::NvramDevice;
+use nvfs_types::{blocks_of_range, BlockId, ByteRange, ClientId, FileId, SimTime, BLOCK_SIZE};
 
 use crate::block_store::{BlockEntry, BlockStore};
 use crate::config::{CacheModelKind, SimConfig};
@@ -98,22 +98,19 @@ impl ClientCache {
         self.device.reset_counters();
     }
 
-    /// Dirty ranges currently resident in the NVRAM store, grouped by file
+    /// Dirty ranges currently resident in the NVRAM store, in block order
     /// (crash-survivable state; see [`crate::recovery`]).
-    pub(crate) fn nvram_dirty_by_file(&self) -> Vec<(FileId, nvfs_types::RangeSet)> {
-        let mut out: Vec<(FileId, nvfs_types::RangeSet)> = Vec::new();
-        for (id, entry) in self.nvram.iter() {
-            if !entry.is_dirty() {
-                continue;
-            }
-            match out.last_mut() {
-                Some((f, set)) if *f == id.file => {
-                    set.union_with(&entry.dirty);
-                }
-                _ => out.push((id.file, entry.dirty.clone())),
-            }
-        }
-        out
+    ///
+    /// Yields borrows of the per-block range sets rather than cloning and
+    /// merging them — consumers (the recovery board) already merge ranges
+    /// on insert, so grouping here would only allocate.
+    pub(crate) fn nvram_dirty_by_file(
+        &self,
+    ) -> impl Iterator<Item = (FileId, &nvfs_types::RangeSet)> {
+        self.nvram
+            .iter()
+            .filter(|(_, entry)| entry.is_dirty())
+            .map(|(id, entry)| (id.file, &entry.dirty))
     }
 
     /// The NVRAM device (access counters).
@@ -125,7 +122,9 @@ impl ClientCache {
     /// the NVRAM mirrors the volatile cache).
     pub fn remaining_dirty_bytes(&self) -> u64 {
         match self.model {
-            CacheModelKind::Volatile | CacheModelKind::WriteAside => self.volatile.total_dirty_bytes(),
+            CacheModelKind::Volatile | CacheModelKind::WriteAside => {
+                self.volatile.total_dirty_bytes()
+            }
             CacheModelKind::Unified => self.nvram.total_dirty_bytes(),
             CacheModelKind::Hybrid => {
                 self.volatile.total_dirty_bytes() + self.nvram.total_dirty_bytes()
@@ -151,7 +150,10 @@ impl ClientCache {
                 CacheModelKind::Unified | CacheModelKind::Hybrid => {
                     if self.nvram.contains(block) {
                         self.nvram.touch(block, t);
-                        let span = block.byte_range().intersection(range).map_or(0, ByteRange::len);
+                        let span = block
+                            .byte_range()
+                            .intersection(range)
+                            .map_or(0, ByteRange::len);
                         self.device.record_read(span);
                         stats.read_hit_blocks += 1;
                     } else if self.volatile.contains(block) {
@@ -184,14 +186,26 @@ impl ClientCache {
         }
     }
 
-    fn write_volatile(&mut self, block: BlockId, sub: ByteRange, t: SimTime, stats: &mut TrafficStats) {
+    fn write_volatile(
+        &mut self,
+        block: BlockId,
+        sub: ByteRange,
+        t: SimTime,
+        stats: &mut TrafficStats,
+    ) {
         self.ensure_volatile_block(block, sub, t, stats);
         let out = self.volatile.mark_dirty(block, sub, t);
         stats.overwritten_dead_bytes += out.overwritten;
         stats.bus_bytes += sub.len();
     }
 
-    fn write_aside(&mut self, block: BlockId, sub: ByteRange, t: SimTime, stats: &mut TrafficStats) {
+    fn write_aside(
+        &mut self,
+        block: BlockId,
+        sub: ByteRange,
+        t: SimTime,
+        stats: &mut TrafficStats,
+    ) {
         self.ensure_volatile_block(block, sub, t, stats);
         let out = self.volatile.mark_dirty(block, sub, t);
         stats.overwritten_dead_bytes += out.overwritten;
@@ -207,7 +221,13 @@ impl ClientCache {
         stats.bus_bytes += 2 * sub.len();
     }
 
-    fn write_unified(&mut self, block: BlockId, sub: ByteRange, t: SimTime, stats: &mut TrafficStats) {
+    fn write_unified(
+        &mut self,
+        block: BlockId,
+        sub: ByteRange,
+        t: SimTime,
+        stats: &mut TrafficStats,
+    ) {
         let whole = sub == block.byte_range();
         if self.nvram.contains(block) {
             // Fast path: block already in NVRAM.
@@ -242,7 +262,13 @@ impl ClientCache {
     /// the volatile cache exactly like the volatile model — the whole cache
     /// absorbs write bursts, at the cost of a 30-second vulnerability
     /// window before the write-back migrates the data to NVRAM.
-    fn write_hybrid(&mut self, block: BlockId, sub: ByteRange, t: SimTime, stats: &mut TrafficStats) {
+    fn write_hybrid(
+        &mut self,
+        block: BlockId,
+        sub: ByteRange,
+        t: SimTime,
+        stats: &mut TrafficStats,
+    ) {
         if self.nvram.contains(block) {
             let out = self.nvram.mark_dirty(block, sub, t);
             stats.overwritten_dead_bytes += out.overwritten;
@@ -276,7 +302,13 @@ impl ClientCache {
     /// Makes sure `block` is resident in the volatile cache, fetching it
     /// from the server first when a partial write would otherwise lose
     /// bytes (read-modify-write).
-    fn ensure_volatile_block(&mut self, block: BlockId, sub: ByteRange, t: SimTime, stats: &mut TrafficStats) {
+    fn ensure_volatile_block(
+        &mut self,
+        block: BlockId,
+        sub: ByteRange,
+        t: SimTime,
+        stats: &mut TrafficStats,
+    ) {
         if self.volatile.contains(block) {
             return;
         }
@@ -303,11 +335,20 @@ impl ClientCache {
                 .expect("full cache is non-empty")
                 .0
         } else {
-            self.volatile.lru_block().expect("full cache is non-empty").0
+            self.volatile
+                .lru_block()
+                .expect("full cache is non-empty")
+                .0
         };
         let entry = self.volatile.remove(victim).expect("victim is cached");
         if entry.is_dirty() {
-            self.flush_bytes(victim.file, entry.dirty_bytes(), FlushCause::Replacement, t, stats);
+            self.flush_bytes(
+                victim.file,
+                entry.dirty_bytes(),
+                FlushCause::Replacement,
+                t,
+                stats,
+            );
             if self.model == CacheModelKind::WriteAside {
                 self.nvram.remove(victim);
             }
@@ -317,9 +358,18 @@ impl ClientCache {
     /// Write-aside NVRAM replacement: the policy picks a dirty block, it is
     /// written to the server, and the volatile copy becomes clean.
     fn replace_nvram_write_aside(&mut self, t: SimTime, stats: &mut TrafficStats) {
-        let victim = self.policy.pick_victim(&self.nvram, t).expect("full NVRAM is non-empty");
+        let victim = self
+            .policy
+            .pick_victim(&self.nvram, t)
+            .expect("full NVRAM is non-empty");
         let entry = self.nvram.remove(victim).expect("victim is cached");
-        self.flush_bytes(victim.file, entry.dirty_bytes(), FlushCause::Replacement, t, stats);
+        self.flush_bytes(
+            victim.file,
+            entry.dirty_bytes(),
+            FlushCause::Replacement,
+            t,
+            stats,
+        );
         self.volatile.clean(victim);
     }
 
@@ -330,10 +380,19 @@ impl ClientCache {
         if !self.nvram.is_full() {
             return;
         }
-        let victim = self.policy.pick_victim(&self.nvram, t).expect("full NVRAM is non-empty");
+        let victim = self
+            .policy
+            .pick_victim(&self.nvram, t)
+            .expect("full NVRAM is non-empty");
         let entry = self.nvram.remove(victim).expect("victim is cached");
         if entry.is_dirty() {
-            self.flush_bytes(victim.file, entry.dirty_bytes(), FlushCause::Replacement, t, stats);
+            self.flush_bytes(
+                victim.file,
+                entry.dirty_bytes(),
+                FlushCause::Replacement,
+                t,
+                stats,
+            );
         }
         if self.volatile.contains(victim) {
             return;
@@ -352,10 +411,17 @@ impl ClientCache {
                 // volatile victim may still be dirty and must be flushed.
                 let evicted = self.volatile.remove(lru).expect("victim is cached");
                 if evicted.is_dirty() {
-                    self.flush_bytes(lru.file, evicted.dirty_bytes(), FlushCause::Replacement, t, stats);
+                    self.flush_bytes(
+                        lru.file,
+                        evicted.dirty_bytes(),
+                        FlushCause::Replacement,
+                        t,
+                        stats,
+                    );
                 }
             }
-            self.volatile.insert_with_access(victim, entry.last_access, entry.last_modify);
+            self.volatile
+                .insert_with_access(victim, entry.last_access, entry.last_modify);
             self.device.record_read(BLOCK_SIZE);
             stats.bus_bytes += BLOCK_SIZE;
         }
@@ -385,7 +451,13 @@ impl ClientCache {
             // is how read traffic can evict dirty blocks (§2.5).
             let entry = self.nvram.remove(nv_lru.0).expect("victim is cached");
             if entry.is_dirty() {
-                self.flush_bytes(nv_lru.0.file, entry.dirty_bytes(), FlushCause::Replacement, t, stats);
+                self.flush_bytes(
+                    nv_lru.0.file,
+                    entry.dirty_bytes(),
+                    FlushCause::Replacement,
+                    t,
+                    stats,
+                );
             }
             self.nvram.insert(block, t);
             self.device.record_write(BLOCK_SIZE);
@@ -393,7 +465,13 @@ impl ClientCache {
             let evicted = self.volatile.remove(vol_lru.0).expect("victim is cached");
             if evicted.is_dirty() {
                 // Hybrid only: volatile blocks can be dirty.
-                self.flush_bytes(vol_lru.0.file, evicted.dirty_bytes(), FlushCause::Replacement, t, stats);
+                self.flush_bytes(
+                    vol_lru.0.file,
+                    evicted.dirty_bytes(),
+                    FlushCause::Replacement,
+                    t,
+                    stats,
+                );
             }
             self.volatile.insert(block, t);
         }
@@ -402,7 +480,13 @@ impl ClientCache {
     /// Flushes all dirty bytes of `file` to the server (consistency recall,
     /// migration, fsync, …). Blocks stay cached; in the write-aside model
     /// the now-clean blocks leave the NVRAM.
-    pub fn flush_file(&mut self, file: FileId, cause: FlushCause, t: SimTime, stats: &mut TrafficStats) -> u64 {
+    pub fn flush_file(
+        &mut self,
+        file: FileId,
+        cause: FlushCause,
+        t: SimTime,
+        stats: &mut TrafficStats,
+    ) -> u64 {
         let mut flushed = 0;
         match self.model {
             CacheModelKind::Volatile => {
@@ -489,7 +573,13 @@ impl ClientCache {
 
     /// Flushes dirty data and drops every cached block of `file` (used when
     /// the server disables caching, and for stale-copy invalidation).
-    pub fn invalidate_file(&mut self, file: FileId, cause: FlushCause, t: SimTime, stats: &mut TrafficStats) {
+    pub fn invalidate_file(
+        &mut self,
+        file: FileId,
+        cause: FlushCause,
+        t: SimTime,
+        stats: &mut TrafficStats,
+    ) {
         self.flush_file(file, cause, t, stats);
         for b in self.volatile.file_blocks(file) {
             self.volatile.remove(b);
@@ -505,7 +595,10 @@ impl ClientCache {
         match self.model {
             CacheModelKind::Volatile | CacheModelKind::WriteAside => {
                 for b in self.volatile.file_blocks(file) {
-                    let entry = self.volatile.remove(b).expect("file_blocks yields cached blocks");
+                    let entry = self
+                        .volatile
+                        .remove(b)
+                        .expect("file_blocks yields cached blocks");
                     stats.deleted_dead_bytes += entry.dirty_bytes();
                 }
                 for b in self.nvram.file_blocks(file) {
@@ -514,7 +607,10 @@ impl ClientCache {
             }
             CacheModelKind::Unified => {
                 for b in self.nvram.file_blocks(file) {
-                    let entry = self.nvram.remove(b).expect("file_blocks yields cached blocks");
+                    let entry = self
+                        .nvram
+                        .remove(b)
+                        .expect("file_blocks yields cached blocks");
                     stats.deleted_dead_bytes += entry.dirty_bytes();
                 }
                 for b in self.volatile.file_blocks(file) {
@@ -523,11 +619,17 @@ impl ClientCache {
             }
             CacheModelKind::Hybrid => {
                 for b in self.volatile.file_blocks(file) {
-                    let entry = self.volatile.remove(b).expect("file_blocks yields cached blocks");
+                    let entry = self
+                        .volatile
+                        .remove(b)
+                        .expect("file_blocks yields cached blocks");
                     stats.deleted_dead_bytes += entry.dirty_bytes();
                 }
                 for b in self.nvram.file_blocks(file) {
-                    let entry = self.nvram.remove(b).expect("file_blocks yields cached blocks");
+                    let entry = self
+                        .nvram
+                        .remove(b)
+                        .expect("file_blocks yields cached blocks");
                     stats.deleted_dead_bytes += entry.dirty_bytes();
                 }
             }
@@ -545,11 +647,13 @@ impl ClientCache {
             self.model,
             CacheModelKind::Volatile | CacheModelKind::WriteAside | CacheModelKind::Hybrid
         );
-        let count_in_nvram =
-            matches!(self.model, CacheModelKind::Unified | CacheModelKind::Hybrid);
+        let count_in_nvram = matches!(self.model, CacheModelKind::Unified | CacheModelKind::Hybrid);
         for b in self.volatile.file_blocks(file) {
             if b.byte_range().start >= new_len {
-                let entry = self.volatile.remove(b).expect("file_blocks yields cached blocks");
+                let entry = self
+                    .volatile
+                    .remove(b)
+                    .expect("file_blocks yields cached blocks");
                 if count_in_volatile {
                     stats.deleted_dead_bytes += entry.dirty_bytes();
                 }
@@ -562,7 +666,10 @@ impl ClientCache {
         }
         for b in self.nvram.file_blocks(file) {
             if b.byte_range().start >= new_len {
-                let entry = self.nvram.remove(b).expect("file_blocks yields cached blocks");
+                let entry = self
+                    .nvram
+                    .remove(b)
+                    .expect("file_blocks yields cached blocks");
                 if count_in_nvram {
                     stats.deleted_dead_bytes += entry.dirty_bytes();
                 }
@@ -601,7 +708,10 @@ impl ClientCache {
                     if !is_dirty {
                         continue;
                     }
-                    let entry = self.volatile.remove(b).expect("file_blocks yields cached blocks");
+                    let entry = self
+                        .volatile
+                        .remove(b)
+                        .expect("file_blocks yields cached blocks");
                     self.ensure_nvram_space(t, stats);
                     self.nvram.insert_with_state(
                         b,
@@ -656,7 +766,13 @@ impl ClientCache {
         if bytes == 0 {
             return;
         }
-        self.log.push(ServerWrite { time: t, client: self.client, file, bytes, cause });
+        self.log.push(ServerWrite {
+            time: t,
+            client: self.client,
+            file,
+            bytes,
+            cause,
+        });
         stats.server_write_bytes += bytes;
         match cause {
             FlushCause::WriteBack => stats.writeback_bytes += bytes,
@@ -680,12 +796,11 @@ impl ClientCache {
                 .nvram
                 .iter()
                 .all(|(id, e)| e.is_dirty() && self.volatile.get(id).is_some_and(|v| v.is_dirty())),
-            CacheModelKind::Unified => {
-                self.volatile.iter().all(|(id, e)| !e.is_dirty() && !self.nvram.contains(id))
-            }
-            CacheModelKind::Hybrid => {
-                self.volatile.iter().all(|(id, _)| !self.nvram.contains(id))
-            }
+            CacheModelKind::Unified => self
+                .volatile
+                .iter()
+                .all(|(id, e)| !e.is_dirty() && !self.nvram.contains(id)),
+            CacheModelKind::Hybrid => self.volatile.iter().all(|(id, _)| !self.nvram.contains(id)),
         }
     }
 }
@@ -743,7 +858,12 @@ mod tests {
     fn volatile_partial_write_fetches_block() {
         let mut c = cache(CacheModelKind::Volatile, 4, 0);
         let mut s = TrafficStats::default();
-        c.write(FileId(0), ByteRange::new(0, 100), SimTime::from_secs(1), &mut s);
+        c.write(
+            FileId(0),
+            ByteRange::new(0, 100),
+            SimTime::from_secs(1),
+            &mut s,
+        );
         assert_eq!(s.server_read_bytes, BLOCK_SIZE, "read-modify-write fetch");
         let mut s2 = TrafficStats::default();
         c.write(FileId(0), block_range(1), SimTime::from_secs(2), &mut s2);
@@ -769,7 +889,11 @@ mod tests {
         let files = c.writeback_older_than(SimTime::from_secs(5), SimTime::from_secs(35), &mut s);
         assert_eq!(files, vec![FileId(0)]);
         assert_eq!(s.writeback_bytes, BLOCK_SIZE);
-        assert_eq!(c.remaining_dirty_bytes(), BLOCK_SIZE, "newer block still dirty");
+        assert_eq!(
+            c.remaining_dirty_bytes(),
+            BLOCK_SIZE,
+            "newer block still dirty"
+        );
     }
 
     #[test]
@@ -787,7 +911,11 @@ mod tests {
         let mut c = cache(CacheModelKind::WriteAside, 4, 2);
         let mut s = TrafficStats::default();
         c.write(FileId(0), block_range(0), SimTime::from_secs(1), &mut s);
-        assert_eq!(s.bus_bytes, 2 * BLOCK_SIZE, "write-aside doubles bus traffic");
+        assert_eq!(
+            s.bus_bytes,
+            2 * BLOCK_SIZE,
+            "write-aside doubles bus traffic"
+        );
         assert_eq!(c.device().writes(), 1);
         assert!(c.check_invariants());
     }
@@ -868,7 +996,12 @@ mod tests {
         let mut s = TrafficStats::default();
         c.read(FileId(0), block_range(0), SimTime::from_secs(1), &mut s);
         let bus_before = s.bus_bytes;
-        c.write(FileId(0), ByteRange::new(0, 100), SimTime::from_secs(2), &mut s);
+        c.write(
+            FileId(0),
+            ByteRange::new(0, 100),
+            SimTime::from_secs(2),
+            &mut s,
+        );
         // Promotion transfers the whole block plus the 100 app bytes.
         assert_eq!(s.bus_bytes - bus_before, BLOCK_SIZE + 100);
         assert!(c.check_invariants());
@@ -877,7 +1010,11 @@ mod tests {
 
     #[test]
     fn delete_absorbs_dirty_bytes() {
-        for model in [CacheModelKind::Volatile, CacheModelKind::WriteAside, CacheModelKind::Unified] {
+        for model in [
+            CacheModelKind::Volatile,
+            CacheModelKind::WriteAside,
+            CacheModelKind::Unified,
+        ] {
             let mut c = cache(model, 4, 2);
             let mut s = TrafficStats::default();
             c.write(FileId(0), block_range(0), SimTime::from_secs(1), &mut s);
@@ -891,10 +1028,19 @@ mod tests {
 
     #[test]
     fn truncate_kills_tail_dirty_bytes() {
-        for model in [CacheModelKind::Volatile, CacheModelKind::WriteAside, CacheModelKind::Unified] {
+        for model in [
+            CacheModelKind::Volatile,
+            CacheModelKind::WriteAside,
+            CacheModelKind::Unified,
+        ] {
             let mut c = cache(model, 8, 4);
             let mut s = TrafficStats::default();
-            c.write(FileId(0), ByteRange::new(0, 3 * BLOCK_SIZE), SimTime::from_secs(1), &mut s);
+            c.write(
+                FileId(0),
+                ByteRange::new(0, 3 * BLOCK_SIZE),
+                SimTime::from_secs(1),
+                &mut s,
+            );
             c.truncate_file(FileId(0), BLOCK_SIZE + 100, &mut s);
             assert_eq!(s.deleted_dead_bytes, 2 * BLOCK_SIZE - 100, "{model:?}");
             assert_eq!(c.remaining_dirty_bytes(), BLOCK_SIZE + 100, "{model:?}");
@@ -904,11 +1050,20 @@ mod tests {
 
     #[test]
     fn flush_file_callback_accounting() {
-        for model in [CacheModelKind::Volatile, CacheModelKind::WriteAside, CacheModelKind::Unified] {
+        for model in [
+            CacheModelKind::Volatile,
+            CacheModelKind::WriteAside,
+            CacheModelKind::Unified,
+        ] {
             let mut c = cache(model, 4, 2);
             let mut s = TrafficStats::default();
             c.write(FileId(0), block_range(0), SimTime::from_secs(1), &mut s);
-            let flushed = c.flush_file(FileId(0), FlushCause::Callback, SimTime::from_secs(2), &mut s);
+            let flushed = c.flush_file(
+                FileId(0),
+                FlushCause::Callback,
+                SimTime::from_secs(2),
+                &mut s,
+            );
             assert_eq!(flushed, BLOCK_SIZE, "{model:?}");
             assert_eq!(s.callback_bytes, BLOCK_SIZE, "{model:?}");
             assert_eq!(c.remaining_dirty_bytes(), 0, "{model:?}");
@@ -926,7 +1081,11 @@ mod tests {
         c.writeback_older_than(SimTime::from_secs(5), SimTime::from_secs(35), &mut s);
         assert_eq!(s.server_write_bytes, 0);
         assert_eq!(s.aged_into_nvram_bytes, BLOCK_SIZE);
-        assert_eq!(c.remaining_dirty_bytes(), BLOCK_SIZE, "still dirty, now permanent");
+        assert_eq!(
+            c.remaining_dirty_bytes(),
+            BLOCK_SIZE,
+            "still dirty, now permanent"
+        );
         assert!(c.check_invariants());
         // A later write to the migrated block updates it in NVRAM.
         c.write(FileId(0), block_range(0), SimTime::from_secs(40), &mut s);
@@ -962,7 +1121,11 @@ mod tests {
     #[test]
     fn dirty_preference_spares_dirty_blocks() {
         let cfg_pref = cfg(CacheModelKind::Volatile, 2, 0).with_dirty_preference();
-        let mut c = ClientCache::new(&cfg_pref, Policy::from_kind(PolicyKind::Lru, None), ClientId(0));
+        let mut c = ClientCache::new(
+            &cfg_pref,
+            Policy::from_kind(PolicyKind::Lru, None),
+            ClientId(0),
+        );
         let mut s = TrafficStats::default();
         // Dirty LRU block plus a newer clean block.
         c.write(FileId(0), block_range(0), SimTime::from_secs(1), &mut s);
@@ -986,7 +1149,12 @@ mod tests {
         let mut c = cache(CacheModelKind::Unified, 4, 2);
         let mut s = TrafficStats::default();
         c.write(FileId(0), block_range(0), SimTime::from_secs(1), &mut s);
-        c.invalidate_file(FileId(0), FlushCause::Callback, SimTime::from_secs(2), &mut s);
+        c.invalidate_file(
+            FileId(0),
+            FlushCause::Callback,
+            SimTime::from_secs(2),
+            &mut s,
+        );
         assert_eq!(s.callback_bytes, BLOCK_SIZE);
         // A re-read misses.
         c.read(FileId(0), block_range(0), SimTime::from_secs(2), &mut s);

@@ -1,10 +1,9 @@
 //! Simulation configuration.
 
 use nvfs_types::{SimDuration, BLOCK_CLEANER_PERIOD, BLOCK_SIZE, DELAYED_WRITE_BACK};
-use serde::{Deserialize, Serialize};
 
 /// Which client cache organization to simulate (§2.1, Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheModelKind {
     /// A single volatile cache with Sprite's 30-second delayed write-back
     /// (the baseline; no NVRAM).
@@ -33,8 +32,7 @@ impl CacheModelKind {
 }
 
 /// Block replacement policy for the NVRAM (§2.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PolicyKind {
     /// Replace the least-recently accessed (or modified) block.
     #[default]
@@ -51,10 +49,8 @@ pub enum PolicyKind {
     Omniscient,
 }
 
-
 /// Granularity of the cache consistency protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ConsistencyMode {
     /// Sprite's protocol: opening a file last written by another client
     /// recalls *all* of that client's dirty data for the file (§2.1).
@@ -66,9 +62,8 @@ pub enum ConsistencyMode {
     BlockOnDemand,
 }
 
-
 /// Full configuration of a cluster simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Cache organization.
     pub model: CacheModelKind,
@@ -99,7 +94,10 @@ impl SimConfig {
     ///
     /// Panics if `volatile_bytes` is smaller than one 4 KB block.
     pub fn volatile(volatile_bytes: u64) -> Self {
-        assert!(volatile_bytes >= BLOCK_SIZE, "cache must hold at least one block");
+        assert!(
+            volatile_bytes >= BLOCK_SIZE,
+            "cache must hold at least one block"
+        );
         SimConfig {
             model: CacheModelKind::Volatile,
             volatile_bytes,
@@ -119,8 +117,14 @@ impl SimConfig {
     ///
     /// Panics if either memory is smaller than one 4 KB block.
     pub fn write_aside(volatile_bytes: u64, nvram_bytes: u64) -> Self {
-        assert!(volatile_bytes >= BLOCK_SIZE, "cache must hold at least one block");
-        assert!(nvram_bytes >= BLOCK_SIZE, "NVRAM must hold at least one block");
+        assert!(
+            volatile_bytes >= BLOCK_SIZE,
+            "cache must hold at least one block"
+        );
+        assert!(
+            nvram_bytes >= BLOCK_SIZE,
+            "NVRAM must hold at least one block"
+        );
         SimConfig {
             model: CacheModelKind::WriteAside,
             volatile_bytes,
@@ -135,8 +139,14 @@ impl SimConfig {
     ///
     /// Panics if either memory is smaller than one 4 KB block.
     pub fn unified(volatile_bytes: u64, nvram_bytes: u64) -> Self {
-        assert!(volatile_bytes >= BLOCK_SIZE, "cache must hold at least one block");
-        assert!(nvram_bytes >= BLOCK_SIZE, "NVRAM must hold at least one block");
+        assert!(
+            volatile_bytes >= BLOCK_SIZE,
+            "cache must hold at least one block"
+        );
+        assert!(
+            nvram_bytes >= BLOCK_SIZE,
+            "NVRAM must hold at least one block"
+        );
         SimConfig {
             model: CacheModelKind::Unified,
             volatile_bytes,
@@ -152,8 +162,14 @@ impl SimConfig {
     ///
     /// Panics if either memory is smaller than one 4 KB block.
     pub fn hybrid(volatile_bytes: u64, nvram_bytes: u64) -> Self {
-        assert!(volatile_bytes >= BLOCK_SIZE, "cache must hold at least one block");
-        assert!(nvram_bytes >= BLOCK_SIZE, "NVRAM must hold at least one block");
+        assert!(
+            volatile_bytes >= BLOCK_SIZE,
+            "cache must hold at least one block"
+        );
+        assert!(
+            nvram_bytes >= BLOCK_SIZE,
+            "NVRAM must hold at least one block"
+        );
         SimConfig {
             model: CacheModelKind::Hybrid,
             volatile_bytes,
@@ -198,8 +214,14 @@ mod tests {
     #[test]
     fn constructors_set_model() {
         assert_eq!(SimConfig::volatile(1 << 20).model, CacheModelKind::Volatile);
-        assert_eq!(SimConfig::write_aside(1 << 20, 1 << 20).model, CacheModelKind::WriteAside);
-        assert_eq!(SimConfig::unified(1 << 20, 1 << 20).model, CacheModelKind::Unified);
+        assert_eq!(
+            SimConfig::write_aside(1 << 20, 1 << 20).model,
+            CacheModelKind::WriteAside
+        );
+        assert_eq!(
+            SimConfig::unified(1 << 20, 1 << 20).model,
+            CacheModelKind::Unified
+        );
     }
 
     #[test]

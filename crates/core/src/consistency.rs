@@ -10,8 +10,8 @@
 
 use std::collections::BTreeMap;
 
-use nvfs_types::{ClientId, FileId};
 use nvfs_trace::event::OpenMode;
+use nvfs_types::{ClientId, FileId};
 
 use crate::config::ConsistencyMode;
 
@@ -75,7 +75,10 @@ impl ConsistencyServer {
 
     /// Creates a server using the given protocol granularity.
     pub fn with_mode(mode: ConsistencyMode) -> Self {
-        ConsistencyServer { mode, ..ConsistencyServer::default() }
+        ConsistencyServer {
+            mode,
+            ..ConsistencyServer::default()
+        }
     }
 
     /// The protocol granularity in use.
@@ -119,7 +122,9 @@ impl ConsistencyServer {
     /// Registers a close. Returns `true` if caching was re-enabled for the
     /// file (the last sharer closed it).
     pub fn on_close(&mut self, file: FileId, client: ClientId) -> bool {
-        let Some(state) = self.files.get_mut(&file) else { return false };
+        let Some(state) = self.files.get_mut(&file) else {
+            return false;
+        };
         if let Some(entry) = state.opens.get_mut(&client) {
             entry.0 = entry.0.saturating_sub(1);
             // Conservatively retire a writing open first.
@@ -201,7 +206,10 @@ mod tests {
         let o = s.on_open(F, B, OpenMode::Read);
         assert_eq!(o.recall_from, Some(A));
         assert!(o.invalidate_opener);
-        assert!(!o.disable_caching, "sequential sharing keeps caching enabled");
+        assert!(
+            !o.disable_caching,
+            "sequential sharing keeps caching enabled"
+        );
         // The recall clears the last-writer record.
         s.on_close(F, B);
         let o2 = s.on_open(F, B, OpenMode::Read);

@@ -7,12 +7,10 @@
 //! This module provides the interpolation and pricing arithmetic; the
 //! traffic curves come from [`ClusterSim`](crate::ClusterSim) sweeps.
 
-use serde::{Deserialize, Serialize};
-
 use nvfs_nvram::cost::{cheapest_nvram_for, dram};
 
 /// One point of a memory-sweep curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficPoint {
     /// Megabytes of memory added to the base configuration.
     pub extra_mb: f64,
@@ -58,7 +56,7 @@ pub fn equivalent_extra_mb(curve: &[TrafficPoint], target_pct: f64) -> Option<f6
 }
 
 /// The verdict for one NVRAM configuration against the volatile curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostVerdict {
     /// NVRAM megabytes added (unified model).
     pub nvram_mb: f64,
@@ -110,10 +108,22 @@ mod tests {
 
     fn curve() -> Vec<TrafficPoint> {
         vec![
-            TrafficPoint { extra_mb: 0.0, traffic_pct: 52.0 },
-            TrafficPoint { extra_mb: 2.0, traffic_pct: 48.0 },
-            TrafficPoint { extra_mb: 4.0, traffic_pct: 45.0 },
-            TrafficPoint { extra_mb: 8.0, traffic_pct: 42.0 },
+            TrafficPoint {
+                extra_mb: 0.0,
+                traffic_pct: 52.0,
+            },
+            TrafficPoint {
+                extra_mb: 2.0,
+                traffic_pct: 48.0,
+            },
+            TrafficPoint {
+                extra_mb: 4.0,
+                traffic_pct: 45.0,
+            },
+            TrafficPoint {
+                extra_mb: 8.0,
+                traffic_pct: 42.0,
+            },
         ]
     }
 
@@ -138,7 +148,10 @@ mod tests {
     #[test]
     fn verdict_prefers_nvram_when_equivalent_dram_is_large() {
         // 0.5 MB of NVRAM matching 6+ MB of DRAM: the 16 MB-base scenario.
-        let unified = vec![TrafficPoint { extra_mb: 0.5, traffic_pct: 42.0 }];
+        let unified = vec![TrafficPoint {
+            extra_mb: 0.5,
+            traffic_pct: 42.0,
+        }];
         let verdicts = evaluate_against_volatile(&unified, &curve());
         let v = verdicts[0];
         assert_eq!(v.equivalent_dram_mb, Some(8.0));
@@ -149,7 +162,10 @@ mod tests {
     #[test]
     fn verdict_prefers_dram_when_reductions_match() {
         // 4 MB of NVRAM only matching 4 MB of DRAM: prices decide for DRAM.
-        let unified = vec![TrafficPoint { extra_mb: 4.0, traffic_pct: 45.0 }];
+        let unified = vec![TrafficPoint {
+            extra_mb: 4.0,
+            traffic_pct: 45.0,
+        }];
         let v = evaluate_against_volatile(&unified, &curve())[0];
         assert_eq!(v.equivalent_dram_mb, Some(4.0));
         assert!(!v.nvram_wins, "{v:?}");
@@ -157,7 +173,10 @@ mod tests {
 
     #[test]
     fn nvram_wins_outright_when_dram_cannot_reach() {
-        let unified = vec![TrafficPoint { extra_mb: 1.0, traffic_pct: 30.0 }];
+        let unified = vec![TrafficPoint {
+            extra_mb: 1.0,
+            traffic_pct: 30.0,
+        }];
         let v = evaluate_against_volatile(&unified, &curve())[0];
         assert_eq!(v.equivalent_dram_mb, None);
         assert!(v.nvram_wins);

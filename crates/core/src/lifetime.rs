@@ -12,15 +12,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
-use nvfs_types::{ByteRange, ClientId, FileId, SimDuration, SimTime};
 use nvfs_trace::op::{OpKind, OpStream};
+use nvfs_types::{ByteRange, ClientId, FileId, SimDuration, SimTime};
 
 use crate::consistency::ConsistencyServer;
 
 /// The final fate of a run of written bytes (Table 2 rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ByteFate {
     /// Overwritten in the cache before ever reaching the server.
     Overwritten,
@@ -46,7 +44,7 @@ impl ByteFate {
 }
 
 /// One run of bytes sharing a birth time and a fate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FateRecord {
     /// Number of bytes in the run.
     pub len: u64,
@@ -91,7 +89,9 @@ impl TimedRanges {
             if e <= r.start {
                 continue;
             }
-            let cut = ByteRange::new(s, e).intersection(r).expect("scanned run overlaps");
+            let cut = ByteRange::new(s, e)
+                .intersection(r)
+                .expect("scanned run overlaps");
             removed.push((cut.len(), birth));
             to_delete.push(s);
             if s < cut.start {
@@ -133,7 +133,7 @@ impl TimedRanges {
 }
 
 /// The complete lifetime log of one trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LifetimeLog {
     /// All byte-run fate records.
     pub records: Vec<FateRecord>,
@@ -160,7 +160,10 @@ impl LifetimeLog {
     pub fn analyze(ops: &OpStream) -> Self {
         let mut dirty: BTreeMap<(ClientId, FileId), TimedRanges> = BTreeMap::new();
         let mut server = ConsistencyServer::new();
-        let mut log = LifetimeLog { end_time: ops.end_time(), ..LifetimeLog::default() };
+        let mut log = LifetimeLog {
+            end_time: ops.end_time(),
+            ..LifetimeLog::default()
+        };
 
         for op in ops {
             let t = op.time;
@@ -179,8 +182,11 @@ impl LifetimeLog {
                         log.flush_all(&mut dirty, op.client, *file, ByteFate::CalledBack, t);
                     }
                     if outcome.disable_caching {
-                        let writers: Vec<ClientId> =
-                            dirty.keys().filter(|(_, f)| *f == *file).map(|&(c, _)| c).collect();
+                        let writers: Vec<ClientId> = dirty
+                            .keys()
+                            .filter(|(_, f)| *f == *file)
+                            .map(|&(c, _)| c)
+                            .collect();
                         for c in writers {
                             log.flush_all(&mut dirty, c, *file, ByteFate::CalledBack, t);
                         }
@@ -199,8 +205,10 @@ impl LifetimeLog {
                             fate_time: t,
                         });
                     } else {
-                        let killed =
-                            dirty.entry((op.client, *file)).or_default().write(*range, t);
+                        let killed = dirty
+                            .entry((op.client, *file))
+                            .or_default()
+                            .write(*range, t);
                         for (len, birth) in killed {
                             log.records.push(FateRecord {
                                 len,
@@ -213,8 +221,11 @@ impl LifetimeLog {
                     }
                 }
                 OpKind::Truncate { file, new_len } => {
-                    let clients: Vec<ClientId> =
-                        dirty.keys().filter(|(_, f)| *f == *file).map(|&(c, _)| c).collect();
+                    let clients: Vec<ClientId> = dirty
+                        .keys()
+                        .filter(|(_, f)| *f == *file)
+                        .map(|&(c, _)| c)
+                        .collect();
                     for c in clients {
                         let killed = dirty
                             .get_mut(&(c, *file))
@@ -231,8 +242,11 @@ impl LifetimeLog {
                     }
                 }
                 OpKind::Delete { file } => {
-                    let clients: Vec<ClientId> =
-                        dirty.keys().filter(|(_, f)| *f == *file).map(|&(c, _)| c).collect();
+                    let clients: Vec<ClientId> = dirty
+                        .keys()
+                        .filter(|(_, f)| *f == *file)
+                        .map(|&(c, _)| c)
+                        .collect();
                     for c in clients {
                         log.flush_all(&mut dirty, c, *file, ByteFate::Deleted, t);
                     }
@@ -258,7 +272,12 @@ impl LifetimeLog {
                 continue;
             }
             for (len, birth) in ranges.drain() {
-                log.records.push(FateRecord { len, birth, fate: ByteFate::Remaining, fate_time: end });
+                log.records.push(FateRecord {
+                    len,
+                    birth,
+                    fate: ByteFate::Remaining,
+                    fate_time: end,
+                });
             }
         }
         log
@@ -274,7 +293,12 @@ impl LifetimeLog {
     ) {
         if let Some(ranges) = dirty.get_mut(&(client, file)) {
             for (len, birth) in ranges.drain() {
-                self.records.push(FateRecord { len, birth, fate, fate_time: t });
+                self.records.push(FateRecord {
+                    len,
+                    birth,
+                    fate,
+                    fate_time: t,
+                });
             }
             dirty.remove(&(client, file));
         }
@@ -295,7 +319,12 @@ impl LifetimeLog {
         if self.total_write_bytes == 0 {
             return 0.0;
         }
-        let absorbed: u64 = self.records.iter().filter(|r| r.fate.is_absorbed()).map(|r| r.len).sum();
+        let absorbed: u64 = self
+            .records
+            .iter()
+            .filter(|r| r.fate.is_absorbed())
+            .map(|r| r.len)
+            .sum();
         absorbed as f64 / self.total_write_bytes as f64
     }
 
@@ -383,15 +412,40 @@ mod tests {
     use nvfs_trace::op::Op;
 
     fn op(t: u64, client: u32, kind: OpKind) -> Op {
-        Op { time: SimTime::from_secs(t), client: ClientId(client), kind }
+        Op {
+            time: SimTime::from_secs(t),
+            client: ClientId(client),
+            kind,
+        }
     }
 
     #[test]
     fn overwrite_records_death_with_age() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(10, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(40, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                10,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                40,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -400,18 +454,49 @@ mod tests {
         let fates = log.bytes_by_fate();
         assert_eq!(fates[&ByteFate::Overwritten], 100);
         assert_eq!(fates[&ByteFate::Remaining], 100);
-        let dead: Vec<&FateRecord> =
-            log.records.iter().filter(|r| r.fate == ByteFate::Overwritten).collect();
+        let dead: Vec<&FateRecord> = log
+            .records
+            .iter()
+            .filter(|r| r.fate == ByteFate::Overwritten)
+            .collect();
         assert_eq!(dead[0].age(), SimDuration::from_secs(30));
     }
 
     #[test]
     fn delay_sweep_is_monotone_nonincreasing() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(20, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(500, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                20,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                500,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -428,9 +513,30 @@ mod tests {
     #[test]
     fn partial_overwrite_splits_runs() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(10, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(50, 150) }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                10,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(50, 150),
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -443,9 +549,30 @@ mod tests {
     #[test]
     fn truncate_and_delete_are_deletions() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(5, 0, OpKind::Truncate { file: FileId(0), new_len: 60 }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                5,
+                0,
+                OpKind::Truncate {
+                    file: FileId(0),
+                    new_len: 60,
+                },
+            ),
             op(9, 0, OpKind::Delete { file: FileId(0) }),
         ]
         .into_iter()
@@ -459,10 +586,31 @@ mod tests {
     #[test]
     fn callback_bytes_always_count_as_traffic() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
             op(2, 0, OpKind::Close { file: FileId(0) }),
-            op(3, 1, OpKind::Open { file: FileId(0), mode: OpenMode::Read }),
+            op(
+                3,
+                1,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Read,
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -470,15 +618,39 @@ mod tests {
         let fates = log.bytes_by_fate();
         assert_eq!(fates[&ByteFate::CalledBack], 100);
         // Even a huge delay cannot absorb called-back bytes.
-        assert_eq!(log.net_write_traffic_at_delay(SimDuration::from_hours(10)), 100.0);
+        assert_eq!(
+            log.net_write_traffic_at_delay(SimDuration::from_hours(10)),
+            100.0
+        );
     }
 
     #[test]
     fn concurrent_writes_bypass() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 1, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(2, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                1,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                2,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -490,9 +662,31 @@ mod tests {
     fn migration_flushes_to_server() {
         use nvfs_types::ProcessId;
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(2, 0, OpKind::Migrate { pid: ProcessId(0), to: ClientId(1), files: vec![FileId(0)] }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                2,
+                0,
+                OpKind::Migrate {
+                    pid: ProcessId(0),
+                    to: ClientId(1),
+                    files: vec![FileId(0)],
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -503,23 +697,74 @@ mod tests {
     #[test]
     fn death_age_quantiles() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             // 100 bytes die at age 10 s, 100 at age 100 s, 100 remain.
-            op(10, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(20, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(120, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
+            op(
+                10,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                20,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                120,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
         ]
         .into_iter()
         .collect();
         let log = LifetimeLog::analyze(&ops);
-        assert_eq!(log.death_age_quantile(0.25), Some(SimDuration::from_secs(10)));
+        assert_eq!(
+            log.death_age_quantile(0.25),
+            Some(SimDuration::from_secs(10))
+        );
         assert_eq!(log.median_death_age(), Some(SimDuration::from_secs(10)));
-        assert_eq!(log.death_age_quantile(0.75), Some(SimDuration::from_secs(100)));
-        assert_eq!(log.death_age_quantile(1.0), Some(SimDuration::from_secs(100)));
+        assert_eq!(
+            log.death_age_quantile(0.75),
+            Some(SimDuration::from_secs(100))
+        );
+        assert_eq!(
+            log.death_age_quantile(1.0),
+            Some(SimDuration::from_secs(100))
+        );
         // A write-only stream with no deaths has no quantiles.
         let only: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 10) }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 10),
+                },
+            ),
         ]
         .into_iter()
         .collect();

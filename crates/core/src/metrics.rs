@@ -6,11 +6,10 @@
 //! bus traffic, and NVRAM access counts. Figures 2–6 are all derived from
 //! these counters.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Aggregated traffic statistics for one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Bytes read by applications.
     pub app_read_bytes: u64,
@@ -70,8 +69,9 @@ impl TrafficStats {
         if self.app_write_bytes == 0 {
             return 0.0;
         }
-        100.0 * (self.server_write_bytes + self.concurrent_write_bytes + self.remaining_dirty_bytes)
-            as f64
+        100.0
+            * (self.server_write_bytes + self.concurrent_write_bytes + self.remaining_dirty_bytes)
+                as f64
             / self.app_write_bytes as f64
     }
 
@@ -161,8 +161,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = TrafficStats { app_read_bytes: 10, nvram_reads: 1, ..TrafficStats::default() };
-        let b = TrafficStats { app_read_bytes: 5, nvram_writes: 2, ..TrafficStats::default() };
+        let mut a = TrafficStats {
+            app_read_bytes: 10,
+            nvram_reads: 1,
+            ..TrafficStats::default()
+        };
+        let b = TrafficStats {
+            app_read_bytes: 5,
+            nvram_writes: 2,
+            ..TrafficStats::default()
+        };
         a += b;
         assert_eq!(a.app_read_bytes, 15);
         assert_eq!(a.nvram_accesses(), 3);
@@ -184,7 +192,11 @@ mod tests {
 
     #[test]
     fn hit_ratio() {
-        let s = TrafficStats { read_hit_blocks: 3, read_miss_blocks: 1, ..TrafficStats::default() };
+        let s = TrafficStats {
+            read_hit_blocks: 3,
+            read_miss_blocks: 1,
+            ..TrafficStats::default()
+        };
         assert_eq!(s.read_hit_ratio(), 0.75);
     }
 }

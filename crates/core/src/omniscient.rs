@@ -10,8 +10,8 @@
 
 use std::collections::BTreeMap;
 
-use nvfs_types::{blocks_of_range, BlockId, ByteRange, FileId, SimTime};
 use nvfs_trace::op::{OpKind, OpStream};
+use nvfs_types::{blocks_of_range, BlockId, ByteRange, FileId, SimTime};
 
 /// Per-block future modification times, built from an op stream.
 #[derive(Debug, Clone, Default)]
@@ -115,7 +115,10 @@ mod tests {
         Op {
             time: SimTime::from_secs(t),
             client: ClientId(0),
-            kind: OpKind::Write { file: FileId(file), range },
+            kind: OpKind::Write {
+                file: FileId(file),
+                range,
+            },
         }
     }
 
@@ -133,7 +136,10 @@ mod tests {
         .collect();
         let s = OmniscientSchedule::build(&ops);
         let b0 = BlockId::new(FileId(0), 0);
-        assert_eq!(s.next_modify(b0, SimTime::from_secs(1)), SimTime::from_secs(5));
+        assert_eq!(
+            s.next_modify(b0, SimTime::from_secs(1)),
+            SimTime::from_secs(5)
+        );
         assert_eq!(s.next_modify(b0, SimTime::from_secs(5)), SimTime::MAX);
     }
 
@@ -144,7 +150,10 @@ mod tests {
             Op {
                 time: SimTime::from_secs(5),
                 client: ClientId(0),
-                kind: OpKind::Truncate { file: FileId(0), new_len: 8192 },
+                kind: OpKind::Truncate {
+                    file: FileId(0),
+                    new_len: 8192,
+                },
             },
         ]
         .into_iter()
@@ -165,7 +174,10 @@ mod tests {
     #[test]
     fn unknown_block_is_never_modified() {
         let s = OmniscientSchedule::build(&OpStream::new());
-        assert_eq!(s.next_modify(BlockId::new(FileId(9), 9), SimTime::ZERO), SimTime::MAX);
+        assert_eq!(
+            s.next_modify(BlockId::new(FileId(9), 9), SimTime::ZERO),
+            SimTime::MAX
+        );
         assert_eq!(s.block_count(), 0);
     }
 
@@ -181,8 +193,14 @@ mod tests {
         let s = OmniscientSchedule::build(&ops);
         let b = BlockId::new(FileId(0), 0);
         assert_eq!(s.next_modify(b, SimTime::ZERO), SimTime::from_secs(1));
-        assert_eq!(s.next_modify(b, SimTime::from_secs(1)), SimTime::from_secs(5));
-        assert_eq!(s.next_modify(b, SimTime::from_secs(7)), SimTime::from_secs(9));
+        assert_eq!(
+            s.next_modify(b, SimTime::from_secs(1)),
+            SimTime::from_secs(5)
+        );
+        assert_eq!(
+            s.next_modify(b, SimTime::from_secs(7)),
+            SimTime::from_secs(9)
+        );
         assert_eq!(s.next_modify(b, SimTime::from_secs(9)), SimTime::MAX);
     }
 }

@@ -8,8 +8,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 
 use nvfs_types::{BlockId, SimTime};
 
@@ -81,7 +80,10 @@ mod tests {
     fn lru_picks_oldest_access() {
         let mut p = Policy::from_kind(PolicyKind::Lru, None);
         let s = store_with(3);
-        assert_eq!(p.pick_victim(&s, SimTime::ZERO), Some(BlockId::new(FileId(0), 0)));
+        assert_eq!(
+            p.pick_victim(&s, SimTime::ZERO),
+            Some(BlockId::new(FileId(0), 0))
+        );
     }
 
     #[test]
@@ -89,11 +91,15 @@ mod tests {
         let s = store_with(8);
         let picks_a: Vec<_> = {
             let mut p = Policy::from_kind(PolicyKind::Random { seed: 9 }, None);
-            (0..10).map(|_| p.pick_victim(&s, SimTime::ZERO).unwrap()).collect()
+            (0..10)
+                .map(|_| p.pick_victim(&s, SimTime::ZERO).unwrap())
+                .collect()
         };
         let picks_b: Vec<_> = {
             let mut p = Policy::from_kind(PolicyKind::Random { seed: 9 }, None);
-            (0..10).map(|_| p.pick_victim(&s, SimTime::ZERO).unwrap()).collect()
+            (0..10)
+                .map(|_| p.pick_victim(&s, SimTime::ZERO).unwrap())
+                .collect()
         };
         assert_eq!(picks_a, picks_b);
         assert!(picks_a.iter().all(|b| b.index < 8));
@@ -108,12 +114,18 @@ mod tests {
             Op {
                 time: SimTime::from_secs(10),
                 client: ClientId(0),
-                kind: OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) },
+                kind: OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
             },
             Op {
                 time: SimTime::from_secs(50),
                 client: ClientId(0),
-                kind: OpKind::Write { file: FileId(0), range: ByteRange::at(8192, 100) },
+                kind: OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::at(8192, 100),
+                },
             },
         ]
         .into_iter()
@@ -122,7 +134,10 @@ mod tests {
         let mut p = Policy::from_kind(PolicyKind::Omniscient, Some(schedule));
         let s = store_with(3);
         // Block 1 (never modified) is the ideal victim.
-        assert_eq!(p.pick_victim(&s, SimTime::ZERO), Some(BlockId::new(FileId(0), 1)));
+        assert_eq!(
+            p.pick_victim(&s, SimTime::ZERO),
+            Some(BlockId::new(FileId(0), 1))
+        );
     }
 
     #[test]

@@ -63,14 +63,21 @@ pub fn recover(board: &mut NvramBoard, at: SimTime) -> RecoveryOutcome {
             cause: FlushCause::Callback,
         });
     }
-    RecoveryOutcome { writes, bytes, data_survived: survived }
+    RecoveryOutcome {
+        writes,
+        bytes,
+        data_survived: survived,
+    }
 }
 
 impl ClientCache {
     /// The dirty byte ranges currently guaranteed to reside in NVRAM —
-    /// what a crash preserves. Volatile-model caches return nothing; the
+    /// what a crash preserves. Volatile-model caches yield nothing; the
     /// hybrid model loses data still inside its 30-second volatile window.
-    pub fn nvram_dirty_contents(&self) -> Vec<(FileId, RangeSet)> {
+    ///
+    /// Borrows the cache's own range sets; ranges for the same file may
+    /// appear more than once (one entry per cached block).
+    pub fn nvram_dirty_contents(&self) -> impl Iterator<Item = (FileId, &RangeSet)> {
         self.nvram_dirty_by_file()
     }
 }
@@ -122,7 +129,11 @@ mod tests {
         let mut c = cache(CacheModelKind::Volatile);
         write_block(&mut c, 1, 0, 1);
         let board = snapshot_nvram(&c, ClientId(0), 1 << 20);
-        assert_eq!(board.dirty_bytes(), 0, "a volatile cache has no NVRAM to save");
+        assert_eq!(
+            board.dirty_bytes(),
+            0,
+            "a volatile cache has no NVRAM to save"
+        );
     }
 
     #[test]
@@ -134,7 +145,11 @@ mod tests {
         c.writeback_older_than(SimTime::from_secs(5), SimTime::from_secs(35), &mut stats);
         write_block(&mut c, 2, 0, 40);
         let board = snapshot_nvram(&c, ClientId(0), 1 << 20);
-        assert_eq!(board.dirty_bytes(), BLOCK_SIZE, "only the aged block survives");
+        assert_eq!(
+            board.dirty_bytes(),
+            BLOCK_SIZE,
+            "only the aged block survives"
+        );
         assert_eq!(c.remaining_dirty_bytes(), 2 * BLOCK_SIZE);
     }
 

@@ -9,8 +9,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use nvfs_types::{ClientId, SimTime};
 use nvfs_trace::op::{OpKind, OpStream};
+use nvfs_types::{ClientId, SimTime};
 
 use crate::client::{ClientCache, FlushCause, ServerWrite};
 use crate::config::{CacheModelKind, ConsistencyMode, PolicyKind, SimConfig};
@@ -153,7 +153,12 @@ impl ClusterSim {
                     }
                     if outcome.invalidate_opener {
                         // Stale copies from a previous open are discarded.
-                        client!(op.client).invalidate_file(*file, FlushCause::Callback, op.time, &mut stats);
+                        client!(op.client).invalidate_file(
+                            *file,
+                            FlushCause::Callback,
+                            op.time,
+                            &mut stats,
+                        );
                     }
                     if outcome.disable_caching {
                         for cache in clients.values_mut() {
@@ -269,24 +274,46 @@ mod tests {
     use nvfs_types::{ByteRange, FileId, BLOCK_SIZE};
 
     fn op(t: u64, client: u32, kind: OpKind) -> Op {
-        Op { time: SimTime::from_secs(t), client: ClientId(client), kind }
+        Op {
+            time: SimTime::from_secs(t),
+            client: ClientId(client),
+            kind,
+        }
     }
 
     fn wr(t: u64, client: u32, file: u32, block: u64) -> Op {
-        op(t, client, OpKind::Write {
-            file: FileId(file),
-            range: ByteRange::at(block * BLOCK_SIZE, BLOCK_SIZE),
-        })
+        op(
+            t,
+            client,
+            OpKind::Write {
+                file: FileId(file),
+                range: ByteRange::at(block * BLOCK_SIZE, BLOCK_SIZE),
+            },
+        )
     }
 
     #[test]
     fn delayed_writeback_fires_after_30s() {
         let ops: OpStream = vec![
-            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             wr(2, 0, 0, 0),
             op(3, 0, OpKind::Close { file: FileId(0) }),
             // A much later op lets the cleaner run.
-            op(100, 0, OpKind::Open { file: FileId(1), mode: OpenMode::Read }),
+            op(
+                100,
+                0,
+                OpKind::Open {
+                    file: FileId(1),
+                    mode: OpenMode::Read,
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -298,14 +325,31 @@ mod tests {
     #[test]
     fn nvram_models_hold_dirty_data_to_the_end() {
         let ops: OpStream = vec![
-            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             wr(2, 0, 0, 0),
             op(3, 0, OpKind::Close { file: FileId(0) }),
-            op(100, 0, OpKind::Open { file: FileId(1), mode: OpenMode::Read }),
+            op(
+                100,
+                0,
+                OpKind::Open {
+                    file: FileId(1),
+                    mode: OpenMode::Read,
+                },
+            ),
         ]
         .into_iter()
         .collect();
-        for cfg in [SimConfig::write_aside(1 << 20, 512 << 10), SimConfig::unified(1 << 20, 512 << 10)] {
+        for cfg in [
+            SimConfig::write_aside(1 << 20, 512 << 10),
+            SimConfig::unified(1 << 20, 512 << 10),
+        ] {
             let stats = ClusterSim::new(cfg).run(&ops);
             assert_eq!(stats.writeback_bytes, 0);
             assert_eq!(stats.remaining_dirty_bytes, BLOCK_SIZE);
@@ -316,10 +360,24 @@ mod tests {
     #[test]
     fn absorbed_write_never_reaches_server_in_nvram_model() {
         let ops: OpStream = vec![
-            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             wr(2, 0, 0, 0),
             op(50, 0, OpKind::Delete { file: FileId(0) }),
-            op(100, 0, OpKind::Open { file: FileId(1), mode: OpenMode::Read }),
+            op(
+                100,
+                0,
+                OpKind::Open {
+                    file: FileId(1),
+                    mode: OpenMode::Read,
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -335,11 +393,32 @@ mod tests {
     #[test]
     fn foreign_open_recalls_dirty_data() {
         let ops: OpStream = vec![
-            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             wr(2, 0, 0, 0),
             op(3, 0, OpKind::Close { file: FileId(0) }),
-            op(10, 1, OpKind::Open { file: FileId(0), mode: OpenMode::Read }),
-            op(11, 1, OpKind::Read { file: FileId(0), range: ByteRange::at(0, BLOCK_SIZE) }),
+            op(
+                10,
+                1,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Read,
+                },
+            ),
+            op(
+                11,
+                1,
+                OpKind::Read {
+                    file: FileId(0),
+                    range: ByteRange::at(0, BLOCK_SIZE),
+                },
+            ),
             op(12, 1, OpKind::Close { file: FileId(0) }),
         ]
         .into_iter()
@@ -352,15 +431,43 @@ mod tests {
     #[test]
     fn concurrent_write_sharing_bypasses_caches() {
         let ops: OpStream = vec![
-            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(2, 1, OpKind::Open { file: FileId(0), mode: OpenMode::ReadWrite }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                2,
+                1,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::ReadWrite,
+                },
+            ),
             wr(3, 0, 0, 0),
             wr(4, 1, 0, 0),
-            op(5, 1, OpKind::Read { file: FileId(0), range: ByteRange::at(0, 100) }),
+            op(
+                5,
+                1,
+                OpKind::Read {
+                    file: FileId(0),
+                    range: ByteRange::at(0, 100),
+                },
+            ),
             op(6, 0, OpKind::Close { file: FileId(0) }),
             op(7, 1, OpKind::Close { file: FileId(0) }),
             // After everyone closes, caching works again.
-            op(8, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                8,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             wr(9, 0, 0, 1),
             op(10, 0, OpKind::Close { file: FileId(0) }),
         ]
@@ -377,13 +484,24 @@ mod tests {
     fn migration_flushes_dirty_files() {
         use nvfs_types::ProcessId;
         let ops: OpStream = vec![
-            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             wr(2, 0, 0, 0),
-            op(3, 0, OpKind::Migrate {
-                pid: ProcessId(0),
-                to: ClientId(1),
-                files: vec![FileId(0)],
-            }),
+            op(
+                3,
+                0,
+                OpKind::Migrate {
+                    pid: ProcessId(0),
+                    to: ClientId(1),
+                    files: vec![FileId(0)],
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -397,24 +515,51 @@ mod tests {
         use crate::config::ConsistencyMode;
         // Client 0 dirties two blocks; client 1 reads only the first.
         let ops: OpStream = vec![
-            op(1, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             wr(2, 0, 0, 0),
             wr(3, 0, 0, 1),
             op(4, 0, OpKind::Close { file: FileId(0) }),
-            op(5, 1, OpKind::Open { file: FileId(0), mode: OpenMode::Read }),
-            op(6, 1, OpKind::Read { file: FileId(0), range: ByteRange::at(0, BLOCK_SIZE) }),
+            op(
+                5,
+                1,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Read,
+                },
+            ),
+            op(
+                6,
+                1,
+                OpKind::Read {
+                    file: FileId(0),
+                    range: ByteRange::at(0, BLOCK_SIZE),
+                },
+            ),
             op(7, 1, OpKind::Close { file: FileId(0) }),
         ]
         .into_iter()
         .collect();
         let whole = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10)).run(&ops);
-        assert_eq!(whole.callback_bytes, 2 * BLOCK_SIZE, "whole-file recall takes both blocks");
+        assert_eq!(
+            whole.callback_bytes,
+            2 * BLOCK_SIZE,
+            "whole-file recall takes both blocks"
+        );
         let block = ClusterSim::new(
-            SimConfig::unified(1 << 20, 512 << 10)
-                .with_consistency(ConsistencyMode::BlockOnDemand),
+            SimConfig::unified(1 << 20, 512 << 10).with_consistency(ConsistencyMode::BlockOnDemand),
         )
         .run(&ops);
-        assert_eq!(block.callback_bytes, BLOCK_SIZE, "lazy recall takes only the read block");
+        assert_eq!(
+            block.callback_bytes, BLOCK_SIZE,
+            "lazy recall takes only the read block"
+        );
         // The unread block stays dirty in client 0's NVRAM.
         assert_eq!(block.remaining_dirty_bytes, BLOCK_SIZE);
     }
@@ -429,7 +574,7 @@ mod tests {
         // The clean comparison: the same steady-state suffix replayed from
         // empty caches.
         let cut = (ops.len() as f64 * 0.3) as usize;
-        let suffix: OpStream = ops.as_slice()[cut..].to_vec().into_iter().collect();
+        let suffix: OpStream = ops.as_slice()[cut..].iter().cloned().collect();
         let cold_suffix = sim.run(&suffix);
         assert_eq!(warm.app_write_bytes, cold_suffix.app_write_bytes);
         // Warmed caches can only hit more often on identical requests.
@@ -455,7 +600,8 @@ mod tests {
     fn runs_are_deterministic() {
         use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
         let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
-        let cfg = SimConfig::unified(1 << 20, 256 << 10).with_policy(PolicyKind::Random { seed: 5 });
+        let cfg =
+            SimConfig::unified(1 << 20, 256 << 10).with_policy(PolicyKind::Random { seed: 5 });
         let a = ClusterSim::new(cfg.clone()).run(traces.trace(4).ops());
         let b = ClusterSim::new(cfg).run(traces.trace(4).ops());
         assert_eq!(a, b);
@@ -467,7 +613,8 @@ mod tests {
         let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
         let cfg = SimConfig::unified(1 << 20, 128 << 10).with_policy(PolicyKind::Omniscient);
         let omni = ClusterSim::new(cfg).run(traces.trace(6).ops());
-        let lru = ClusterSim::new(SimConfig::unified(1 << 20, 128 << 10)).run(traces.trace(6).ops());
+        let lru =
+            ClusterSim::new(SimConfig::unified(1 << 20, 128 << 10)).run(traces.trace(6).ops());
         // Omniscient replacement can only help (small tolerance for the
         // block-vs-byte optimality caveat the paper itself notes).
         assert!(

@@ -1,13 +1,16 @@
-//! Property tests on the consistency-server state machine: arbitrary
+//! Randomized tests on the consistency-server state machine: arbitrary
 //! open/close/write/delete interleavings must never panic, the disabled
 //! state must hold exactly while a write-sharing conflict exists, and
 //! recalls must only ever point at real last-writers.
+//!
+//! Formerly proptest-based; now driven by a seeded [`nvfs_rng::StdRng`] so
+//! the suite builds offline and failures reproduce exactly.
 
 use nvfs_core::consistency::ConsistencyServer;
 use nvfs_core::ConsistencyMode;
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 use nvfs_trace::event::OpenMode;
 use nvfs_types::{ClientId, FileId};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const CLIENTS: u32 = 4;
@@ -22,16 +25,21 @@ enum Step {
     Delete(u32),
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    let c = 0..CLIENTS;
-    let f = 0..FILES;
-    prop_oneof![
-        (c.clone(), f.clone(), any::<bool>()).prop_map(|(c, f, w)| Step::Open(c, f, w)),
-        (c.clone(), f.clone()).prop_map(|(c, f)| Step::Close(c, f)),
-        (c.clone(), f.clone()).prop_map(|(c, f)| Step::Write(c, f)),
-        (c.clone(), f.clone()).prop_map(|(c, f)| Step::Flush(c, f)),
-        f.prop_map(Step::Delete),
-    ]
+fn rand_step(rng: &mut StdRng) -> Step {
+    let c = rng.gen_range(0..CLIENTS);
+    let f = rng.gen_range(0..FILES);
+    match rng.gen_range(0..5u32) {
+        0 => Step::Open(c, f, rng.gen_bool(0.5)),
+        1 => Step::Close(c, f),
+        2 => Step::Write(c, f),
+        3 => Step::Flush(c, f),
+        _ => Step::Delete(f),
+    }
+}
+
+fn rand_steps(rng: &mut StdRng, max: usize) -> Vec<Step> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|_| rand_step(rng)).collect()
 }
 
 /// Reference model: per-file multiset of (client, writing) opens.
@@ -42,17 +50,19 @@ struct Model {
 
 impl Model {
     fn sharing_conflict(&self, file: u32) -> bool {
-        let Some(list) = self.opens.get(&file) else { return false };
+        let Some(list) = self.opens.get(&file) else {
+            return false;
+        };
         let clients: std::collections::BTreeSet<u32> = list.iter().map(|&(c, _)| c).collect();
         clients.len() >= 2 && list.iter().any(|&(_, w)| w)
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn state_machine_is_sound(steps in proptest::collection::vec(arb_step(), 1..80)) {
+#[test]
+fn state_machine_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0001);
+    for _case in 0..256 {
+        let steps = rand_steps(&mut rng, 80);
         for mode in [ConsistencyMode::WholeFile, ConsistencyMode::BlockOnDemand] {
             let mut server = ConsistencyServer::with_mode(mode);
             let mut model = Model::default();
@@ -61,23 +71,23 @@ proptest! {
             for step in &steps {
                 match *step {
                     Step::Open(c, f, w) => {
-                        let outcome = server.on_open(FileId(f), ClientId(c), if w {
-                            OpenMode::Write
-                        } else {
-                            OpenMode::Read
-                        });
+                        let outcome = server.on_open(
+                            FileId(f),
+                            ClientId(c),
+                            if w { OpenMode::Write } else { OpenMode::Read },
+                        );
                         // A recall may only target the recorded last writer,
                         // and never the opener itself.
                         if let Some(target) = outcome.recall_from {
-                            prop_assert_eq!(mode, ConsistencyMode::WholeFile);
-                            prop_assert_ne!(target, ClientId(c));
-                            prop_assert_eq!(Some(&target.0), last_writer.get(&f));
+                            assert_eq!(mode, ConsistencyMode::WholeFile, "{steps:?}");
+                            assert_ne!(target, ClientId(c), "{steps:?}");
+                            assert_eq!(Some(&target.0), last_writer.get(&f), "{steps:?}");
                             last_writer.remove(&f);
                         }
                         model.opens.entry(f).or_default().push((c, w));
                         // Once a conflict exists, caching must be disabled.
                         if model.sharing_conflict(f) {
-                            prop_assert!(server.is_disabled(FileId(f)));
+                            assert!(server.is_disabled(FileId(f)), "{steps:?}");
                         }
                     }
                     Step::Close(c, f) => {
@@ -89,7 +99,7 @@ proptest! {
                             if list.is_empty() {
                                 model.opens.remove(&f);
                                 // Everyone closed: caching re-enabled.
-                                prop_assert!(!server.is_disabled(FileId(f)));
+                                assert!(!server.is_disabled(FileId(f)), "{steps:?}");
                             }
                         }
                     }
@@ -109,26 +119,30 @@ proptest! {
                         server.on_delete(FileId(f));
                         model.opens.remove(&f);
                         last_writer.remove(&f);
-                        prop_assert!(!server.is_disabled(FileId(f)));
+                        assert!(!server.is_disabled(FileId(f)), "{steps:?}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn block_mode_never_recalls_at_open(steps in proptest::collection::vec(arb_step(), 1..60)) {
+#[test]
+fn block_mode_never_recalls_at_open() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0002);
+    for _case in 0..256 {
+        let steps = rand_steps(&mut rng, 60);
         let mut server = ConsistencyServer::with_mode(ConsistencyMode::BlockOnDemand);
         for step in &steps {
             match *step {
                 Step::Open(c, f, w) => {
-                    let outcome = server.on_open(FileId(f), ClientId(c), if w {
-                        OpenMode::Write
-                    } else {
-                        OpenMode::Read
-                    });
-                    prop_assert_eq!(outcome.recall_from, None);
-                    prop_assert!(!outcome.invalidate_opener);
+                    let outcome = server.on_open(
+                        FileId(f),
+                        ClientId(c),
+                        if w { OpenMode::Write } else { OpenMode::Read },
+                    );
+                    assert_eq!(outcome.recall_from, None, "{steps:?}");
+                    assert!(!outcome.invalidate_opener, "{steps:?}");
                 }
                 Step::Close(c, f) => {
                     server.on_close(FileId(f), ClientId(c));

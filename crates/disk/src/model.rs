@@ -8,10 +8,8 @@
 //! captures a late-80s/early-90s disk; [`DiskParams::service_time_ms`] and
 //! the utilization helpers reproduce that arithmetic.
 
-use serde::{Deserialize, Serialize};
-
 /// Physical parameters of a disk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskParams {
     /// Average seek time in milliseconds.
     pub avg_seek_ms: f64,

@@ -7,12 +7,10 @@
 //! disk bandwidth." This module replays a request batch through both
 //! disciplines and measures achieved bandwidth.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::DiskParams;
 
 /// One disk request: an absolute byte address and a length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskRequest {
     /// Starting byte address on the platter.
     pub addr: u64,
@@ -21,7 +19,7 @@ pub struct DiskRequest {
 }
 
 /// Scheduling discipline for a batch of requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Discipline {
     /// Service requests in arrival order.
     Fifo,
@@ -31,7 +29,7 @@ pub enum Discipline {
 }
 
 /// Outcome of servicing a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchOutcome {
     /// Number of requests serviced.
     pub requests: usize,
@@ -151,13 +149,18 @@ impl DiskQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use nvfs_rng::StdRng;
+    use nvfs_rng::{Rng, SeedableRng};
 
     fn random_batch(n: usize, len: u64, seed: u64) -> Vec<DiskRequest> {
         let mut rng = StdRng::seed_from_u64(seed);
         let cap = DiskParams::sprite_era().capacity - len;
-        (0..n).map(|_| DiskRequest { addr: rng.gen_range(0..cap), len }).collect()
+        (0..n)
+            .map(|_| DiskRequest {
+                addr: rng.gen_range(0..cap),
+                len,
+            })
+            .collect()
     }
 
     #[test]
@@ -175,7 +178,10 @@ mod tests {
     fn contiguous_requests_pay_no_positioning() {
         let mut q = DiskQueue::new(DiskParams::sprite_era());
         let t1 = q.service_one(DiskRequest { addr: 0, len: 4096 });
-        let t2 = q.service_one(DiskRequest { addr: 4096, len: 4096 });
+        let t2 = q.service_one(DiskRequest {
+            addr: 4096,
+            len: 4096,
+        });
         assert!(t2 < t1 || (t1 - t2).abs() < 1e-9);
         assert_eq!(t2, q.params().transfer_ms(4096));
     }

@@ -1,64 +1,86 @@
-//! Property tests on the disk model: service times are physical (positive,
-//! bounded), elevator scheduling never loses against FIFO, and byte
-//! accounting is exact.
+//! Randomized tests on the disk model: service times are physical
+//! (positive, bounded), elevator scheduling never loses against FIFO, and
+//! byte accounting is exact.
+//!
+//! Formerly proptest-based; now driven by a seeded [`nvfs_rng::StdRng`] so
+//! the suite builds offline and failures reproduce exactly.
 
 use nvfs_disk::{Discipline, DiskParams, DiskQueue, DiskRequest};
-use proptest::prelude::*;
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 
-fn arb_batch() -> impl Strategy<Value = Vec<DiskRequest>> {
-    proptest::collection::vec(
-        (0u64..(290 << 20), prop_oneof![Just(512u64), Just(4096), Just(64 << 10), Just(512 << 10)])
-            .prop_map(|(addr, len)| DiskRequest { addr, len }),
-        1..60,
-    )
+const LENS: [u64; 4] = [512, 4096, 64 << 10, 512 << 10];
+
+fn rand_batch(rng: &mut StdRng) -> Vec<DiskRequest> {
+    let n = rng.gen_range(1..60usize);
+    (0..n)
+        .map(|_| DiskRequest {
+            addr: rng.gen_range(0..(290u64 << 20)),
+            len: LENS[rng.gen_range(0..LENS.len())],
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn service_times_are_physical(batch in arb_batch()) {
+#[test]
+fn service_times_are_physical() {
+    let mut rng = StdRng::seed_from_u64(0xD15C_0001);
+    for _case in 0..128 {
+        let batch = rand_batch(&mut rng);
         let p = DiskParams::sprite_era();
         let mut q = DiskQueue::new(p);
         for r in &batch {
             let t = q.service_one(*r);
             // At least the transfer time, at most transfer + max seek + a
             // full rotation.
-            prop_assert!(t >= p.transfer_ms(r.len) - 1e-9);
+            assert!(t >= p.transfer_ms(r.len) - 1e-9, "{batch:?}");
             let bound = p.transfer_ms(r.len) + 2.0 * p.avg_seek_ms + 2.0 * p.avg_rotation_ms();
-            prop_assert!(t <= bound, "t={t} bound={bound}");
+            assert!(t <= bound, "t={t} bound={bound}: {batch:?}");
         }
     }
+}
 
-    #[test]
-    fn elevator_never_loses_to_fifo(batch in arb_batch()) {
+#[test]
+fn elevator_never_loses_to_fifo() {
+    let mut rng = StdRng::seed_from_u64(0xD15C_0002);
+    for _case in 0..128 {
+        let batch = rand_batch(&mut rng);
         let p = DiskParams::sprite_era();
         let fifo = DiskQueue::new(p).service_batch(&batch, Discipline::Fifo);
         let sorted = DiskQueue::new(p).service_batch(&batch, Discipline::Elevator);
-        prop_assert_eq!(fifo.bytes, sorted.bytes);
-        prop_assert_eq!(fifo.requests, sorted.requests);
+        assert_eq!(fifo.bytes, sorted.bytes, "{batch:?}");
+        assert_eq!(fifo.requests, sorted.requests, "{batch:?}");
         // Sorting can only shrink head movement; allow a tiny numeric slop.
-        prop_assert!(
+        assert!(
             sorted.total_ms <= fifo.total_ms * 1.0001 + 1e-6,
-            "sorted {} > fifo {}",
+            "sorted {} > fifo {}: {batch:?}",
             sorted.total_ms,
             fifo.total_ms
         );
-        prop_assert!(sorted.utilization() <= 1.0 + 1e-9);
-        prop_assert!(fifo.utilization() >= 0.0);
+        assert!(sorted.utilization() <= 1.0 + 1e-9, "{batch:?}");
+        assert!(fifo.utilization() >= 0.0, "{batch:?}");
     }
+}
 
-    #[test]
-    fn utilization_matches_definition(batch in arb_batch()) {
+#[test]
+fn utilization_matches_definition() {
+    let mut rng = StdRng::seed_from_u64(0xD15C_0003);
+    for _case in 0..128 {
+        let batch = rand_batch(&mut rng);
         let p = DiskParams::sprite_era();
         let out = DiskQueue::new(p).service_batch(&batch, Discipline::Elevator);
         let expected = p.transfer_ms(out.bytes);
-        prop_assert!((out.transfer_ms - expected).abs() < 1e-6);
-        prop_assert!(out.total_ms >= out.transfer_ms - 1e-9);
+        assert!((out.transfer_ms - expected).abs() < 1e-6, "{batch:?}");
+        assert!(out.total_ms >= out.transfer_ms - 1e-9, "{batch:?}");
     }
+}
 
-    #[test]
-    fn seek_time_is_monotone(d1 in 0u64..(300 << 20), d2 in 0u64..(300 << 20)) {
-        let q = DiskQueue::new(DiskParams::sprite_era());
+#[test]
+fn seek_time_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xD15C_0004);
+    let q = DiskQueue::new(DiskParams::sprite_era());
+    for _case in 0..512 {
+        let d1 = rng.gen_range(0..(300u64 << 20));
+        let d2 = rng.gen_range(0..(300u64 << 20));
         let (lo, hi) = (d1.min(d2), d1.max(d2));
-        prop_assert!(q.seek_ms(lo) <= q.seek_ms(hi) + 1e-12);
+        assert!(q.seek_ms(lo) <= q.seek_ms(hi) + 1e-12, "lo={lo} hi={hi}");
     }
 }

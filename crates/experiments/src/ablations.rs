@@ -59,7 +59,11 @@ pub fn hybrid(env: &Env) -> HybridAblation {
             .collect();
         figure.push(Series::new(name, points));
     }
-    HybridAblation { figure, exposed_bytes_1mb, app_write_bytes }
+    HybridAblation {
+        figure,
+        exposed_bytes_1mb,
+        app_write_bytes,
+    }
 }
 
 /// Output of the dirty-preference ablation.
@@ -85,11 +89,15 @@ pub fn dirty_preference(env: &Env) -> DirtyPreferenceAblation {
     let trace = env.trace7();
     let cache = 64 * nvfs_types::BLOCK_SIZE; // 256 KB
     let strict_lru = ClusterSim::new(SimConfig::volatile(cache)).run(trace.ops());
-    let pref =
-        ClusterSim::new(SimConfig::volatile(cache).with_dirty_preference()).run(trace.ops());
+    let pref = ClusterSim::new(SimConfig::volatile(cache).with_dirty_preference()).run(trace.ops());
     let mut table = Table::new(
         "Ablation: Sprite's dirty-block replacement preference (Trace 7, 256 KB)",
-        &["Policy", "Replacement write MB", "Server read MB", "Net total traffic"],
+        &[
+            "Policy",
+            "Replacement write MB",
+            "Server read MB",
+            "Net total traffic",
+        ],
     );
     for (name, s) in [("strict LRU", &strict_lru), ("dirty preference", &pref)] {
         table.push_row(vec![
@@ -99,7 +107,11 @@ pub fn dirty_preference(env: &Env) -> DirtyPreferenceAblation {
             Cell::Pct(s.net_total_traffic_pct()),
         ]);
     }
-    DirtyPreferenceAblation { table, strict_lru, dirty_preference: pref }
+    DirtyPreferenceAblation {
+        table,
+        strict_lru,
+        dirty_preference: pref,
+    }
 }
 
 #[cfg(test)]
@@ -115,7 +127,10 @@ mod tests {
         // writes is the whole volatile cache, so hybrid wins.
         for &mb in &[0.125, 0.25] {
             let (u, h) = (uni.y_at(mb).unwrap(), hyb.y_at(mb).unwrap());
-            assert!(h <= u + 1.0, "at {mb} MB: hybrid {h:.1}% vs unified {u:.1}%");
+            assert!(
+                h <= u + 1.0,
+                "at {mb} MB: hybrid {h:.1}% vs unified {u:.1}%"
+            );
         }
     }
 
@@ -143,10 +158,17 @@ mod tests {
         // block also forces a read-modify-write fetch when it is partially
         // rewritten), so we only check that the read-side change is small
         // relative to the write-side gain.
-        let write_gain =
-            out.strict_lru.replacement_bytes.saturating_sub(out.dirty_preference.replacement_bytes);
-        let read_change =
-            out.dirty_preference.server_read_bytes.abs_diff(out.strict_lru.server_read_bytes);
-        assert!(read_change < 4 * write_gain.max(1), "read {read_change} vs write {write_gain}");
+        let write_gain = out
+            .strict_lru
+            .replacement_bytes
+            .saturating_sub(out.dirty_preference.replacement_bytes);
+        let read_change = out
+            .dirty_preference
+            .server_read_bytes
+            .abs_diff(out.strict_lru.server_read_bytes);
+        assert!(
+            read_change < 4 * write_gain.max(1),
+            "read {read_change} vs write {write_gain}"
+        );
     }
 }

@@ -59,7 +59,11 @@ pub fn run_sized(env: &Env, volatile: u64, nvram: u64) -> BusNvram {
             Cell::f1(s.nvram_bytes as f64 / (1 << 20) as f64),
         ]);
     }
-    BusNvram { table, unified, write_aside }
+    BusNvram {
+        table,
+        unified,
+        write_aside,
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +80,11 @@ mod tests {
     #[test]
     fn unified_makes_many_more_nvram_accesses() {
         let out = run(&Env::tiny());
-        assert!(out.access_ratio() > 1.5, "access ratio {:.2}", out.access_ratio());
+        assert!(
+            out.access_ratio() > 1.5,
+            "access ratio {:.2}",
+            out.access_ratio()
+        );
     }
 
     #[test]

@@ -35,7 +35,13 @@ impl ConsistencyProtocol {
 pub fn run(env: &Env) -> ConsistencyProtocol {
     let mut table = Table::new(
         "Extension: whole-file vs block-by-block consistency (unified, 8 MB + 1 MB)",
-        &["Trace", "Callback MB (whole-file)", "Callback MB (block)", "Net write (whole-file)", "Net write (block)"],
+        &[
+            "Trace",
+            "Callback MB (whole-file)",
+            "Callback MB (block)",
+            "Net write (whole-file)",
+            "Net write (block)",
+        ],
     );
     let mut per_trace = Vec::new();
     for trace in env.traces.typical() {

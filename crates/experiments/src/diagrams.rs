@@ -66,14 +66,22 @@ pub fn figure7() -> String {
     let mut w = SegmentWriter::new(SEGMENT_BYTES);
     let chunk = |f: u32, bytes: u64| (FileId(f), RangeSet::from_range(ByteRange::new(0, bytes)));
     // (a) file1 and file2 written.
-    w.write_all(SimTime::from_secs(1), &vec![chunk(1, 12 << 10), chunk(2, 12 << 10)], SegmentCause::Timeout, false);
+    w.write_all(
+        SimTime::from_secs(1),
+        &vec![chunk(1, 12 << 10), chunk(2, 12 << 10)],
+        SegmentCause::Timeout,
+        false,
+    );
     // (b) middle block of file2 modified; file3 created; file1 extended.
     w.write_all(
         SimTime::from_secs(2),
         &vec![
             (FileId(2), RangeSet::from_range(ByteRange::at(4096, 4096))),
             chunk(3, 8 << 10),
-            (FileId(1), RangeSet::from_range(ByteRange::at(12 << 10, 8 << 10))),
+            (
+                FileId(1),
+                RangeSet::from_range(ByteRange::at(12 << 10, 8 << 10)),
+            ),
         ],
         SegmentCause::Timeout,
         false,

@@ -2,8 +2,7 @@
 //! disk bandwidth; 1000 buffered-and-sorted I/Os (4 MB of NVRAM) reach
 //! ~40%.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 
 use nvfs_disk::{Discipline, DiskParams, DiskQueue, DiskRequest};
 use nvfs_report::{Cell, Table};
@@ -20,26 +19,43 @@ pub struct DiskSort {
 impl DiskSort {
     /// The `(fifo, sorted)` utilizations for a batch size.
     pub fn at(&self, batch: usize) -> Option<(f64, f64)> {
-        self.rows.iter().find(|(b, _, _)| *b == batch).map(|&(_, f, s)| (f, s))
+        self.rows
+            .iter()
+            .find(|(b, _, _)| *b == batch)
+            .map(|&(_, f, s)| (f, s))
     }
 }
 
 /// Sweeps batch sizes of random 4 KB writes through both disciplines.
 pub fn run() -> DiskSort {
-    run_with(DiskParams::sprite_era(), &[10, 50, 100, 250, 500, 1000, 2000], 4096, 1992)
+    run_with(
+        DiskParams::sprite_era(),
+        &[10, 50, 100, 250, 500, 1000, 2000],
+        4096,
+        1992,
+    )
 }
 
 /// Parameterized variant (used by the bench sweep).
 pub fn run_with(disk: DiskParams, batches: &[usize], len: u64, seed: u64) -> DiskSort {
     let mut table = Table::new(
         "Disk bandwidth utilization: random vs sorted block writes",
-        &["Batch (I/Os)", "Buffer (MB)", "FIFO util", "Sorted util", "Speedup"],
+        &[
+            "Batch (I/Os)",
+            "Buffer (MB)",
+            "FIFO util",
+            "Sorted util",
+            "Speedup",
+        ],
     );
     let mut rows = Vec::new();
     for &n in batches {
         let mut rng = StdRng::seed_from_u64(seed);
         let reqs: Vec<DiskRequest> = (0..n)
-            .map(|_| DiskRequest { addr: rng.gen_range(0..disk.capacity - len), len })
+            .map(|_| DiskRequest {
+                addr: rng.gen_range(0..disk.capacity - len),
+                len,
+            })
             .collect();
         let fifo = DiskQueue::new(disk).service_batch(&reqs, Discipline::Fifo);
         let sorted = DiskQueue::new(disk).service_batch(&reqs, Discipline::Elevator);

@@ -33,16 +33,30 @@ pub fn run(env: &Env) -> Fig3 {
         "Megabytes NVRAM",
         "Net write traffic (%)",
     );
-    for trace in env.traces.traces() {
-        let points: Vec<(f64, f64)> = NVRAM_MB
-            .iter()
-            .map(|&mb| {
-                let nv = (mb * (1 << 20) as f64) as u64;
-                let cfg = SimConfig::unified(VOLATILE_BYTES, nv).with_policy(PolicyKind::Omniscient);
-                (mb, ClusterSim::new(cfg).run(trace.ops()).net_write_traffic_pct())
-            })
-            .collect();
-        figure.push(Series::new(&format!("Trace {}", trace.number()), points));
+    // Flatten the (trace × size) grid into one task list so the sweep
+    // load-balances across workers; results rejoin in grid order, so the
+    // figure is byte-identical to the sequential build.
+    let tasks: Vec<(&nvfs_trace::synth::Trace, f64)> = env
+        .traces
+        .traces()
+        .iter()
+        .flat_map(|trace| NVRAM_MB.iter().map(move |&mb| (trace, mb)))
+        .collect();
+    let cells = nvfs_par::par_map(tasks, nvfs_par::jobs(), |(trace, mb)| {
+        let nv = (mb * (1 << 20) as f64) as u64;
+        let cfg = SimConfig::unified(VOLATILE_BYTES, nv).with_policy(PolicyKind::Omniscient);
+        (
+            mb,
+            ClusterSim::new(cfg)
+                .run(trace.ops())
+                .net_write_traffic_pct(),
+        )
+    });
+    for (trace, points) in env.traces.traces().iter().zip(cells.chunks(NVRAM_MB.len())) {
+        figure.push(Series::new(
+            &format!("Trace {}", trace.number()),
+            points.to_vec(),
+        ));
     }
     Fig3 { figure }
 }

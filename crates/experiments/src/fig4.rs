@@ -28,20 +28,29 @@ pub fn run(env: &Env) -> Fig4 {
         "Megabytes NVRAM",
         "Net write traffic (%)",
     );
-    for (name, policy) in [
+    const POLICIES: [(&str, PolicyKind); 3] = [
         ("lru", PolicyKind::Lru),
         ("random", PolicyKind::Random { seed: 1992 }),
         ("omniscient", PolicyKind::Omniscient),
-    ] {
-        let points: Vec<(f64, f64)> = NVRAM_MB
-            .iter()
-            .map(|&mb| {
-                let nv = (mb * (1 << 20) as f64) as u64;
-                let cfg = SimConfig::unified(VOLATILE_BYTES, nv).with_policy(policy);
-                (mb, ClusterSim::new(cfg).run(trace.ops()).net_write_traffic_pct())
-            })
-            .collect();
-        figure.push(Series::new(name, points));
+    ];
+    // Flatten the (policy × size) grid into one task list; results rejoin
+    // in grid order, so the figure matches the sequential build exactly.
+    let tasks: Vec<(PolicyKind, f64)> = POLICIES
+        .iter()
+        .flat_map(|&(_, policy)| NVRAM_MB.iter().map(move |&mb| (policy, mb)))
+        .collect();
+    let cells = nvfs_par::par_map(tasks, nvfs_par::jobs(), |(policy, mb)| {
+        let nv = (mb * (1 << 20) as f64) as u64;
+        let cfg = SimConfig::unified(VOLATILE_BYTES, nv).with_policy(policy);
+        (
+            mb,
+            ClusterSim::new(cfg)
+                .run(trace.ops())
+                .net_write_traffic_pct(),
+        )
+    });
+    for ((name, _), points) in POLICIES.iter().zip(cells.chunks(NVRAM_MB.len())) {
+        figure.push(Series::new(name, points.to_vec()));
     }
     Fig4 { figure }
 }

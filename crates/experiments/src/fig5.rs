@@ -30,19 +30,24 @@ impl Fig5 {
 /// Builds the total-traffic curve of one model over the extra-memory grid.
 pub fn model_curve(env: &Env, model: CacheModelKind, base: u64, grid: &[f64]) -> Vec<(f64, f64)> {
     let trace = env.trace7();
-    grid.iter()
-        .map(|&extra| {
-            let nv = (extra * (1 << 20) as f64) as u64;
-            let cfg = match model {
-                CacheModelKind::Volatile => SimConfig::volatile(base + nv),
-                CacheModelKind::WriteAside if nv > 0 => SimConfig::write_aside(base, nv),
-                CacheModelKind::Unified if nv > 0 => SimConfig::unified(base, nv),
-                // Zero extra NVRAM degenerates to the volatile model.
-                _ => SimConfig::volatile(base),
-            };
-            (extra, ClusterSim::new(cfg).run(trace.ops()).net_total_traffic_pct())
-        })
-        .collect()
+    // Grid points are independent simulations; fan out and rejoin in grid
+    // order, so the curve matches the sequential build exactly.
+    nvfs_par::par_map(grid.to_vec(), nvfs_par::jobs(), |extra| {
+        let nv = (extra * (1 << 20) as f64) as u64;
+        let cfg = match model {
+            CacheModelKind::Volatile => SimConfig::volatile(base + nv),
+            CacheModelKind::WriteAside if nv > 0 => SimConfig::write_aside(base, nv),
+            CacheModelKind::Unified if nv > 0 => SimConfig::unified(base, nv),
+            // Zero extra NVRAM degenerates to the volatile model.
+            _ => SimConfig::volatile(base),
+        };
+        (
+            extra,
+            ClusterSim::new(cfg)
+                .run(trace.ops())
+                .net_total_traffic_pct(),
+        )
+    })
 }
 
 /// Runs the model comparison of Figure 5.

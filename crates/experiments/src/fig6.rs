@@ -24,7 +24,13 @@ pub struct Fig6 {
 }
 
 fn to_points(curve: &[(f64, f64)]) -> Vec<TrafficPoint> {
-    curve.iter().map(|&(x, y)| TrafficPoint { extra_mb: x, traffic_pct: y }).collect()
+    curve
+        .iter()
+        .map(|&(x, y)| TrafficPoint {
+            extra_mb: x,
+            traffic_pct: y,
+        })
+        .collect()
 }
 
 /// Runs the volatile-vs-NVRAM comparison on both base sizes.
@@ -42,13 +48,19 @@ pub fn run(env: &Env) -> Fig6 {
         figure.push(Series::new(&format!("Volatile-{base_mb}MB"), vol.clone()));
         figure.push(Series::new(&format!("Unified-{base_mb}MB"), uni.clone()));
         // Drop the degenerate 0-extra point from the unified verdicts.
-        let uni_points: Vec<TrafficPoint> =
-            to_points(&uni).into_iter().filter(|p| p.extra_mb > 0.0).collect();
+        let uni_points: Vec<TrafficPoint> = to_points(&uni)
+            .into_iter()
+            .filter(|p| p.extra_mb > 0.0)
+            .collect();
         verdicts.push(evaluate_against_volatile(&uni_points, &to_points(&vol)));
     }
     let verdicts_16mb = verdicts.pop().expect("two bases evaluated");
     let verdicts_8mb = verdicts.pop().expect("two bases evaluated");
-    Fig6 { figure, verdicts_8mb, verdicts_16mb }
+    Fig6 {
+        figure,
+        verdicts_8mb,
+        verdicts_16mb,
+    }
 }
 
 #[cfg(test)]
@@ -67,18 +79,33 @@ mod tests {
     #[test]
     fn bigger_base_means_less_traffic() {
         let out = run(&Env::tiny());
-        let v8 = out.figure.series("Volatile-8MB").unwrap().y_at(0.0).unwrap();
-        let v16 = out.figure.series("Volatile-16MB").unwrap().y_at(0.0).unwrap();
-        assert!(v16 <= v8 + 1e-9, "16 MB base should not be worse: {v16} vs {v8}");
+        let v8 = out
+            .figure
+            .series("Volatile-8MB")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
+        let v16 = out
+            .figure
+            .series("Volatile-16MB")
+            .unwrap()
+            .y_at(0.0)
+            .unwrap();
+        assert!(
+            v16 <= v8 + 1e-9,
+            "16 MB base should not be worse: {v16} vs {v8}"
+        );
     }
 
     #[test]
-    fn nvram_equivalent_dram_grows_with_base_size(){
+    fn nvram_equivalent_dram_grows_with_base_size() {
         // §2.7: with a large volatile cache already absorbing reads, a
         // little NVRAM matches many megabytes of DRAM.
         let out = run(&Env::tiny());
         let eq = |vs: &[CostVerdict], mb: f64| {
-            vs.iter().find(|v| (v.nvram_mb - mb).abs() < 1e-9).and_then(|v| v.equivalent_dram_mb)
+            vs.iter()
+                .find(|v| (v.nvram_mb - mb).abs() < 1e-9)
+                .and_then(|v| v.equivalent_dram_mb)
         };
         // At a 16 MB base, half a megabyte of NVRAM is worth at least as
         // many DRAM megabytes as at an 8 MB base (or is unreachable by

@@ -57,7 +57,14 @@ pub fn run(env: &Env) -> LfsVsFfs {
     let lfs = run_server(&env.server, &LfsConfig::direct());
     let mut table = Table::new(
         "LFS vs update-in-place (FFS-style): disk cost of the same workloads",
-        &["File system", "LFS busy (ms)", "FFS busy (ms)", "Speedup", "LFS ops", "FFS ops"],
+        &[
+            "File system",
+            "LFS busy (ms)",
+            "FFS busy (ms)",
+            "Speedup",
+            "LFS ops",
+            "FFS ops",
+        ],
     );
     let mut rows = Vec::new();
     for (workload, lfs_report) in env.server.iter().zip(&lfs) {

@@ -40,7 +40,12 @@ pub fn run(env: &Env) -> NvramSpeed {
     let base = bus_nvram::run(env);
     let mut table = Table::new(
         "§2.6: memory time vs NVRAM access ratio (8 MB + 8 MB, Trace 7)",
-        &["NVRAM/DRAM ratio", "Unified (rel.)", "Write-aside (rel.)", "Winner"],
+        &[
+            "NVRAM/DRAM ratio",
+            "Unified (rel.)",
+            "Write-aside (rel.)",
+            "Winner",
+        ],
     );
     let mut rows = Vec::new();
     let mut crossover_ratio = None;
@@ -59,7 +64,11 @@ pub fn run(env: &Env) -> NvramSpeed {
         ]);
         rows.push((ratio, u, w));
     }
-    NvramSpeed { table, crossover_ratio, rows }
+    NvramSpeed {
+        table,
+        crossover_ratio,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +94,10 @@ mod tests {
             out.rows
         );
         let r = out.crossover_ratio.unwrap();
-        assert!(r > 1.0, "crossover at parity would contradict the parity win");
+        assert!(
+            r > 1.0,
+            "crossover at parity would contradict the parity win"
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn run_sized(env: &Env, volatile_bytes: u64, nvram_bytes: u64) -> Pipeline {
             Cell::Pct(p.server.pct_partial()),
         ]);
     }
-    Pipeline { table, volatile, unified }
+    Pipeline {
+        table,
+        volatile,
+        unified,
+    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,13 @@
 //! The §3 NFS claim: server NVRAM (Prestoserve-style) slashes synchronous
 //! write cost; improvements "of up to 50%" were reported on real systems.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 
 use nvfs_disk::DiskParams;
 use nvfs_report::{Cell, Table};
-use nvfs_server::presto::{nfs_synchronous, prestoserve, sprite_delayed, PrestoConfig, WriteOutcome, WriteRequest};
+use nvfs_server::presto::{
+    nfs_synchronous, prestoserve, sprite_delayed, PrestoConfig, WriteOutcome, WriteRequest,
+};
 use nvfs_types::SimTime;
 
 /// Output of the Prestoserve experiment.
@@ -51,7 +52,13 @@ pub fn run_with(n: usize, gap_ms: u64, len: u64, seed: u64) -> Presto {
     let sprite = sprite_delayed(&reqs, disk, 1 << 20);
     let mut table = Table::new(
         "Synchronous writes: NFS direct vs Prestoserve NVRAM vs Sprite delayed",
-        &["Server", "Mean latency (ms)", "Max latency (ms)", "Disk busy (ms)", "Disk accesses"],
+        &[
+            "Server",
+            "Mean latency (ms)",
+            "Max latency (ms)",
+            "Disk busy (ms)",
+            "Disk accesses",
+        ],
     );
     for (name, o) in [
         ("NFS direct", &nfs),
@@ -66,7 +73,12 @@ pub fn run_with(n: usize, gap_ms: u64, len: u64, seed: u64) -> Presto {
             Cell::from(o.disk_accesses),
         ]);
     }
-    Presto { table, nfs, presto, sprite }
+    Presto {
+        table,
+        nfs,
+        presto,
+        sprite,
+    }
 }
 
 #[cfg(test)]

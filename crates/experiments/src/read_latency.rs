@@ -36,7 +36,11 @@ pub fn run() -> ReadLatency {
     for (name, model) in [("typical", &typical), ("heavy", &heavy)] {
         let points: Vec<(f64, f64)> = WRITE_SIZE_GRID
             .iter()
-            .filter_map(|&w| model.mean_read_response_ms(w).map(|r| ((w >> 10) as f64, r)))
+            .filter_map(|&w| {
+                model
+                    .mean_read_response_ms(w)
+                    .map(|r| ((w >> 10) as f64, r))
+            })
             .collect();
         figure.push(Series::new(name, points));
     }
@@ -46,19 +50,39 @@ pub fn run() -> ReadLatency {
 
     let mut table = Table::new(
         "§3: optimal write size and full-segment read penalty",
-        &["Load", "Optimal write (KB)", "Response at optimum (ms)", "Response at 512 KB (ms)", "Penalty"],
+        &[
+            "Load",
+            "Optimal write (KB)",
+            "Response at optimum (ms)",
+            "Response at 512 KB (ms)",
+            "Penalty",
+        ],
     );
     for (name, model) in [("typical", &typical), ("heavy", &heavy)] {
         let best = model.optimal_write_bytes(&WRITE_SIZE_GRID);
         table.push_row(vec![
             Cell::from(name),
             Cell::from((best >> 10) as usize),
-            Cell::f1(model.mean_read_response_ms(best).expect("optimum is stable")),
-            Cell::f1(model.mean_read_response_ms(512 << 10).expect("stable at 512 KB")),
+            Cell::f1(
+                model
+                    .mean_read_response_ms(best)
+                    .expect("optimum is stable"),
+            ),
+            Cell::f1(
+                model
+                    .mean_read_response_ms(512 << 10)
+                    .expect("stable at 512 KB"),
+            ),
             Cell::Pct(model.full_segment_penalty_pct(&WRITE_SIZE_GRID, 512 << 10)),
         ]);
     }
-    ReadLatency { figure, table, optimal_bytes, typical_penalty_pct, heavy_penalty_pct }
+    ReadLatency {
+        figure,
+        table,
+        optimal_bytes,
+        typical_penalty_pct,
+        heavy_penalty_pct,
+    }
 }
 
 #[cfg(test)]
@@ -73,7 +97,11 @@ mod tests {
             "optimum {} KB",
             out.optimal_bytes >> 10
         );
-        assert!((8.0..=30.0).contains(&out.typical_penalty_pct), "{}", out.typical_penalty_pct);
+        assert!(
+            (8.0..=30.0).contains(&out.typical_penalty_pct),
+            "{}",
+            out.typical_penalty_pct
+        );
         assert!(out.heavy_penalty_pct > out.typical_penalty_pct);
         assert_eq!(out.figure.all_series().len(), 2);
         assert_eq!(out.table.row_count(), 2);

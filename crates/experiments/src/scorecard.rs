@@ -59,17 +59,96 @@ impl Scorecard {
     }
 }
 
+/// The independent sub-experiment results the scorecard evaluates.
+///
+/// Gathered up front (in parallel when jobs > 1) so every check below
+/// reads from an already-computed result; the check order — and therefore
+/// the rendered table — is identical either way.
+#[allow(clippy::type_complexity)]
+fn gather(
+    env: &Env,
+) -> (
+    tab1::Tab1,
+    fig2::Fig2,
+    fig3::Fig3,
+    fig4::Fig4,
+    fig5::Fig5,
+    tab3::Tab3,
+    write_buffer::WriteBuffer,
+    disk_sort::DiskSort,
+    bus_nvram::BusNvram,
+    presto::Presto,
+    read_latency::ReadLatency,
+) {
+    if nvfs_par::jobs() <= 1 {
+        return (
+            tab1::run(),
+            fig2::run(env),
+            fig3::run(env),
+            fig4::run(env),
+            fig5::run(env),
+            tab3::run(env),
+            write_buffer::run(env),
+            disk_sort::run(),
+            bus_nvram::run(env),
+            presto::run(),
+            read_latency::run(),
+        );
+    }
+    // The sub-experiments return heterogeneous types, so fan out with
+    // scoped spawns rather than par_map; joins happen in a fixed order and
+    // every run seeds its own RNGs, so the results match a sequential run.
+    std::thread::scope(|s| {
+        let t1 = s.spawn(tab1::run);
+        let f2 = s.spawn(|| fig2::run(env));
+        let f3 = s.spawn(|| fig3::run(env));
+        let f4 = s.spawn(|| fig4::run(env));
+        let f5 = s.spawn(|| fig5::run(env));
+        let t3 = s.spawn(|| tab3::run(env));
+        let wb = s.spawn(|| write_buffer::run(env));
+        let ds = s.spawn(disk_sort::run);
+        let bn = s.spawn(|| bus_nvram::run(env));
+        let p = s.spawn(presto::run);
+        let rl = s.spawn(read_latency::run);
+        (
+            t1.join().expect("tab1 panicked"),
+            f2.join().expect("fig2 panicked"),
+            f3.join().expect("fig3 panicked"),
+            f4.join().expect("fig4 panicked"),
+            f5.join().expect("fig5 panicked"),
+            t3.join().expect("tab3 panicked"),
+            wb.join().expect("write_buffer panicked"),
+            ds.join().expect("disk_sort panicked"),
+            bn.join().expect("bus_nvram panicked"),
+            p.join().expect("presto panicked"),
+            rl.join().expect("read_latency panicked"),
+        )
+    })
+}
+
 /// Evaluates every claim over `env`.
 pub fn run(env: &Env) -> Scorecard {
+    let (t1, f2, f3, f4, f5, t3, wb, ds, bn, p, rl) = gather(env);
+
     let mut checks = Vec::new();
-    let mut push = |id, paper, measured, band| checks.push(Check { id, paper, measured, band });
+    let mut push = |id, paper, measured, band| {
+        checks.push(Check {
+            id,
+            paper,
+            measured,
+            band,
+        })
+    };
 
     // Table 1.
-    let t1 = tab1::run();
-    push("tab1.ratio16", "NVRAM ≈4x DRAM per MB at 16 MB", t1.ratio_at_16mb, (3.5, 4.5));
+    push(
+        "tab1.ratio16",
+        "NVRAM ≈4x DRAM per MB at 16 MB",
+        t1.ratio_at_16mb,
+        (3.5, 4.5),
+    );
 
     // Figure 2.
-    let f2 = fig2::run(env);
     let typical_30s: f64 = f2
         .die_within_30s
         .iter()
@@ -91,13 +170,33 @@ pub fn run(env: &Env) -> Scorecard {
         .map(|(_, f)| 100.0 * f)
         .sum::<f64>()
         / 2.0;
-    push("fig2.typical30s", "35-50% of bytes die in 30 s (typical)", typical_30s, (25.0, 55.0));
-    push("fig2.large30s", "5-10% die in 30 s (traces 3-4)", large_30s, (2.0, 18.0));
-    push("fig2.large30m", ">80% die in 30 min (traces 3-4)", large_30m, (65.0, 100.0));
+    push(
+        "fig2.typical30s",
+        "35-50% of bytes die in 30 s (typical)",
+        typical_30s,
+        (25.0, 55.0),
+    );
+    push(
+        "fig2.large30s",
+        "5-10% die in 30 s (traces 3-4)",
+        large_30s,
+        (2.0, 18.0),
+    );
+    push(
+        "fig2.large30m",
+        ">80% die in 30 min (traces 3-4)",
+        large_30m,
+        (65.0, 100.0),
+    );
 
     // Table 2 (reusing the Figure 2 lifetime logs).
     let t2 = tab2::run_with_logs(env, &f2.logs);
-    push("tab2.absorbed.all", "85% absorbed (all traces)", 100.0 * t2.all.absorbed_fraction(), (75.0, 92.0));
+    push(
+        "tab2.absorbed.all",
+        "85% absorbed (all traces)",
+        100.0 * t2.all.absorbed_fraction(),
+        (75.0, 92.0),
+    );
     push(
         "tab2.absorbed.typical",
         "65% absorbed (excl. 3-4)",
@@ -112,36 +211,77 @@ pub fn run(env: &Env) -> Scorecard {
     );
 
     // Figure 3 (Trace 7).
-    let f3 = fig3::run(env);
     let at = |mb: f64| f3.traffic(7, mb).expect("trace 7 swept");
-    push("fig3.1mb", "1 MB NVRAM cuts ~50% of write traffic", 100.0 - at(1.0), (40.0, 80.0));
-    push("fig3.tail", "<10% more from 1 MB to 8 MB", at(1.0) - at(8.0), (0.0, 12.0));
+    push(
+        "fig3.1mb",
+        "1 MB NVRAM cuts ~50% of write traffic",
+        100.0 - at(1.0),
+        (40.0, 80.0),
+    );
+    push(
+        "fig3.tail",
+        "<10% more from 1 MB to 8 MB",
+        at(1.0) - at(8.0),
+        (0.0, 12.0),
+    );
 
     // Figure 4.
-    let f4 = fig4::run(env);
     let lru = f4.traffic("lru", 1.0).expect("swept");
     let omni = f4.traffic("omniscient", 1.0).expect("swept");
     let random = f4.traffic("random", 1.0).expect("swept");
-    push("fig4.omniscient", "omniscient 10-15% better than LRU (<=22%)", 100.0 * (lru - omni) / lru, (0.0, 30.0));
-    push("fig4.random", "random almost as good as LRU", 100.0 * (random - lru) / lru, (-10.0, 30.0));
+    push(
+        "fig4.omniscient",
+        "omniscient 10-15% better than LRU (<=22%)",
+        100.0 * (lru - omni) / lru,
+        (0.0, 30.0),
+    );
+    push(
+        "fig4.random",
+        "random almost as good as LRU",
+        100.0 * (random - lru) / lru,
+        (-10.0, 30.0),
+    );
 
     // Figure 5.
-    let f5 = fig5::run(env);
     let vol8 = f5.traffic("volatile", 8.0).expect("swept");
     let uni8 = f5.traffic("unified", 8.0).expect("swept");
     let wa8 = f5.traffic("write-aside", 8.0).expect("swept");
-    push("fig5.unified", "unified beats volatile at +8 MB", vol8 - uni8, (0.0, 40.0));
+    push(
+        "fig5.unified",
+        "unified beats volatile at +8 MB",
+        vol8 - uni8,
+        (0.0, 40.0),
+    );
     // The crossover needs read working sets larger than the cache, which
     // the tiny test scale lacks; `tests/paper_shapes.rs` asserts it
     // strictly at the small scale.
-    push("fig5.writeaside", "write-aside trails volatile at +8 MB", wa8 - vol8, (-5.0, 40.0));
+    push(
+        "fig5.writeaside",
+        "write-aside trails volatile at +8 MB",
+        wa8 - vol8,
+        (-5.0, 40.0),
+    );
 
     // Table 3.
-    let t3 = tab3::run(env);
     let u6 = t3.report("/user6").expect("present");
-    push("tab3.user6.partial", "/user6 97% partial", u6.pct_partial(), (90.0, 100.0));
-    push("tab3.user6.fsync", "/user6 92% fsync partials", u6.pct_fsync_partial(), (85.0, 100.0));
-    push("tab3.user6.share", "/user6 has 89% of segment writes", t3.shares[0].1, (75.0, 95.0));
+    push(
+        "tab3.user6.partial",
+        "/user6 97% partial",
+        u6.pct_partial(),
+        (90.0, 100.0),
+    );
+    push(
+        "tab3.user6.fsync",
+        "/user6 92% fsync partials",
+        u6.pct_fsync_partial(),
+        (85.0, 100.0),
+    );
+    push(
+        "tab3.user6.share",
+        "/user6 has 89% of segment writes",
+        t3.shares[0].1,
+        (75.0, 95.0),
+    );
     push(
         "tab3.swap.fsync",
         "/swap1 has no fsync partials",
@@ -150,7 +290,6 @@ pub fn run(env: &Env) -> Scorecard {
     );
 
     // Write buffer.
-    let wb = write_buffer::run(env);
     push(
         "wb.user6",
         "/user6 disk writes cut ~90%",
@@ -162,34 +301,75 @@ pub fn run(env: &Env) -> Scorecard {
         .map(|n| 100.0 * wb.of(n).expect("present").reduction)
         .sum::<f64>()
         / 4.0;
-    push("wb.typical", "most file systems cut 10-25%", typical_red, (5.0, 35.0));
-    push("wb.staging", "full staging leaves zero partials", wb.staged_partials as f64, (0.0, 0.0));
+    push(
+        "wb.typical",
+        "most file systems cut 10-25%",
+        typical_red,
+        (5.0, 35.0),
+    );
+    push(
+        "wb.staging",
+        "full staging leaves zero partials",
+        wb.staged_partials as f64,
+        (0.0, 0.0),
+    );
 
     // Disk sorting.
-    let ds = disk_sort::run();
     let (fifo, sorted) = ds.at(1000).expect("1000-I/O batch swept");
-    push("sort.random", "random block writes use ~7% of bandwidth", 100.0 * fifo, (3.0, 12.0));
-    push("sort.sorted", "1000 sorted I/Os reach ~40%", 100.0 * sorted, (25.0, 60.0));
+    push(
+        "sort.random",
+        "random block writes use ~7% of bandwidth",
+        100.0 * fifo,
+        (3.0, 12.0),
+    );
+    push(
+        "sort.sorted",
+        "1000 sorted I/Os reach ~40%",
+        100.0 * sorted,
+        (25.0, 60.0),
+    );
 
     // §2.6.
-    let bn = bus_nvram::run(env);
-    push("bus.ratio", "unified uses >=25% less bus traffic", bn.bus_ratio(), (4.0 / 3.0 * 0.95, 10.0));
-    push("bus.accesses", "unified makes 2-2.5x NVRAM accesses", bn.access_ratio(), (1.5, 8.0));
+    push(
+        "bus.ratio",
+        "unified uses >=25% less bus traffic",
+        bn.bus_ratio(),
+        (4.0 / 3.0 * 0.95, 10.0),
+    );
+    push(
+        "bus.accesses",
+        "unified makes 2-2.5x NVRAM accesses",
+        bn.access_ratio(),
+        (1.5, 8.0),
+    );
 
     // Prestoserve.
-    let p = presto::run();
-    push("presto.latency", "server NVRAM slashes sync-write latency", p.latency_improvement(), (2.0, 1e9));
+    push(
+        "presto.latency",
+        "server NVRAM slashes sync-write latency",
+        p.latency_improvement(),
+        (2.0, 1e9),
+    );
 
     // Read latency ([3]).
-    let rl = read_latency::run();
     push(
         "readlat.optimal",
         "optimal write ~2 tracks (50-70 KB)",
         (rl.optimal_bytes >> 10) as f64,
         (32.0, 160.0),
     );
-    push("readlat.typical", "full segments cost ~14% read latency", rl.typical_penalty_pct, (8.0, 30.0));
-    push("readlat.heavy", "up to ~37% under heavy load", rl.heavy_penalty_pct, (25.0, 100.0));
+    push(
+        "readlat.typical",
+        "full segments cost ~14% read latency",
+        rl.typical_penalty_pct,
+        (8.0, 30.0),
+    );
+    push(
+        "readlat.heavy",
+        "up to ~37% under heavy load",
+        rl.heavy_penalty_pct,
+        (25.0, 100.0),
+    );
 
     let mut table = Table::new(
         "Reproduction scorecard",

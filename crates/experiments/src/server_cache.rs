@@ -59,13 +59,19 @@ pub fn server_ops_from_writes(writes: &[ServerWrite]) -> OpStream {
             ops.push(Op {
                 time: w.time,
                 client: server,
-                kind: OpKind::Open { file: w.file, mode: OpenMode::Write },
+                kind: OpKind::Open {
+                    file: w.file,
+                    mode: OpenMode::Write,
+                },
             });
         }
         ops.push(Op {
             time: w.time,
             client: server,
-            kind: OpKind::Write { file: w.file, range: ByteRange::new(0, w.bytes) },
+            kind: OpKind::Write {
+                file: w.file,
+                range: ByteRange::new(0, w.bytes),
+            },
         });
     }
     ops.into_iter().collect()
@@ -85,7 +91,12 @@ pub fn run(env: &Env) -> ServerCache {
 
     let mut table = Table::new(
         "§3: a server NVRAM cache absorbs client write traffic before the disk",
-        &["Server cache", "Arriving MB", "Disk-bound MB", "Absorbed MB"],
+        &[
+            "Server cache",
+            "Arriving MB",
+            "Disk-bound MB",
+            "Absorbed MB",
+        ],
     );
     let mb = |b: u64| Cell::f1(b as f64 / (1 << 20) as f64);
     for (name, s) in [("volatile 4 MB", &volatile), ("4 MB + 1 MB NVRAM", &nvram)] {
@@ -96,7 +107,12 @@ pub fn run(env: &Env) -> ServerCache {
             mb(s.absorbed_bytes()),
         ]);
     }
-    ServerCache { table, arriving_bytes, volatile, nvram }
+    ServerCache {
+        table,
+        arriving_bytes,
+        volatile,
+        nvram,
+    }
 }
 
 #[cfg(test)]

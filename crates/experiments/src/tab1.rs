@@ -18,7 +18,14 @@ pub struct Tab1 {
 pub fn run() -> Tab1 {
     let mut table = Table::new(
         "Table 1: Current NVRAM costs (1992 list prices)",
-        &["Component", "Kind", "Speed (ns)", "Li batteries", "$ / MB", "Min config (MB)"],
+        &[
+            "Component",
+            "Kind",
+            "Speed (ns)",
+            "Li batteries",
+            "$ / MB",
+            "Min config (MB)",
+        ],
     );
     for p in nvram_catalogue() {
         table.push_row(vec![
@@ -26,7 +33,10 @@ pub fn run() -> Tab1 {
             Cell::from(p.kind.to_string()),
             Cell::from(p.speed_ns as usize),
             Cell::from(p.lithium_batteries as usize),
-            Cell::Float { value: p.price_per_mb, precision: 0 },
+            Cell::Float {
+                value: p.price_per_mb,
+                precision: 0,
+            },
             Cell::f1(p.min_config_mb),
         ]);
     }
@@ -36,10 +46,17 @@ pub fn run() -> Tab1 {
         Cell::from(d.kind.to_string()),
         Cell::from(d.speed_ns as usize),
         Cell::from(0usize),
-        Cell::Float { value: d.price_per_mb, precision: 0 },
+        Cell::Float {
+            value: d.price_per_mb,
+            precision: 0,
+        },
         Cell::f1(d.min_config_mb),
     ]);
-    Tab1 { table, ratio_at_16mb: nvram_to_dram_ratio(16.0), ratio_at_1mb: nvram_to_dram_ratio(1.0) }
+    Tab1 {
+        table,
+        ratio_at_16mb: nvram_to_dram_ratio(16.0),
+        ratio_at_1mb: nvram_to_dram_ratio(1.0),
+    }
 }
 
 #[cfg(test)]
@@ -56,7 +73,11 @@ mod tests {
     fn ratios_match_paper_rules_of_thumb() {
         let t = run();
         // "only four times the cost of an equivalent amount of DRAM" at 16 MB…
-        assert!((3.5..=4.5).contains(&t.ratio_at_16mb), "{}", t.ratio_at_16mb);
+        assert!(
+            (3.5..=4.5).contains(&t.ratio_at_16mb),
+            "{}",
+            t.ratio_at_16mb
+        );
         // …and "four to six times more expensive" in general.
         assert!(t.ratio_at_1mb >= 4.0, "{}", t.ratio_at_1mb);
     }

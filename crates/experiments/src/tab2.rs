@@ -93,7 +93,13 @@ pub fn run_with_logs(env: &Env, logs: &[LifetimeLog]) -> Tab2 {
     let mb = |v: u64| Cell::f1(v as f64 / (1 << 20) as f64);
     let mut table = Table::new(
         "Table 2: Summary of types of write traffic",
-        &["Traffic type", "MB (all)", "% (all)", "MB (no 3 or 4)", "% (no 3 or 4)"],
+        &[
+            "Traffic type",
+            "MB (all)",
+            "% (all)",
+            "MB (no 3 or 4)",
+            "% (no 3 or 4)",
+        ],
     );
     let mut row = |name: &str, a: u64, t: u64| {
         table.push_row(vec![
@@ -121,7 +127,11 @@ pub fn run_with_logs(env: &Env, logs: &[LifetimeLog]) -> Tab2 {
     row("Remaining", all.remaining, typical.remaining);
     row("Total application writes", all.total, typical.total);
 
-    Tab2 { table, all, typical }
+    Tab2 {
+        table,
+        all,
+        typical,
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,11 @@ pub fn run(env: &Env) -> Tab3 {
             Cell::Pct(*share),
         ]);
     }
-    Tab3 { table, reports, shares }
+    Tab3 {
+        table,
+        reports,
+        shares,
+    }
 }
 
 #[cfg(test)]

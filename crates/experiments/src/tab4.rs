@@ -26,12 +26,18 @@ pub struct Tab4 {
 impl Tab4 {
     /// Average partial size for a named file system.
     pub fn partial_kb_of(&self, name: &str) -> Option<f64> {
-        self.partial_kb.iter().find(|(n, _)| n == name).and_then(|(_, v)| *v)
+        self.partial_kb
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| *v)
     }
 
     /// Partial-segment overhead fraction for a named file system.
     pub fn overhead_of(&self, name: &str) -> Option<f64> {
-        self.partial_overhead.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.partial_overhead
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -84,7 +90,11 @@ pub fn run(env: &Env) -> Tab4 {
         partial_kb.push((r.name.clone(), part_kb));
         partial_overhead.push((r.name.clone(), overhead));
     }
-    Tab4 { table, partial_kb, partial_overhead }
+    Tab4 {
+        table,
+        partial_kb,
+        partial_overhead,
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@ pub struct Warmup {
 impl Warmup {
     /// Additional absorbed bytes the warm run sees (the cold-start bias).
     pub fn absorption_bias_bytes(&self) -> u64 {
-        self.warm.absorbed_bytes().saturating_sub(self.cold.absorbed_bytes())
+        self.warm
+            .absorbed_bytes()
+            .saturating_sub(self.cold.absorbed_bytes())
     }
 
     /// Read-hit-ratio gain from warm caches, in points.
@@ -48,14 +50,22 @@ pub fn run(env: &Env) -> Warmup {
     let cfg = SimConfig::unified(8 << 20, 1 << 20);
     let warm = ClusterSim::new(cfg.clone()).run_with_warmup(ops, 0.3);
     let cut = (ops.len() as f64 * 0.3) as usize;
-    let suffix: OpStream = ops.as_slice()[cut..].to_vec().into_iter().collect();
+    let suffix: OpStream = ops.as_slice()[cut..].iter().cloned().collect();
     let cold = ClusterSim::new(cfg).run(&suffix);
 
     let mut table = Table::new(
         "Cold-start bias: the same steady-state suffix, empty vs warmed caches",
-        &["Caches", "Absorbed MB", "Net write traffic", "Read hit ratio"],
+        &[
+            "Caches",
+            "Absorbed MB",
+            "Net write traffic",
+            "Read hit ratio",
+        ],
     );
-    for (name, s) in [("empty (paper's method)", &cold), ("warmed by 30% prefix", &warm)] {
+    for (name, s) in [
+        ("empty (paper's method)", &cold),
+        ("warmed by 30% prefix", &warm),
+    ] {
         table.push_row(vec![
             Cell::from(name),
             Cell::f2(s.absorbed_bytes() as f64 / (1 << 20) as f64),
@@ -77,7 +87,11 @@ mod tests {
         // much (overwrites of warm-up-era data are classified correctly)
         // and hit at least as often.
         assert!(out.warm.absorbed_bytes() >= out.cold.absorbed_bytes());
-        assert!(out.hit_ratio_gain() >= 0.0, "gain {:.4}", out.hit_ratio_gain());
+        assert!(
+            out.hit_ratio_gain() >= 0.0,
+            "gain {:.4}",
+            out.hit_ratio_gain()
+        );
         // Identical inputs on both sides.
         assert_eq!(out.warm.app_write_bytes, out.cold.app_write_bytes);
     }

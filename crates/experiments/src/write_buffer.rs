@@ -56,12 +56,21 @@ pub fn run(env: &Env) -> WriteBuffer {
 pub fn run_with_capacity(env: &Env, capacity: u64) -> WriteBuffer {
     let direct = run_server(&env.server, &LfsConfig::direct());
     let buffered = run_server(&env.server, &LfsConfig::with_fsync_buffer(capacity));
-    let staged =
-        run_server(&env.server, &LfsConfig::with_staging_buffer(capacity.max(nvfs_lfs::SEGMENT_BYTES)));
+    let staged = run_server(
+        &env.server,
+        &LfsConfig::with_staging_buffer(capacity.max(nvfs_lfs::SEGMENT_BYTES)),
+    );
 
     let mut table = Table::new(
         "NVRAM write buffer: disk write accesses per file system",
-        &["File system", "Direct", "Fsync buffer", "Reduction", "Full staging", "Reduction"],
+        &[
+            "File system",
+            "Direct",
+            "Fsync buffer",
+            "Reduction",
+            "Full staging",
+            "Reduction",
+        ],
     );
     let mut reductions = Vec::new();
     let mut staged_partials = 0;
@@ -79,7 +88,9 @@ pub fn run_with_capacity(env: &Env, capacity: u64) -> WriteBuffer {
         staged_partials += s
             .records
             .iter()
-            .filter(|r| r.is_partial() && !matches!(r.cause, SegmentCause::Shutdown | SegmentCause::Cleaner))
+            .filter(|r| {
+                r.is_partial() && !matches!(r.cause, SegmentCause::Shutdown | SegmentCause::Cleaner)
+            })
             .count();
         reductions.push(Reduction {
             name: d.name.clone(),
@@ -90,7 +101,11 @@ pub fn run_with_capacity(env: &Env, capacity: u64) -> WriteBuffer {
             staged_reduction,
         });
     }
-    WriteBuffer { table, reductions, staged_partials }
+    WriteBuffer {
+        table,
+        reductions,
+        staged_partials,
+    }
 }
 
 fn reduction(direct: &FsReport, buffered: &FsReport) -> f64 {
@@ -142,7 +157,13 @@ mod tests {
         // access is legitimate; anything more would be a bug.
         let out = run(&Env::tiny());
         for r in &out.reductions {
-            assert!(r.buffered <= r.direct + 1, "{}: {} > {}", r.name, r.buffered, r.direct);
+            assert!(
+                r.buffered <= r.direct + 1,
+                "{}: {} > {}",
+                r.name,
+                r.buffered,
+                r.direct
+            );
         }
     }
 }

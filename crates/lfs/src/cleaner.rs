@@ -11,13 +11,12 @@
 use std::collections::BTreeMap;
 
 use nvfs_types::{FileId, RangeSet, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::layout::SegmentCause;
 use crate::log::SegmentWriter;
 
 /// Cleaner configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CleanerConfig {
     /// Start cleaning when this many segments exist on disk.
     pub trigger_segments: usize,
@@ -30,12 +29,15 @@ impl CleanerConfig {
     /// log reaches ~90% of the disk, 8 segments at a time.
     pub fn for_disk(disk_bytes: u64, segment_bytes: u64) -> Self {
         let total = (disk_bytes / segment_bytes).max(8) as usize;
-        CleanerConfig { trigger_segments: total * 9 / 10, batch: 8 }
+        CleanerConfig {
+            trigger_segments: total * 9 / 10,
+            batch: 8,
+        }
     }
 }
 
 /// Cumulative cleaner activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CleanerStats {
     /// Cleaning runs performed.
     pub runs: u64,
@@ -55,7 +57,10 @@ pub struct Cleaner {
 impl Cleaner {
     /// Creates a cleaner with `config`.
     pub fn new(config: CleanerConfig) -> Self {
-        Cleaner { config, stats: CleanerStats::default() }
+        Cleaner {
+            config,
+            stats: CleanerStats::default(),
+        }
     }
 
     /// Cumulative statistics.
@@ -75,7 +80,9 @@ impl Cleaner {
         let mut live: BTreeMap<FileId, RangeSet> = BTreeMap::new();
         for seg in victims {
             for block in writer.usage_mut().evacuate(seg) {
-                live.entry(block.file).or_default().insert(block.byte_range());
+                live.entry(block.file)
+                    .or_default()
+                    .insert(block.byte_range());
             }
             self.stats.segments_cleaned += 1;
         }
@@ -101,8 +108,16 @@ mod tests {
     #[test]
     fn cleaning_waits_for_trigger() {
         let mut w = SegmentWriter::new(crate::layout::SEGMENT_BYTES);
-        w.write_all(SimTime::ZERO, &vec![chunk(0, 8192)], SegmentCause::Timeout, false);
-        let mut c = Cleaner::new(CleanerConfig { trigger_segments: 10, batch: 2 });
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 8192)],
+            SegmentCause::Timeout,
+            false,
+        );
+        let mut c = Cleaner::new(CleanerConfig {
+            trigger_segments: 10,
+            batch: 2,
+        });
         assert!(!c.maybe_clean(SimTime::ZERO, &mut w));
         assert_eq!(c.stats().runs, 0);
     }
@@ -120,7 +135,10 @@ mod tests {
             );
         }
         // Segments 0..5 exist; only the last holds live data.
-        let mut c = Cleaner::new(CleanerConfig { trigger_segments: 4, batch: 5 });
+        let mut c = Cleaner::new(CleanerConfig {
+            trigger_segments: 4,
+            batch: 5,
+        });
         assert!(c.maybe_clean(SimTime::from_secs(10), &mut w));
         let s = c.stats();
         assert_eq!(s.runs, 1);
@@ -134,10 +152,18 @@ mod tests {
     fn cleaning_copies_live_data() {
         let mut w = SegmentWriter::new(crate::layout::SEGMENT_BYTES);
         for f in 0..4 {
-            w.write_all(SimTime::ZERO, &vec![chunk(f, 16 * 1024)], SegmentCause::Timeout, false);
+            w.write_all(
+                SimTime::ZERO,
+                &vec![chunk(f, 16 * 1024)],
+                SegmentCause::Timeout,
+                false,
+            );
         }
         let before_live = w.usage().total_live_bytes();
-        let mut c = Cleaner::new(CleanerConfig { trigger_segments: 2, batch: 4 });
+        let mut c = Cleaner::new(CleanerConfig {
+            trigger_segments: 2,
+            batch: 4,
+        });
         assert!(c.maybe_clean(SimTime::from_secs(1), &mut w));
         assert_eq!(c.stats().bytes_copied, before_live);
         // Live data survived the move.

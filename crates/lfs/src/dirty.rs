@@ -118,8 +118,14 @@ mod tests {
     #[test]
     fn overlapping_writes_are_absorbed() {
         let mut d = DirtyCache::new();
-        assert_eq!(d.add(FileId(0), ByteRange::new(0, 100), SimTime::from_secs(1)), 100);
-        assert_eq!(d.add(FileId(0), ByteRange::new(50, 150), SimTime::from_secs(2)), 50);
+        assert_eq!(
+            d.add(FileId(0), ByteRange::new(0, 100), SimTime::from_secs(1)),
+            100
+        );
+        assert_eq!(
+            d.add(FileId(0), ByteRange::new(50, 150), SimTime::from_secs(2)),
+            50
+        );
         assert_eq!(d.total_bytes(), 150);
         assert_eq!(d.file_count(), 1);
     }

@@ -20,14 +20,13 @@ use std::collections::BTreeMap;
 
 use nvfs_disk::{Discipline, DiskParams, DiskQueue, DiskRequest};
 use nvfs_types::{blocks_of_range, FileId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOpKind};
 
 use crate::dirty::DirtyCache;
 
 /// Configuration for the update-in-place baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FfsConfig {
     /// The disk.
     pub disk: DiskParams,
@@ -55,7 +54,7 @@ impl Default for FfsConfig {
 }
 
 /// Outcome of the update-in-place run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FfsReport {
     /// Individual block/inode writes issued to the disk.
     pub disk_write_accesses: usize,
@@ -112,17 +111,20 @@ pub fn run_update_in_place(workload: &FsWorkload, config: &FfsConfig) -> FfsRepo
     let mut busy_ms = 0.0;
 
     let flush = |queue: &mut DiskQueue,
-                     chunks: Vec<(FileId, nvfs_types::RangeSet)>,
-                     accesses: &mut usize,
-                     data_bytes: &mut u64,
-                     busy_ms: &mut f64| {
+                 chunks: Vec<(FileId, nvfs_types::RangeSet)>,
+                 accesses: &mut usize,
+                 data_bytes: &mut u64,
+                 busy_ms: &mut f64| {
         let mut requests = Vec::new();
         let mut files: BTreeMap<FileId, ()> = BTreeMap::new();
         for (file, ranges) in chunks {
             let base = file_base(file, &config.disk);
             for r in ranges.iter() {
                 for b in blocks_of_range(file, r) {
-                    requests.push(DiskRequest { addr: base + b.index * 4096, len: 4096 });
+                    requests.push(DiskRequest {
+                        addr: base + b.index * 4096,
+                        len: 4096,
+                    });
                     *data_bytes += 4096;
                 }
             }
@@ -131,13 +133,20 @@ pub fn run_update_in_place(workload: &FsWorkload, config: &FfsConfig) -> FfsRepo
         if config.sync_metadata {
             // Each touched file's inode is rewritten at its fixed address.
             for (&file, ()) in &files {
-                requests.push(DiskRequest { addr: inode_addr(file, &config.disk), len: 512 });
+                requests.push(DiskRequest {
+                    addr: inode_addr(file, &config.disk),
+                    len: 512,
+                });
             }
         }
         if requests.is_empty() {
             return;
         }
-        let discipline = if config.sort_batches { Discipline::Elevator } else { Discipline::Fifo };
+        let discipline = if config.sort_batches {
+            Discipline::Elevator
+        } else {
+            Discipline::Fifo
+        };
         let out = queue.service_batch(&requests, discipline);
         *accesses += out.requests;
         *busy_ms += out.total_ms;
@@ -148,7 +157,13 @@ pub fn run_update_in_place(workload: &FsWorkload, config: &FfsConfig) -> FfsRepo
             if next_sweep >= SimTime::ZERO + config.writeback_age {
                 let cutoff = next_sweep - config.writeback_age;
                 let aged = dirty.take_older_than(cutoff);
-                flush(&mut queue, aged, &mut accesses, &mut data_bytes, &mut busy_ms);
+                flush(
+                    &mut queue,
+                    aged,
+                    &mut accesses,
+                    &mut data_bytes,
+                    &mut busy_ms,
+                );
             }
             next_sweep += config.sweep_period;
         }
@@ -173,7 +188,13 @@ pub fn run_update_in_place(workload: &FsWorkload, config: &FfsConfig) -> FfsRepo
         }
     }
     let rest = dirty.take_all();
-    flush(&mut queue, rest, &mut accesses, &mut data_bytes, &mut busy_ms);
+    flush(
+        &mut queue,
+        rest,
+        &mut accesses,
+        &mut data_bytes,
+        &mut busy_ms,
+    );
 
     FfsReport {
         disk_write_accesses: accesses,
@@ -212,8 +233,13 @@ mod tests {
     fn unsorted_ffs_is_even_worse() {
         let ws = sprite_server_workloads(&ServerWorkloadConfig::tiny());
         let sorted = run_update_in_place(&ws[2], &FfsConfig::default());
-        let naive =
-            run_update_in_place(&ws[2], &FfsConfig { sort_batches: false, ..FfsConfig::default() });
+        let naive = run_update_in_place(
+            &ws[2],
+            &FfsConfig {
+                sort_batches: false,
+                ..FfsConfig::default()
+            },
+        );
         assert_eq!(sorted.data_bytes, naive.data_bytes);
         assert!(sorted.disk_busy_ms <= naive.disk_busy_ms);
         // Burst-internal contiguity keeps even FIFO above the classic 7%
@@ -227,7 +253,10 @@ mod tests {
         let with = run_update_in_place(&ws[0], &FfsConfig::default());
         let without = run_update_in_place(
             &ws[0],
-            &FfsConfig { sync_metadata: false, ..FfsConfig::default() },
+            &FfsConfig {
+                sync_metadata: false,
+                ..FfsConfig::default()
+            },
         );
         assert!(with.disk_write_accesses > without.disk_write_accesses);
         assert_eq!(with.data_bytes, without.data_bytes);

@@ -19,7 +19,6 @@
 //! segments ever reach the disk.
 
 use nvfs_types::{FileId, RangeSet, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOpKind};
 
@@ -29,7 +28,7 @@ use crate::layout::{SegmentCause, SegmentRecord, SEGMENT_BYTES};
 use crate::log::{Chunks, SegmentWriter};
 
 /// NVRAM write-buffer operating mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteBufferMode {
     /// No NVRAM: fsyncs and timeouts write partial segments directly.
     None,
@@ -48,7 +47,7 @@ pub enum WriteBufferMode {
 }
 
 /// Configuration for one file-system simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LfsConfig {
     /// Segment size in bytes (512 KB in Sprite).
     pub segment_bytes: u64,
@@ -77,7 +76,10 @@ impl LfsConfig {
     /// Sprite defaults with a fsync-absorbing NVRAM buffer of `capacity`
     /// bytes (the paper's headline configuration uses ½ MB).
     pub fn with_fsync_buffer(capacity: u64) -> Self {
-        LfsConfig { buffer: WriteBufferMode::FsyncAbsorb { capacity }, ..LfsConfig::direct() }
+        LfsConfig {
+            buffer: WriteBufferMode::FsyncAbsorb { capacity },
+            ..LfsConfig::direct()
+        }
     }
 
     /// Sprite defaults with a full staging buffer of `capacity` bytes.
@@ -86,8 +88,14 @@ impl LfsConfig {
     ///
     /// Panics if `capacity` is smaller than one segment.
     pub fn with_staging_buffer(capacity: u64) -> Self {
-        assert!(capacity >= SEGMENT_BYTES, "staging buffer must hold a full segment");
-        LfsConfig { buffer: WriteBufferMode::StageAll { capacity }, ..LfsConfig::direct() }
+        assert!(
+            capacity >= SEGMENT_BYTES,
+            "staging buffer must hold a full segment"
+        );
+        LfsConfig {
+            buffer: WriteBufferMode::StageAll { capacity },
+            ..LfsConfig::direct()
+        }
     }
 }
 
@@ -117,7 +125,10 @@ pub struct FsReport {
 impl FsReport {
     /// Disk write accesses = segment writes, excluding cleaner traffic.
     pub fn disk_write_accesses(&self) -> usize {
-        self.records.iter().filter(|r| r.cause != SegmentCause::Cleaner).count()
+        self.records
+            .iter()
+            .filter(|r| r.cause != SegmentCause::Cleaner)
+            .count()
     }
 
     /// Number of segments with the given cause.
@@ -146,12 +157,20 @@ impl FsReport {
 
     /// Average file-data kilobytes per partial segment (Table 4).
     pub fn avg_partial_kb(&self) -> Option<f64> {
-        average_kb(self.records.iter().filter(|r| r.is_partial() && r.cause != SegmentCause::Cleaner))
+        average_kb(
+            self.records
+                .iter()
+                .filter(|r| r.is_partial() && r.cause != SegmentCause::Cleaner),
+        )
     }
 
     /// Average file-data kilobytes per fsync-forced partial (Table 4).
     pub fn avg_fsync_partial_kb(&self) -> Option<f64> {
-        average_kb(self.records.iter().filter(|r| r.cause == SegmentCause::Fsync))
+        average_kb(
+            self.records
+                .iter()
+                .filter(|r| r.cause == SegmentCause::Fsync),
+        )
     }
 
     /// File data bytes written to disk (excluding cleaner copies).
@@ -186,7 +205,7 @@ impl FsReport {
 /// segment write pays one positioning operation (average seek plus average
 /// rotational latency) and then transfers its on-disk bytes — the
 /// amortization argument behind LFS's half-megabyte segments.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskTime {
     /// Total disk busy time in milliseconds.
     pub total_ms: f64,
@@ -215,12 +234,19 @@ impl FsReport {
     pub fn disk_time(&self, disk: &nvfs_disk::DiskParams) -> DiskTime {
         let mut total_ms = 0.0;
         let mut transfer_ms = 0.0;
-        for r in self.records.iter().filter(|r| r.cause != SegmentCause::Cleaner) {
+        for r in self
+            .records
+            .iter()
+            .filter(|r| r.cause != SegmentCause::Cleaner)
+        {
             let t = disk.transfer_ms(r.on_disk_bytes());
             transfer_ms += t;
             total_ms += disk.avg_seek_ms + disk.avg_rotation_ms() + t;
         }
-        DiskTime { total_ms, transfer_ms }
+        DiskTime {
+            total_ms,
+            transfer_ms,
+        }
     }
 }
 
@@ -268,10 +294,10 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
     let mut end_time = SimTime::ZERO;
 
     let write_out = |writer: &mut SegmentWriter,
-                         cleaner: &mut Option<Cleaner>,
-                         t: SimTime,
-                         chunks: &Chunks,
-                         cause: SegmentCause| {
+                     cleaner: &mut Option<Cleaner>,
+                     t: SimTime,
+                     chunks: &Chunks,
+                     cause: SegmentCause| {
         if chunks.iter().all(|(_, r)| r.is_empty()) {
             return;
         }
@@ -313,7 +339,13 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
                             );
                         }
                         _ => {
-                            write_out(&mut writer, &mut cleaner, next_sweep, &chunks, SegmentCause::Timeout);
+                            write_out(
+                                &mut writer,
+                                &mut cleaner,
+                                next_sweep,
+                                &chunks,
+                                SegmentCause::Timeout,
+                            );
                         }
                     }
                 }
@@ -353,7 +385,13 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
                         // whatever dirty data is present" — all of it.
                         if dirty.has_file(file) {
                             let chunks = dirty.take_all();
-                            write_out(&mut writer, &mut cleaner, op.time, &chunks, SegmentCause::Fsync);
+                            write_out(
+                                &mut writer,
+                                &mut cleaner,
+                                op.time,
+                                &chunks,
+                                SegmentCause::Fsync,
+                            );
                         }
                     }
                     WriteBufferMode::FsyncAbsorb { capacity } => {
@@ -364,7 +402,13 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
                             if nvram_bytes >= capacity {
                                 let chunks = std::mem::take(&mut nvram);
                                 nvram_bytes = 0;
-                                write_out(&mut writer, &mut cleaner, op.time, &chunks, SegmentCause::NvramFull);
+                                write_out(
+                                    &mut writer,
+                                    &mut cleaner,
+                                    op.time,
+                                    &chunks,
+                                    SegmentCause::NvramFull,
+                                );
                             }
                         }
                     }
@@ -398,7 +442,13 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
     // Shutdown: flush whatever is left.
     let mut rest = dirty.take_all();
     rest.append(&mut nvram);
-    write_out(&mut writer, &mut cleaner, end_time, &rest, SegmentCause::Shutdown);
+    write_out(
+        &mut writer,
+        &mut cleaner,
+        end_time,
+        &rest,
+        SegmentCause::Shutdown,
+    );
 
     FsReport {
         name: workload.name.to_string(),
@@ -444,7 +494,11 @@ fn drain_full_segments(
 
 /// Runs all eight Sprite file systems under `config`.
 pub fn run_server(workloads: &[FsWorkload], config: &LfsConfig) -> Vec<FsReport> {
-    workloads.iter().map(|w| run_filesystem(w, config)).collect()
+    // Each file system simulates independently; fan out and rejoin in
+    // workload order, so the report vector matches a sequential run.
+    nvfs_par::par_map(workloads.iter().collect(), nvfs_par::jobs(), |w| {
+        run_filesystem(w, config)
+    })
 }
 
 /// Share of total segment writes (across `reports`) issued by each file
@@ -453,7 +507,12 @@ pub fn segment_share(reports: &[FsReport]) -> Vec<(String, f64)> {
     let total: usize = reports.iter().map(FsReport::disk_write_accesses).sum();
     reports
         .iter()
-        .map(|r| (r.name.clone(), percentage(r.disk_write_accesses(), total.max(1))))
+        .map(|r| {
+            (
+                r.name.clone(),
+                percentage(r.disk_write_accesses(), total.max(1)),
+            )
+        })
         .collect()
 }
 
@@ -469,10 +528,19 @@ mod tests {
             ops: vec![
                 LfsOp {
                     time: SimTime::from_secs(1),
-                    kind: LfsOpKind::Write { file: FileId(0), range: ByteRange::new(0, 8192) },
+                    kind: LfsOpKind::Write {
+                        file: FileId(0),
+                        range: ByteRange::new(0, 8192),
+                    },
                 },
-                LfsOp { time: SimTime::from_secs(2), kind: LfsOpKind::Fsync { file: FileId(0) } },
-                LfsOp { time: SimTime::from_secs(3), kind: LfsOpKind::Fsync { file: FileId(0) } },
+                LfsOp {
+                    time: SimTime::from_secs(2),
+                    kind: LfsOpKind::Fsync { file: FileId(0) },
+                },
+                LfsOp {
+                    time: SimTime::from_secs(3),
+                    kind: LfsOpKind::Fsync { file: FileId(0) },
+                },
             ],
         }
     }
@@ -489,7 +557,10 @@ mod tests {
 
     #[test]
     fn buffer_absorbs_fsync() {
-        let r = run_filesystem(&ops_writes_and_fsync(), &LfsConfig::with_fsync_buffer(512 << 10));
+        let r = run_filesystem(
+            &ops_writes_and_fsync(),
+            &LfsConfig::with_fsync_buffer(512 << 10),
+        );
         assert_eq!(r.count(SegmentCause::Fsync), 0);
         assert_eq!(r.fsyncs_absorbed, 1);
         // Data still reaches disk eventually (shutdown flush).
@@ -504,12 +575,18 @@ mod tests {
             ops: vec![
                 LfsOp {
                     time: SimTime::from_secs(1),
-                    kind: LfsOpKind::Write { file: FileId(0), range: ByteRange::new(0, 8192) },
+                    kind: LfsOpKind::Write {
+                        file: FileId(0),
+                        range: ByteRange::new(0, 8192),
+                    },
                 },
                 // A later op advances the sweep clock past 31 s.
                 LfsOp {
                     time: SimTime::from_secs(120),
-                    kind: LfsOpKind::Write { file: FileId(1), range: ByteRange::new(0, 4096) },
+                    kind: LfsOpKind::Write {
+                        file: FileId(1),
+                        range: ByteRange::new(0, 4096),
+                    },
                 },
             ],
         };
@@ -531,7 +608,11 @@ mod tests {
         }
         let w = FsWorkload { name: "/test", ops };
         let r = run_filesystem(&w, &LfsConfig::direct());
-        assert!(r.count(SegmentCause::Full) >= 2, "records: {:?}", r.records.len());
+        assert!(
+            r.count(SegmentCause::Full) >= 2,
+            "records: {:?}",
+            r.records.len()
+        );
     }
 
     #[test]
@@ -544,7 +625,12 @@ mod tests {
             .iter()
             .filter(|r| r.is_partial() && r.cause != SegmentCause::Shutdown)
             .count();
-        assert_eq!(partials, 0, "{:?}", staged.records.iter().map(|r| r.cause).collect::<Vec<_>>());
+        assert_eq!(
+            partials,
+            0,
+            "{:?}",
+            staged.records.iter().map(|r| r.cause).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -553,8 +639,8 @@ mod tests {
         let user6 = &ws[0];
         let direct = run_filesystem(user6, &LfsConfig::direct());
         let buffered = run_filesystem(user6, &LfsConfig::with_fsync_buffer(512 << 10));
-        let reduction = 1.0
-            - buffered.disk_write_accesses() as f64 / direct.disk_write_accesses() as f64;
+        let reduction =
+            1.0 - buffered.disk_write_accesses() as f64 / direct.disk_write_accesses() as f64;
         assert!(reduction > 0.75, "reduction was {:.2}", reduction);
         // No data lost: everything reaches the disk in both runs.
         assert!(direct.data_bytes() > 0);
@@ -568,9 +654,15 @@ mod tests {
             ops: vec![
                 LfsOp {
                     time: SimTime::from_secs(1),
-                    kind: LfsOpKind::Write { file: FileId(0), range: ByteRange::new(0, 8192) },
+                    kind: LfsOpKind::Write {
+                        file: FileId(0),
+                        range: ByteRange::new(0, 8192),
+                    },
                 },
-                LfsOp { time: SimTime::from_secs(2), kind: LfsOpKind::Delete { file: FileId(0) } },
+                LfsOp {
+                    time: SimTime::from_secs(2),
+                    kind: LfsOpKind::Delete { file: FileId(0) },
+                },
             ],
         };
         let r = run_filesystem(&w, &LfsConfig::direct());
@@ -596,7 +688,10 @@ mod tests {
             buffered.utilization(),
             direct.utilization()
         );
-        assert!(buffered.total_ms < direct.total_ms * 0.7, "{buffered:?} vs {direct:?}");
+        assert!(
+            buffered.total_ms < direct.total_ms * 0.7,
+            "{buffered:?} vs {direct:?}"
+        );
     }
 
     #[test]

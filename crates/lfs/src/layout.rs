@@ -8,7 +8,6 @@
 //! Table 4.
 
 use nvfs_types::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Segment size (512 KB, as in Sprite LFS).
 pub const SEGMENT_BYTES: u64 = 512 * 1024;
@@ -20,7 +19,7 @@ pub const SUMMARY_BYTES: u64 = 512;
 pub const METADATA_BLOCK_BYTES: u64 = 4096;
 
 /// Why a segment was written to disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegmentCause {
     /// A full segment's worth of dirty data had accumulated.
     Full,
@@ -41,12 +40,15 @@ impl SegmentCause {
     /// paper's Table 3 (anything that isn't a naturally full segment or
     /// cleaner traffic).
     pub const fn is_forced(self) -> bool {
-        matches!(self, SegmentCause::Fsync | SegmentCause::Timeout | SegmentCause::Shutdown)
+        matches!(
+            self,
+            SegmentCause::Fsync | SegmentCause::Timeout | SegmentCause::Shutdown
+        )
     }
 }
 
 /// One segment written to disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentRecord {
     /// Sequence number in the log.
     pub id: u64,

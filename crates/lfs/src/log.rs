@@ -78,7 +78,11 @@ impl SegmentUsage {
 
     /// Removes segment `seg` from the table, returning its live blocks.
     pub fn evacuate(&mut self, seg: u64) -> Vec<BlockId> {
-        let blocks: Vec<BlockId> = self.segs.remove(&seg).map(|s| s.into_iter().collect()).unwrap_or_default();
+        let blocks: Vec<BlockId> = self
+            .segs
+            .remove(&seg)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
         for b in &blocks {
             self.locs.remove(b);
         }
@@ -130,7 +134,12 @@ impl SegmentWriter {
             segment_bytes >= 4096 + METADATA_BLOCK_BYTES + SUMMARY_BYTES,
             "segment size too small"
         );
-        SegmentWriter { segment_bytes, next_id: 0, records: Vec::new(), usage: SegmentUsage::new() }
+        SegmentWriter {
+            segment_bytes,
+            next_id: 0,
+            records: Vec::new(),
+            usage: SegmentUsage::new(),
+        }
     }
 
     /// Segments written so far.
@@ -265,7 +274,12 @@ mod tests {
     #[test]
     fn small_flush_is_one_partial_segment() {
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
-        let n = w.write_all(SimTime::ZERO, &vec![chunk(0, 8192)], SegmentCause::Fsync, false);
+        let n = w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 8192)],
+            SegmentCause::Fsync,
+            false,
+        );
         assert_eq!(n, 1);
         let r = w.records()[0];
         assert_eq!(r.cause, SegmentCause::Fsync);
@@ -285,7 +299,14 @@ mod tests {
         );
         assert_eq!(n, 3);
         let causes: Vec<SegmentCause> = w.records().iter().map(|r| r.cause).collect();
-        assert_eq!(causes, vec![SegmentCause::Full, SegmentCause::Full, SegmentCause::Timeout]);
+        assert_eq!(
+            causes,
+            vec![
+                SegmentCause::Full,
+                SegmentCause::Full,
+                SegmentCause::Timeout
+            ]
+        );
         for r in &w.records()[..2] {
             assert!(!r.is_partial(), "intermediate segments are full");
         }
@@ -306,7 +327,12 @@ mod tests {
     #[test]
     fn partial_blocks_round_to_whole_blocks() {
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
-        w.write_all(SimTime::ZERO, &vec![chunk(0, 100)], SegmentCause::Fsync, false);
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 100)],
+            SegmentCause::Fsync,
+            false,
+        );
         assert_eq!(w.records()[0].data_bytes, 4096);
     }
 
@@ -327,11 +353,21 @@ mod tests {
     #[test]
     fn usage_tracks_overwrites_and_deletes() {
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
-        w.write_all(SimTime::ZERO, &vec![chunk(0, 16384)], SegmentCause::Timeout, false);
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 16384)],
+            SegmentCause::Timeout,
+            false,
+        );
         let first = w.records()[0].id;
         assert_eq!(w.usage().live_bytes(first), 16384);
         // Rewrite the same blocks: the old segment's data dies.
-        w.write_all(SimTime::from_secs(1), &vec![chunk(0, 16384)], SegmentCause::Timeout, false);
+        w.write_all(
+            SimTime::from_secs(1),
+            &vec![chunk(0, 16384)],
+            SegmentCause::Timeout,
+            false,
+        );
         assert_eq!(w.usage().live_bytes(first), 0);
         let second = w.records()[1].id;
         assert_eq!(w.usage().live_bytes(second), 16384);
@@ -342,8 +378,18 @@ mod tests {
     #[test]
     fn least_utilized_orders_by_live_data() {
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
-        w.write_all(SimTime::ZERO, &vec![chunk(0, 16384)], SegmentCause::Timeout, false);
-        w.write_all(SimTime::ZERO, &vec![chunk(1, 4096)], SegmentCause::Timeout, false);
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 16384)],
+            SegmentCause::Timeout,
+            false,
+        );
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(1, 4096)],
+            SegmentCause::Timeout,
+            false,
+        );
         let victims = w.usage().least_utilized(1);
         assert_eq!(victims, vec![w.records()[1].id]);
         let blocks = w.usage_mut().evacuate(victims[0]);
@@ -353,7 +399,12 @@ mod tests {
     #[test]
     fn uniform_cause_marks_cleaner_segments() {
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
-        w.write_all(SimTime::ZERO, &vec![chunk(0, 1 << 20)], SegmentCause::Cleaner, true);
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 1 << 20)],
+            SegmentCause::Cleaner,
+            true,
+        );
         assert!(w.records().iter().all(|r| r.cause == SegmentCause::Cleaner));
     }
 }

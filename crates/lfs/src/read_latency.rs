@@ -14,11 +14,10 @@
 //! optimum that lands near two tracks for typical loads.
 
 use nvfs_disk::DiskParams;
-use serde::{Deserialize, Serialize};
 
 /// An open M/G/1 model of a disk shared by synchronous reads and LFS
 /// segment writes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadLatencyModel {
     /// The disk.
     pub disk: DiskParams,
@@ -44,7 +43,10 @@ impl ReadLatencyModel {
 
     /// A heavily write-loaded server (the "sometimes as much as 37%" case).
     pub fn heavy() -> Self {
-        ReadLatencyModel { write_byte_rate: 300.0 * 1024.0, ..ReadLatencyModel::typical() }
+        ReadLatencyModel {
+            write_byte_rate: 300.0 * 1024.0,
+            ..ReadLatencyModel::typical()
+        }
     }
 
     /// Service time of one read, in seconds.
@@ -60,8 +62,7 @@ impl ReadLatencyModel {
     /// Total disk utilization with segments of `write_bytes`.
     pub fn utilization(&self, write_bytes: u64) -> f64 {
         let write_rate = self.write_byte_rate / write_bytes as f64;
-        self.read_rate_hz * self.read_service_s()
-            + write_rate * self.write_service_s(write_bytes)
+        self.read_rate_hz * self.read_service_s() + write_rate * self.write_service_s(write_bytes)
     }
 
     /// Mean read response time (queueing + service) in milliseconds for
@@ -143,7 +144,10 @@ mod tests {
     fn full_segments_cost_about_fourteen_percent_typically() {
         let m = ReadLatencyModel::typical();
         let penalty = m.full_segment_penalty_pct(&WRITE_SIZE_GRID, 512 << 10);
-        assert!((8.0..=30.0).contains(&penalty), "typical penalty {penalty:.1}%");
+        assert!(
+            (8.0..=30.0).contains(&penalty),
+            "typical penalty {penalty:.1}%"
+        );
     }
 
     #[test]
@@ -152,7 +156,8 @@ mod tests {
         let penalty = m.full_segment_penalty_pct(&WRITE_SIZE_GRID, 512 << 10);
         assert!(penalty > 25.0, "heavy penalty {penalty:.1}%");
         // And heavier loads always hurt more than typical ones.
-        let typical = ReadLatencyModel::typical().full_segment_penalty_pct(&WRITE_SIZE_GRID, 512 << 10);
+        let typical =
+            ReadLatencyModel::typical().full_segment_penalty_pct(&WRITE_SIZE_GRID, 512 << 10);
         assert!(penalty > typical);
     }
 
@@ -167,7 +172,9 @@ mod tests {
     fn response_has_an_interior_minimum() {
         let m = ReadLatencyModel::typical();
         let first = m.mean_read_response_ms(WRITE_SIZE_GRID[0]).unwrap();
-        let best = m.mean_read_response_ms(m.optimal_write_bytes(&WRITE_SIZE_GRID)).unwrap();
+        let best = m
+            .mean_read_response_ms(m.optimal_write_bytes(&WRITE_SIZE_GRID))
+            .unwrap();
         let last = m.mean_read_response_ms(512 << 10).unwrap();
         assert!(best < first, "tiny writes thrash positioning");
         assert!(best < last, "full segments lengthen residuals");

@@ -8,12 +8,11 @@
 //! can look at activity over time the same way the authors did.
 
 use nvfs_types::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::layout::{SegmentCause, SegmentRecord};
 
 /// One counter snapshot, covering everything written up to `time`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CounterSample {
     /// Sample timestamp.
     pub time: SimTime,
@@ -56,7 +55,10 @@ impl CounterSample {
 /// assert!(samples.is_empty());
 /// ```
 pub fn sample_counters(records: &[SegmentRecord], period: SimDuration) -> Vec<CounterSample> {
-    assert!(period > SimDuration::ZERO, "sampling period must be positive");
+    assert!(
+        period > SimDuration::ZERO,
+        "sampling period must be positive"
+    );
     let Some(last) = records.iter().map(|r| r.time).max() else {
         return Vec::new();
     };
@@ -132,8 +134,10 @@ mod tests {
 
     #[test]
     fn cleaner_traffic_is_excluded() {
-        let records =
-            vec![rec(10, SegmentCause::Cleaner, 100), rec(20, SegmentCause::Timeout, 8)];
+        let records = vec![
+            rec(10, SegmentCause::Cleaner, 100),
+            rec(20, SegmentCause::Timeout, 8),
+        ];
         let samples = sample_counters(&records, SimDuration::from_mins(30));
         assert_eq!(samples[0].segments, 1);
         assert_eq!(samples[0].data_bytes, 8 * 1024);

@@ -28,17 +28,25 @@ fn churn_workload(files: u32, rewrites: u32, file_bytes: u64) -> FsWorkload {
         if round % 3 == 2 {
             ops.push(LfsOp {
                 time: SimTime::from_millis(t),
-                kind: LfsOpKind::Delete { file: FileId(round % files) },
+                kind: LfsOpKind::Delete {
+                    file: FileId(round % files),
+                },
             });
             t += 50;
         }
     }
-    FsWorkload { name: "/churn", ops }
+    FsWorkload {
+        name: "/churn",
+        ops,
+    }
 }
 
 fn pressured_config() -> LfsConfig {
     LfsConfig {
-        cleaner: Some(CleanerConfig { trigger_segments: 24, batch: 6 }),
+        cleaner: Some(CleanerConfig {
+            trigger_segments: 24,
+            batch: 6,
+        }),
         ..LfsConfig::direct()
     }
 }
@@ -99,7 +107,10 @@ fn no_churn_means_no_cleaning() {
             },
         });
     }
-    let w = FsWorkload { name: "/append", ops };
+    let w = FsWorkload {
+        name: "/append",
+        ops,
+    };
     let report = run_filesystem(&w, &pressured_config());
     assert_eq!(report.cleaner.runs, 0);
 }

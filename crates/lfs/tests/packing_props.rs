@@ -1,19 +1,28 @@
-//! Property tests on the LFS segment writer: block conservation, segment
+//! Randomized tests on the LFS segment writer: block conservation, segment
 //! size limits, and equivalence between direct and buffered data paths.
+//!
+//! Formerly proptest-based; now driven by a seeded [`nvfs_rng::StdRng`] so
+//! the suite builds offline and failures reproduce exactly.
 
 use nvfs_lfs::fs::{run_filesystem, LfsConfig};
 use nvfs_lfs::layout::{SegmentCause, SEGMENT_BYTES};
 use nvfs_lfs::SegmentWriter;
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOp, LfsOpKind};
 use nvfs_types::{blocks_of_range, ByteRange, FileId, RangeSet, SimTime};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn arb_chunks() -> impl Strategy<Value = Vec<(u32, u64, u64)>> {
-    proptest::collection::vec(
-        (0u32..8, 0u64..(64 << 10), 1u64..(96 << 10)),
-        1..20,
-    )
+fn rand_chunks(rng: &mut StdRng) -> Vec<(u32, u64, u64)> {
+    let n = rng.gen_range(1..20usize);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..8u32),
+                rng.gen_range(0..(64u64 << 10)),
+                rng.gen_range(1..(96u64 << 10)),
+            )
+        })
+        .collect()
 }
 
 fn to_chunks(raw: &[(u32, u64, u64)]) -> Vec<(FileId, RangeSet)> {
@@ -33,34 +42,48 @@ fn distinct_blocks(raw: &[(u32, u64, u64)]) -> usize {
     set.len()
 }
 
-proptest! {
-    #[test]
-    fn write_all_conserves_blocks(raw in arb_chunks()) {
+#[test]
+fn write_all_conserves_blocks() {
+    let mut rng = StdRng::seed_from_u64(0x1F5_0001);
+    for _case in 0..128 {
+        let raw = rand_chunks(&mut rng);
         let chunks = to_chunks(&raw);
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
         w.write_all(SimTime::ZERO, &chunks, SegmentCause::Timeout, false);
         let written_blocks: u64 = w.records().iter().map(|r| r.data_bytes / 4096).sum();
-        prop_assert_eq!(written_blocks as usize, distinct_blocks(&raw));
+        assert_eq!(written_blocks as usize, distinct_blocks(&raw), "{raw:?}");
         // Usage table agrees.
-        prop_assert_eq!(w.usage().total_live_bytes() as usize / 4096, distinct_blocks(&raw));
+        assert_eq!(
+            w.usage().total_live_bytes() as usize / 4096,
+            distinct_blocks(&raw),
+            "{raw:?}"
+        );
     }
+}
 
-    #[test]
-    fn segments_never_exceed_their_size(raw in arb_chunks()) {
+#[test]
+fn segments_never_exceed_their_size() {
+    let mut rng = StdRng::seed_from_u64(0x1F5_0002);
+    for _case in 0..128 {
+        let raw = rand_chunks(&mut rng);
         let chunks = to_chunks(&raw);
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
         w.write_all(SimTime::ZERO, &chunks, SegmentCause::Fsync, false);
         for r in w.records() {
-            prop_assert!(r.on_disk_bytes() <= SEGMENT_BYTES, "{:?}", r);
-            prop_assert!(r.data_bytes > 0, "no empty segments");
+            assert!(r.on_disk_bytes() <= SEGMENT_BYTES, "{r:?}");
+            assert!(r.data_bytes > 0, "no empty segments: {r:?}");
         }
         // At most the final segment may be partial.
         let partials = w.records().iter().filter(|r| r.is_partial()).count();
-        prop_assert!(partials <= 1);
+        assert!(partials <= 1, "{raw:?}");
     }
+}
 
-    #[test]
-    fn full_only_plus_remainder_is_lossless(raw in arb_chunks()) {
+#[test]
+fn full_only_plus_remainder_is_lossless() {
+    let mut rng = StdRng::seed_from_u64(0x1F5_0003);
+    for _case in 0..128 {
+        let raw = rand_chunks(&mut rng);
         let chunks = to_chunks(&raw);
         let mut w = SegmentWriter::new(SEGMENT_BYTES);
         let (_, remainder) = w.write_full_only(SimTime::ZERO, &chunks);
@@ -76,13 +99,21 @@ proptest! {
             }
             set.len()
         };
-        prop_assert_eq!(on_disk_blocks as usize + rem_blocks, distinct_blocks(&raw));
+        assert_eq!(
+            on_disk_blocks as usize + rem_blocks,
+            distinct_blocks(&raw),
+            "{raw:?}"
+        );
         // The remainder is strictly less than one segment of data.
-        prop_assert!((rem_blocks as u64 * 4096) < SEGMENT_BYTES);
+        assert!((rem_blocks as u64 * 4096) < SEGMENT_BYTES, "{raw:?}");
     }
+}
 
-    #[test]
-    fn buffered_path_writes_the_same_data(raw in arb_chunks()) {
+#[test]
+fn buffered_path_writes_the_same_data() {
+    let mut rng = StdRng::seed_from_u64(0x1F5_0004);
+    for _case in 0..96 {
+        let raw = rand_chunks(&mut rng);
         // Interleave writes and fsyncs; the fsync-absorbing buffer must not
         // lose or invent data relative to the direct path.
         let mut ops = Vec::new();
@@ -90,10 +121,16 @@ proptest! {
             let t = SimTime::from_secs(i as u64);
             ops.push(LfsOp {
                 time: t,
-                kind: LfsOpKind::Write { file: FileId(f), range: ByteRange::at(off, len) },
+                kind: LfsOpKind::Write {
+                    file: FileId(f),
+                    range: ByteRange::at(off, len),
+                },
             });
             if i % 3 == 0 {
-                ops.push(LfsOp { time: t, kind: LfsOpKind::Fsync { file: FileId(f) } });
+                ops.push(LfsOp {
+                    time: t,
+                    kind: LfsOpKind::Fsync { file: FileId(f) },
+                });
             }
         }
         let w = FsWorkload { name: "/prop", ops };
@@ -102,8 +139,14 @@ proptest! {
         // Buffering may absorb rewrites of a block that the direct path
         // wrote twice (that is the point of the buffer), so it writes at
         // most as much — and at least every distinct block once.
-        prop_assert!(buffered.data_bytes() <= direct.data_bytes());
-        prop_assert!(buffered.data_bytes() >= distinct_blocks(&raw) as u64 * 4096);
-        prop_assert!(buffered.disk_write_accesses() <= direct.disk_write_accesses());
+        assert!(buffered.data_bytes() <= direct.data_bytes(), "{raw:?}");
+        assert!(
+            buffered.data_bytes() >= distinct_blocks(&raw) as u64 * 4096,
+            "{raw:?}"
+        );
+        assert!(
+            buffered.disk_write_accesses() <= direct.disk_write_accesses(),
+            "{raw:?}"
+        );
     }
 }

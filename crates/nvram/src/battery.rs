@@ -5,11 +5,10 @@
 //! fails", and the boards use "triply redundant batteries". Data is safe as
 //! long as at least one battery (or bus power) survives.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Health of the battery bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatteryState {
     /// All batteries healthy.
     Healthy,
@@ -48,7 +47,7 @@ impl fmt::Display for BatteryState {
 /// assert_eq!(bank.state(), BatteryState::Dead);
 /// assert!(!bank.preserves_data());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatteryBank {
     total: u8,
     alive: u8,
@@ -62,7 +61,10 @@ impl BatteryBank {
     /// Panics if `count` is zero (a battery-less part is just DRAM).
     pub fn new(count: u8) -> Self {
         assert!(count > 0, "an NVRAM component needs at least one battery");
-        BatteryBank { total: count, alive: count }
+        BatteryBank {
+            total: count,
+            alive: count,
+        }
     }
 
     /// Number of batteries installed.
@@ -128,7 +130,10 @@ impl BatteryBank {
 /// `[0, 1]`, or if `years` is negative.
 pub fn survival_probability(batteries: u8, annual_failure: f64, years: f64) -> f64 {
     assert!(batteries > 0, "need at least one battery");
-    assert!((0.0..=1.0).contains(&annual_failure), "failure probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&annual_failure),
+        "failure probability out of range"
+    );
     assert!(years >= 0.0, "years must be non-negative");
     // Exponential cell lifetime with the given annual failure probability.
     let cell_survives = (1.0 - annual_failure).powf(years);

@@ -10,8 +10,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use nvfs_types::{ByteRange, ClientId, FileId, RangeSet};
 
 use crate::battery::BatteryBank;
@@ -34,7 +32,7 @@ pub type RecoveredData = BTreeMap<FileId, RangeSet>;
 /// let recovered = board.drain();
 /// assert_eq!(recovered[&FileId(1)].len_bytes(), 4096);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NvramBoard {
     host: ClientId,
     capacity: u64,
@@ -45,7 +43,12 @@ pub struct NvramBoard {
 impl NvramBoard {
     /// Creates an empty board installed in `host`.
     pub fn new(host: ClientId, capacity: u64) -> Self {
-        NvramBoard { host, capacity, batteries: BatteryBank::default(), contents: BTreeMap::new() }
+        NvramBoard {
+            host,
+            capacity,
+            batteries: BatteryBank::default(),
+            contents: BTreeMap::new(),
+        }
     }
 
     /// The client the board is currently installed in.

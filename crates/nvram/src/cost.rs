@@ -7,11 +7,10 @@
 //! arithmetic over these prices and the simulated traffic reductions, so we
 //! carry the catalogue as data.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What kind of memory product a catalogue row describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryKind {
     /// Battery-backed SRAM SIMM.
     NvramSimm,
@@ -33,7 +32,7 @@ impl fmt::Display for MemoryKind {
 }
 
 /// One row of Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryProduct {
     /// Component description (as printed in Table 1).
     pub component: &'static str,

@@ -6,8 +6,6 @@
 //! write-aside, which matters if NVRAM is slower than DRAM. This device
 //! model carries the counters those comparisons need.
 
-use serde::{Deserialize, Serialize};
-
 use crate::battery::BatteryBank;
 
 /// A client- or server-side NVRAM component.
@@ -26,7 +24,7 @@ use crate::battery::BatteryBank;
 /// assert_eq!(nv.accesses(), 2);
 /// assert_eq!(nv.bytes_transferred(), 8192);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NvramDevice {
     capacity: u64,
     batteries: BatteryBank,

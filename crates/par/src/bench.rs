@@ -1,0 +1,139 @@
+//! Wall-clock timing harness for the experiment pipeline.
+//!
+//! Deliberately minimal — `std::time::Instant` around a closure, no
+//! statistical machinery — because the artifact it feeds
+//! (`BENCH_pr1.json`) tracks coarse sequential-vs-parallel wall-clock
+//! ratios across PRs, not microbenchmark noise floors.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed run: an experiment name, its wall-clock milliseconds, and
+/// the job count it ran with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment or stage name (e.g. `"gen-traces"`, `"fig3"`).
+    pub name: String,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+    /// Job count the stage ran with.
+    pub jobs: usize,
+}
+
+/// Times `f`, returning its result and the elapsed milliseconds.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Times `f` and appends a [`BenchRecord`] for it to `records`.
+pub fn timed<R>(
+    records: &mut Vec<BenchRecord>,
+    name: &str,
+    jobs: usize,
+    f: impl FnOnce() -> R,
+) -> R {
+    let (out, wall_ms) = time(f);
+    records.push(BenchRecord {
+        name: name.to_string(),
+        wall_ms,
+        jobs,
+    });
+    out
+}
+
+/// Serializes records as a JSON array of `{name, wall_ms, jobs}` rows.
+///
+/// Hand-rolled (the workspace builds offline, without serde); names are
+/// plain ASCII experiment identifiers, escaped defensively anyway.
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"jobs\": {}}}{sep}",
+            escape(&r.name),
+            r.wall_ms,
+            r.jobs
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result_and_positive_duration() {
+        let (v, ms) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn timed_appends_records_in_order() {
+        let mut records = Vec::new();
+        let a = timed(&mut records, "first", 1, || 1);
+        let b = timed(&mut records, "second", 4, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "first");
+        assert_eq!(records[1].jobs, 4);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let records = vec![
+            BenchRecord {
+                name: "gen-traces".into(),
+                wall_ms: 12.5,
+                jobs: 1,
+            },
+            BenchRecord {
+                name: "fig3".into(),
+                wall_ms: 0.25,
+                jobs: 4,
+            },
+        ];
+        let json = to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("{\"name\": \"gen-traces\", \"wall_ms\": 12.500, \"jobs\": 1},"));
+        assert!(json.contains("{\"name\": \"fig3\", \"wall_ms\": 0.250, \"jobs\": 4}\n"));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        let records = vec![BenchRecord {
+            name: "a\"b\\c\nd".into(),
+            wall_ms: 1.0,
+            jobs: 1,
+        }];
+        let json = to_json(&records);
+        assert!(json.contains("a\\\"b\\\\c\\u000ad"));
+    }
+
+    #[test]
+    fn empty_record_set_is_valid_json() {
+        assert_eq!(to_json(&[]), "[\n]\n");
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic parallel execution for the experiment pipeline.
+//!
+//! Every artifact in this reproduction is assembled from independent
+//! trace-driven simulations — eight synthetic Sprite traces, per-trace
+//! cache analyses, cache-size and policy sweeps. [`par_map`] fans those
+//! tasks out over scoped threads (`std::thread::scope`, no external
+//! dependencies) while keeping a hard invariant: **the output is
+//! byte-identical to the sequential run at any job count.**
+//!
+//! Three rules uphold the invariant, and every caller in the workspace
+//! follows them:
+//!
+//! 1. results are joined in submission order ([`par_map`] returns
+//!    `Vec<R>` indexed exactly like its input);
+//! 2. each task seeds its own RNG from its input, never from shared or
+//!    ambient state;
+//! 3. tasks share no mutable state (enforced by the `Sync` bound on the
+//!    closure — interior mutability would need locks a caller has no
+//!    reason to add).
+//!
+//! The effective job count is resolved once per process by [`jobs`]:
+//! an explicit [`set_jobs`] (the CLI's `--jobs N`) wins, then the
+//! `NVFS_JOBS` environment variable, then
+//! [`std::thread::available_parallelism`]. `jobs = 1` short-circuits to a
+//! plain sequential loop, so single-core runs pay no threading overhead.
+//!
+//! The [`bench`] module is the matching timing harness: wall-clock
+//! [`std::time::Instant`] measurements serialized as JSON rows
+//! (`{name, wall_ms, jobs}`) for the repository's `BENCH_*.json`
+//! trajectory.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = nvfs_par::par_map((0..100u64).collect(), 4, |x| x * x);
+//! assert_eq!(squares[7], 49); // input order preserved
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod bench;
+
+/// Applies `f` to every item on up to `jobs` scoped worker threads,
+/// returning the results **in input order**.
+///
+/// Work is claimed item-by-item from a shared atomic cursor, so uneven
+/// task sizes (trace 3 and 4 are several times larger than the typical
+/// traces) load-balance automatically. With `jobs <= 1` or a single item
+/// the call degenerates to a sequential loop on the calling thread.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f` (the scope joins every
+/// worker before unwinding).
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().expect("input slot poisoned").take();
+                let item = item.expect("each index is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker stored every claimed slot")
+        })
+        .collect()
+}
+
+/// Job count explicitly requested for this process (0 = unset).
+static CONFIGURED_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide job count (the CLI's `--jobs N`).
+///
+/// Values are clamped to at least 1. Call before the first [`jobs`] read;
+/// later calls still take effect for subsequent reads.
+pub fn set_jobs(n: usize) {
+    CONFIGURED_JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Resolves the effective job count: [`set_jobs`] > `NVFS_JOBS` >
+/// [`std::thread::available_parallelism`].
+///
+/// Unparsable or zero `NVFS_JOBS` values are ignored rather than
+/// honored, so a broken environment degrades to hardware parallelism.
+pub fn jobs() -> usize {
+    let configured = CONFIGURED_JOBS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = env_jobs() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn env_jobs() -> Option<usize> {
+    let raw = std::env::var("NVFS_JOBS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), 4, |x| x + 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(items, 8, |i| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_at_every_job_count() {
+        let expected: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        for jobs in [1, 2, 3, 4, 7, 64, 100] {
+            let out = par_map((0..64u64).collect(), jobs, |i| i.wrapping_mul(0x9E3779B9));
+            assert_eq!(out, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn propagates_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            par_map((0..16u32).collect(), 4, |i| {
+                if i == 9 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_job_runs_on_calling_thread() {
+        let caller = std::thread::current().id();
+        let out = par_map(vec![(), ()], 1, |()| std::thread::current().id());
+        assert!(out.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn non_clone_items_and_results_work() {
+        // Ownership is moved through the slots; no Clone bound anywhere.
+        let items: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let out = par_map(items, 4, |s| s + "!");
+        assert_eq!(out[3], "3!");
+    }
+
+    #[test]
+    fn env_jobs_parses_defensively() {
+        // Unit-tests the parser only; the env var itself is process-global
+        // and not mutated here.
+        assert_eq!(
+            "4".trim().parse::<usize>().ok().filter(|n| *n >= 1),
+            Some(4)
+        );
+        assert_eq!("0".trim().parse::<usize>().ok().filter(|n| *n >= 1), None);
+        assert_eq!("x".trim().parse::<usize>().ok().filter(|n| *n >= 1), None);
+    }
+
+    #[test]
+    fn jobs_is_at_least_one() {
+        assert!(jobs() >= 1);
+    }
+}

@@ -1,9 +1,7 @@
 //! Figures: labelled families of (x, y) series, as the paper's plots.
 
-use serde::{Deserialize, Serialize};
-
 /// One curve of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Curve label (e.g. `Trace 7` or `unified`).
     pub name: String,
@@ -14,12 +12,18 @@ pub struct Series {
 impl Series {
     /// Creates a named series.
     pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.to_string(), points }
+        Series {
+            name: name.to_string(),
+            points,
+        }
     }
 
     /// The y value at the given x, if present.
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9).map(|(_, y)| *y)
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
     }
 
     /// Whether y never increases as x grows (diminishing-returns curves).
@@ -40,7 +44,7 @@ impl Series {
 /// assert!(f.to_csv().contains("Trace 7"));
 /// assert!(f.series("Trace 7").unwrap().is_nonincreasing());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Figure title.
     pub title: String,
@@ -90,10 +94,16 @@ impl Figure {
 
     /// A compact text rendering: one line per series with its points.
     pub fn render(&self) -> String {
-        let mut out = format!("{} — x: {}, y: {}\n", self.title, self.x_label, self.y_label);
+        let mut out = format!(
+            "{} — x: {}, y: {}\n",
+            self.title, self.x_label, self.y_label
+        );
         for s in &self.series {
-            let pts: Vec<String> =
-                s.points.iter().map(|(x, y)| format!("({x:.3}, {y:.1})")).collect();
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|(x, y)| format!("({x:.3}, {y:.1})"))
+                .collect();
             out.push_str(&format!("  {:<14} {}\n", s.name, pts.join(" ")));
         }
         out

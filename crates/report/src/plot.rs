@@ -19,7 +19,11 @@ pub struct PlotOptions {
 
 impl Default for PlotOptions {
     fn default() -> Self {
-        PlotOptions { width: 64, height: 16, log_x: false }
+        PlotOptions {
+            width: 64,
+            height: 16,
+            log_x: false,
+        }
     }
 }
 
@@ -44,12 +48,21 @@ const MARKERS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '~'];
 /// assert!(s.contains("a"));
 /// ```
 pub fn render_plot(figure: &Figure, opts: PlotOptions) -> String {
-    let points: Vec<(f64, f64)> =
-        figure.all_series().iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = figure
+        .all_series()
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if points.is_empty() || opts.width < 2 || opts.height < 2 {
         return String::new();
     }
-    let xform = |x: f64| if opts.log_x { x.max(f64::MIN_POSITIVE).log10() } else { x };
+    let xform = |x: f64| {
+        if opts.log_x {
+            x.max(f64::MIN_POSITIVE).log10()
+        } else {
+            x
+        }
+    };
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
     for &(x, y) in &points {
@@ -78,8 +91,16 @@ pub fn render_plot(figure: &Figure, opts: PlotOptions) -> String {
             let (lo, hi) = (c0.min(c1), c0.max(c1));
             #[allow(clippy::needless_range_loop)] // rows vary per column
             for c in lo..=hi {
-                let frac = if hi == lo { 0.0 } else { (c - lo) as f64 / (hi - lo) as f64 };
-                let y = if c0 <= c1 { y0 + frac * (y1 - y0) } else { y1 + (1.0 - frac) * (y0 - y1) };
+                let frac = if hi == lo {
+                    0.0
+                } else {
+                    (c - lo) as f64 / (hi - lo) as f64
+                };
+                let y = if c0 <= c1 {
+                    y0 + frac * (y1 - y0)
+                } else {
+                    y1 + (1.0 - frac) * (y0 - y1)
+                };
                 let r = row(y, y_min, y_max, opts.height);
                 grid[r][c] = marker;
             }
@@ -116,9 +137,16 @@ pub fn render_plot(figure: &Figure, opts: PlotOptions) -> String {
         x_hi,
         width = opts.width.saturating_sub(6)
     ));
-    out.push_str(&format!("          x: {} — y: {}\n", figure.x_label, figure.y_label));
+    out.push_str(&format!(
+        "          x: {} — y: {}\n",
+        figure.x_label, figure.y_label
+    ));
     for (si, series) in figure.all_series().iter().enumerate() {
-        out.push_str(&format!("          {} {}\n", MARKERS[si % MARKERS.len()], series.name));
+        out.push_str(&format!(
+            "          {} {}\n",
+            MARKERS[si % MARKERS.len()],
+            series.name
+        ));
     }
     out
 }
@@ -142,7 +170,10 @@ mod tests {
 
     fn demo() -> Figure {
         let mut f = Figure::new("T", "x", "y");
-        f.push(Series::new("down", vec![(0.125, 80.0), (1.0, 40.0), (8.0, 30.0)]));
+        f.push(Series::new(
+            "down",
+            vec![(0.125, 80.0), (1.0, 40.0), (8.0, 30.0)],
+        ));
         f.push(Series::new("flat", vec![(0.125, 50.0), (8.0, 50.0)]));
         f
     }
@@ -160,8 +191,20 @@ mod tests {
 
     #[test]
     fn log_x_spreads_small_values() {
-        let lin = render_plot(&demo(), PlotOptions { log_x: false, ..PlotOptions::default() });
-        let log = render_plot(&demo(), PlotOptions { log_x: true, ..PlotOptions::default() });
+        let lin = render_plot(
+            &demo(),
+            PlotOptions {
+                log_x: false,
+                ..PlotOptions::default()
+            },
+        );
+        let log = render_plot(
+            &demo(),
+            PlotOptions {
+                log_x: true,
+                ..PlotOptions::default()
+            },
+        );
         // Both render; the curves differ in shape.
         assert_ne!(lin, log);
     }

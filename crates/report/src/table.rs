@@ -1,10 +1,9 @@
 //! Simple fixed-column tables with ASCII and CSV rendering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One table cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cell {
     /// Free text.
     Text(String),
@@ -26,12 +25,18 @@ pub enum Cell {
 impl Cell {
     /// Convenience float with one decimal.
     pub fn f1(value: f64) -> Cell {
-        Cell::Float { value, precision: 1 }
+        Cell::Float {
+            value,
+            precision: 1,
+        }
     }
 
     /// Convenience float with two decimals.
     pub fn f2(value: f64) -> Cell {
-        Cell::Float { value, precision: 2 }
+        Cell::Float {
+            value,
+            precision: 2,
+        }
     }
 }
 
@@ -84,7 +89,7 @@ impl From<usize> for Cell {
 /// assert!(text.contains("/user6"));
 /// assert!(t.to_csv().contains("fs,segments"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     title: String,
     columns: Vec<String>,
@@ -153,8 +158,11 @@ impl Table {
         out.push_str(&"-".repeat(header.join("  ").len()));
         out.push('\n');
         for row in &rendered {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }

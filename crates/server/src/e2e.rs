@@ -41,7 +41,10 @@ pub fn server_workload_from_writes(writes: &[ServerWrite]) -> FsWorkload {
         let cursor = cursors.entry(w.file).or_insert(0);
         ops.push(LfsOp {
             time: w.time,
-            kind: LfsOpKind::Write { file: w.file, range: ByteRange::at(*cursor, w.bytes) },
+            kind: LfsOpKind::Write {
+                file: w.file,
+                range: ByteRange::at(*cursor, w.bytes),
+            },
         });
         *cursor += w.bytes;
         if w.cause == FlushCause::Fsync {
@@ -51,7 +54,10 @@ pub fn server_workload_from_writes(writes: &[ServerWrite]) -> FsWorkload {
             });
         }
     }
-    FsWorkload { name: "/clients", ops }
+    FsWorkload {
+        name: "/clients",
+        ops,
+    }
 }
 
 /// Runs the full pipeline: client caches over `ops`, then the LFS server

@@ -18,4 +18,6 @@ pub mod e2e;
 pub mod presto;
 
 pub use e2e::{client_server_pipeline, server_workload_from_writes, PipelineReport};
-pub use presto::{nfs_synchronous, prestoserve, sprite_delayed, PrestoConfig, WriteOutcome, WriteRequest};
+pub use presto::{
+    nfs_synchronous, prestoserve, sprite_delayed, PrestoConfig, WriteOutcome, WriteRequest,
+};

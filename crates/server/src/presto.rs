@@ -12,13 +12,11 @@
 //! * **Sprite delayed** — writes complete on reaching the server's volatile
 //!   cache (fast, but unsafe until the delayed write-back runs).
 
-use serde::{Deserialize, Serialize};
-
 use nvfs_disk::{Discipline, DiskQueue, DiskRequest};
 use nvfs_types::SimTime;
 
 /// One synchronous write request arriving at the server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteRequest {
     /// Arrival time.
     pub time: SimTime,
@@ -29,7 +27,7 @@ pub struct WriteRequest {
 }
 
 /// Latency/throughput outcome of servicing a request stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WriteOutcome {
     /// Requests serviced.
     pub requests: usize,
@@ -44,7 +42,7 @@ pub struct WriteOutcome {
 }
 
 /// Prestoserve configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrestoConfig {
     /// NVRAM capacity in bytes (Prestoserve boards held ~1 MB).
     pub capacity: u64,
@@ -56,7 +54,11 @@ pub struct PrestoConfig {
 
 impl Default for PrestoConfig {
     fn default() -> Self {
-        PrestoConfig { capacity: 1 << 20, nvram_copy_ms_per_kb: 0.005, drain_threshold: 0.5 }
+        PrestoConfig {
+            capacity: 1 << 20,
+            nvram_copy_ms_per_kb: 0.005,
+            drain_threshold: 0.5,
+        }
     }
 }
 
@@ -84,7 +86,10 @@ pub fn nfs_synchronous(requests: &[WriteRequest], disk: nvfs_disk::DiskParams) -
     for r in requests {
         let arrive_ms = r.time.as_micros() as f64 / 1000.0;
         let start = disk_free_ms.max(arrive_ms);
-        let service = q.service_one(DiskRequest { addr: r.addr, len: r.len });
+        let service = q.service_one(DiskRequest {
+            addr: r.addr,
+            len: r.len,
+        });
         busy += service;
         disk_free_ms = start + service;
         let latency = disk_free_ms - arrive_ms;
@@ -93,7 +98,11 @@ pub fn nfs_synchronous(requests: &[WriteRequest], disk: nvfs_disk::DiskParams) -
     }
     WriteOutcome {
         requests: requests.len(),
-        mean_latency_ms: if requests.is_empty() { 0.0 } else { total_latency / requests.len() as f64 },
+        mean_latency_ms: if requests.is_empty() {
+            0.0
+        } else {
+            total_latency / requests.len() as f64
+        },
         max_latency_ms: max_latency,
         disk_busy_ms: busy,
         disk_accesses: requests.len(),
@@ -118,17 +127,20 @@ pub fn prestoserve(
     let mut busy = 0.0;
     let mut accesses = 0usize;
 
-    let drain =
-        |q: &mut DiskQueue, buffered: &mut Vec<DiskRequest>, now: f64, disk_free: &mut f64| -> f64 {
-            if buffered.is_empty() {
-                return 0.0;
-            }
-            let out = q.service_batch(buffered, Discipline::Elevator);
-            buffered.clear();
-            let start = disk_free.max(now);
-            *disk_free = start + out.total_ms;
-            out.total_ms
-        };
+    let drain = |q: &mut DiskQueue,
+                 buffered: &mut Vec<DiskRequest>,
+                 now: f64,
+                 disk_free: &mut f64|
+     -> f64 {
+        if buffered.is_empty() {
+            return 0.0;
+        }
+        let out = q.service_batch(buffered, Discipline::Elevator);
+        buffered.clear();
+        let start = disk_free.max(now);
+        *disk_free = start + out.total_ms;
+        out.total_ms
+    };
 
     for r in requests {
         let arrive_ms = r.time.as_micros() as f64 / 1000.0;
@@ -141,7 +153,10 @@ pub fn prestoserve(
             buffered_bytes = 0;
             latency += (disk_free_ms - arrive_ms).max(0.0);
         }
-        buffered.push(DiskRequest { addr: r.addr, len: r.len });
+        buffered.push(DiskRequest {
+            addr: r.addr,
+            len: r.len,
+        });
         buffered_bytes += r.len;
         if buffered_bytes as f64 >= cfg.capacity as f64 * cfg.drain_threshold
             && disk_free_ms <= arrive_ms
@@ -162,7 +177,11 @@ pub fn prestoserve(
     }
     WriteOutcome {
         requests: requests.len(),
-        mean_latency_ms: if requests.is_empty() { 0.0 } else { total_latency / requests.len() as f64 },
+        mean_latency_ms: if requests.is_empty() {
+            0.0
+        } else {
+            total_latency / requests.len() as f64
+        },
         max_latency_ms: max_latency,
         disk_busy_ms: busy,
         disk_accesses: accesses,
@@ -192,7 +211,10 @@ pub fn sprite_delayed(
         let latency = 0.01 + r.len as f64 / 1.0e6; // ~1 GB/s copy
         total_latency += latency;
         max_latency = max_latency.max(latency);
-        buffered.push(DiskRequest { addr: r.addr, len: r.len });
+        buffered.push(DiskRequest {
+            addr: r.addr,
+            len: r.len,
+        });
         buffered_bytes += r.len;
         if buffered_bytes >= batch_bytes {
             let out = q.service_batch(&buffered, Discipline::Elevator);
@@ -209,7 +231,11 @@ pub fn sprite_delayed(
     }
     WriteOutcome {
         requests: requests.len(),
-        mean_latency_ms: if requests.is_empty() { 0.0 } else { total_latency / requests.len() as f64 },
+        mean_latency_ms: if requests.is_empty() {
+            0.0
+        } else {
+            total_latency / requests.len() as f64
+        },
         max_latency_ms: max_latency,
         disk_busy_ms: busy,
         disk_accesses: accesses,
@@ -220,8 +246,8 @@ pub fn sprite_delayed(
 mod tests {
     use super::*;
     use nvfs_disk::DiskParams;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use nvfs_rng::StdRng;
+    use nvfs_rng::{Rng, SeedableRng};
 
     fn workload(n: usize, gap_ms: u64, len: u64) -> Vec<WriteRequest> {
         let mut rng = StdRng::seed_from_u64(42);

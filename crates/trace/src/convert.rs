@@ -67,7 +67,10 @@ struct Cursor {
 /// assert_eq!(ops.app_write_bytes(), 100);
 /// ```
 pub fn lower(events: &[TraceEvent]) -> (OpStream, LowerStats) {
-    let mut stats = LowerStats { events: events.len(), ..LowerStats::default() };
+    let mut stats = LowerStats {
+        events: events.len(),
+        ..LowerStats::default()
+    };
     let mut out = OpStream::new();
     let mut cursors: BTreeMap<(ClientId, FileId), Cursor> = BTreeMap::new();
     let mut written_by: BTreeMap<(ClientId, ProcessId), BTreeSet<FileId>> = BTreeMap::new();
@@ -76,11 +79,19 @@ pub fn lower(events: &[TraceEvent]) -> (OpStream, LowerStats) {
         match ev.kind {
             EventKind::Open { file, mode } => {
                 cursors.insert((ev.client, file), Cursor::default());
-                out.push(Op { time: ev.time, client: ev.client, kind: OpKind::Open { file, mode } });
+                out.push(Op {
+                    time: ev.time,
+                    client: ev.client,
+                    kind: OpKind::Open { file, mode },
+                });
             }
             EventKind::Close { file } => {
                 cursors.remove(&(ev.client, file));
-                out.push(Op { time: ev.time, client: ev.client, kind: OpKind::Close { file } });
+                out.push(Op {
+                    time: ev.time,
+                    client: ev.client,
+                    kind: OpKind::Close { file },
+                });
             }
             EventKind::Seek { file, offset } => {
                 let cursor = cursors.entry((ev.client, file)).or_insert_with(|| {
@@ -91,12 +102,23 @@ pub fn lower(events: &[TraceEvent]) -> (OpStream, LowerStats) {
             }
             EventKind::Read { file, len } => {
                 let range = advance(&mut cursors, &mut stats, ev.client, file, len);
-                out.push(Op { time: ev.time, client: ev.client, kind: OpKind::Read { file, range } });
+                out.push(Op {
+                    time: ev.time,
+                    client: ev.client,
+                    kind: OpKind::Read { file, range },
+                });
             }
             EventKind::Write { file, len } => {
                 let range = advance(&mut cursors, &mut stats, ev.client, file, len);
-                written_by.entry((ev.client, ev.pid)).or_default().insert(file);
-                out.push(Op { time: ev.time, client: ev.client, kind: OpKind::Write { file, range } });
+                written_by
+                    .entry((ev.client, ev.pid))
+                    .or_default()
+                    .insert(file);
+                out.push(Op {
+                    time: ev.time,
+                    client: ev.client,
+                    kind: OpKind::Write { file, range },
+                });
             }
             EventKind::Truncate { file, new_len } => {
                 if let Some(c) = cursors.get_mut(&(ev.client, file)) {
@@ -110,10 +132,18 @@ pub fn lower(events: &[TraceEvent]) -> (OpStream, LowerStats) {
             }
             EventKind::Delete { file } => {
                 cursors.remove(&(ev.client, file));
-                out.push(Op { time: ev.time, client: ev.client, kind: OpKind::Delete { file } });
+                out.push(Op {
+                    time: ev.time,
+                    client: ev.client,
+                    kind: OpKind::Delete { file },
+                });
             }
             EventKind::Fsync { file } => {
-                out.push(Op { time: ev.time, client: ev.client, kind: OpKind::Fsync { file } });
+                out.push(Op {
+                    time: ev.time,
+                    client: ev.client,
+                    kind: OpKind::Fsync { file },
+                });
             }
             EventKind::Migrate { to } => {
                 let files: Vec<FileId> = written_by
@@ -123,7 +153,11 @@ pub fn lower(events: &[TraceEvent]) -> (OpStream, LowerStats) {
                 out.push(Op {
                     time: ev.time,
                     client: ev.client,
-                    kind: OpKind::Migrate { pid: ev.pid, to, files },
+                    kind: OpKind::Migrate {
+                        pid: ev.pid,
+                        to,
+                        files,
+                    },
                 });
             }
         }
@@ -155,15 +189,38 @@ mod tests {
     use nvfs_types::SimTime;
 
     fn ev(t: u64, kind: EventKind) -> TraceEvent {
-        TraceEvent { time: SimTime::from_secs(t), client: ClientId(0), pid: ProcessId(0), kind }
+        TraceEvent {
+            time: SimTime::from_secs(t),
+            client: ClientId(0),
+            pid: ProcessId(0),
+            kind,
+        }
     }
 
     #[test]
     fn offsets_advance_sequentially() {
         let events = vec![
-            ev(0, EventKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            ev(1, EventKind::Write { file: FileId(0), len: 100 }),
-            ev(2, EventKind::Write { file: FileId(0), len: 50 }),
+            ev(
+                0,
+                EventKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            ev(
+                1,
+                EventKind::Write {
+                    file: FileId(0),
+                    len: 100,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Write {
+                    file: FileId(0),
+                    len: 50,
+                },
+            ),
         ];
         let (ops, _) = lower(&events);
         let ranges: Vec<ByteRange> = ops
@@ -173,15 +230,36 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(ranges, vec![ByteRange::new(0, 100), ByteRange::new(100, 150)]);
+        assert_eq!(
+            ranges,
+            vec![ByteRange::new(0, 100), ByteRange::new(100, 150)]
+        );
     }
 
     #[test]
     fn seek_repositions() {
         let events = vec![
-            ev(0, EventKind::Open { file: FileId(0), mode: OpenMode::ReadWrite }),
-            ev(1, EventKind::Seek { file: FileId(0), offset: 4096 }),
-            ev(2, EventKind::Read { file: FileId(0), len: 10 }),
+            ev(
+                0,
+                EventKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::ReadWrite,
+                },
+            ),
+            ev(
+                1,
+                EventKind::Seek {
+                    file: FileId(0),
+                    offset: 4096,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Read {
+                    file: FileId(0),
+                    len: 10,
+                },
+            ),
         ];
         let (ops, _) = lower(&events);
         let read = ops.iter().find_map(|o| match o.kind {
@@ -194,11 +272,35 @@ mod tests {
     #[test]
     fn reopen_resets_offset() {
         let events = vec![
-            ev(0, EventKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            ev(1, EventKind::Write { file: FileId(0), len: 10 }),
+            ev(
+                0,
+                EventKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            ev(
+                1,
+                EventKind::Write {
+                    file: FileId(0),
+                    len: 10,
+                },
+            ),
             ev(2, EventKind::Close { file: FileId(0) }),
-            ev(3, EventKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            ev(4, EventKind::Write { file: FileId(0), len: 10 }),
+            ev(
+                3,
+                EventKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            ev(
+                4,
+                EventKind::Write {
+                    file: FileId(0),
+                    len: 10,
+                },
+            ),
         ];
         let (ops, _) = lower(&events);
         let last_write = ops
@@ -213,7 +315,13 @@ mod tests {
 
     #[test]
     fn implicit_open_is_counted() {
-        let events = vec![ev(0, EventKind::Write { file: FileId(9), len: 5 })];
+        let events = vec![ev(
+            0,
+            EventKind::Write {
+                file: FileId(9),
+                len: 5,
+            },
+        )];
         let (_, stats) = lower(&events);
         assert_eq!(stats.implicit_opens, 1);
     }
@@ -221,8 +329,20 @@ mod tests {
     #[test]
     fn migrate_collects_written_files() {
         let events = vec![
-            ev(0, EventKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            ev(1, EventKind::Write { file: FileId(0), len: 10 }),
+            ev(
+                0,
+                EventKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            ev(
+                1,
+                EventKind::Write {
+                    file: FileId(0),
+                    len: 10,
+                },
+            ),
             ev(2, EventKind::Migrate { to: ClientId(1) }),
             ev(3, EventKind::Migrate { to: ClientId(2) }),
         ];
@@ -246,10 +366,34 @@ mod tests {
     #[test]
     fn truncate_clamps_cursor() {
         let events = vec![
-            ev(0, EventKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            ev(1, EventKind::Write { file: FileId(0), len: 100 }),
-            ev(2, EventKind::Truncate { file: FileId(0), new_len: 20 }),
-            ev(3, EventKind::Write { file: FileId(0), len: 10 }),
+            ev(
+                0,
+                EventKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            ev(
+                1,
+                EventKind::Write {
+                    file: FileId(0),
+                    len: 100,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Truncate {
+                    file: FileId(0),
+                    new_len: 20,
+                },
+            ),
+            ev(
+                3,
+                EventKind::Write {
+                    file: FileId(0),
+                    len: 10,
+                },
+            ),
         ];
         let (ops, _) = lower(&events);
         let last_write = ops

@@ -9,10 +9,9 @@
 //! the paper's first simulation pass did.
 
 use nvfs_types::{ClientId, FileId, ProcessId, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Access mode requested by an [`EventKind::Open`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpenMode {
     /// Read-only open.
     Read,
@@ -30,7 +29,7 @@ impl OpenMode {
 }
 
 /// One record of a raw trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When the event occurred.
     pub time: SimTime,
@@ -43,7 +42,7 @@ pub struct TraceEvent {
 }
 
 /// The kind of a [`TraceEvent`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A file was opened; the file offset resets to zero.
     Open {
@@ -138,10 +137,16 @@ mod tests {
             time: SimTime::ZERO,
             client: ClientId(0),
             pid: ProcessId(0),
-            kind: EventKind::Read { file: FileId(3), len: 100 },
+            kind: EventKind::Read {
+                file: FileId(3),
+                len: 100,
+            },
         };
         assert_eq!(e.file(), Some(FileId(3)));
-        let m = TraceEvent { kind: EventKind::Migrate { to: ClientId(1) }, ..e };
+        let m = TraceEvent {
+            kind: EventKind::Migrate { to: ClientId(1) },
+            ..e
+        };
         assert_eq!(m.file(), None);
     }
 }

@@ -8,12 +8,11 @@
 //! be replayed by the cache simulator.
 
 use nvfs_types::{ByteRange, ClientId, FileId, ProcessId, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::event::OpenMode;
 
 /// A canonical operation with explicit byte ranges.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Op {
     /// When the operation occurred.
     pub time: SimTime,
@@ -24,7 +23,7 @@ pub struct Op {
 }
 
 /// The kind of an [`Op`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpKind {
     /// A file was opened (drives the consistency protocol).
     Open {
@@ -124,7 +123,7 @@ impl Op {
 /// assert_eq!(s.len(), 1);
 /// assert_eq!(s.app_write_bytes(), 4096);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OpStream {
     ops: Vec<Op>,
 }
@@ -204,7 +203,9 @@ impl OpStream {
             .flat_map(|(i, s)| s.ops.into_iter().map(move |op| (i, op)))
             .collect();
         all.sort_by_key(|(i, op)| (op.time, *i));
-        OpStream { ops: all.into_iter().map(|(_, op)| op).collect() }
+        OpStream {
+            ops: all.into_iter().map(|(_, op)| op).collect(),
+        }
     }
 }
 
@@ -240,15 +241,37 @@ mod tests {
     use nvfs_types::ProcessId;
 
     fn op(t: u64, kind: OpKind) -> Op {
-        Op { time: SimTime::from_secs(t), client: ClientId(0), kind }
+        Op {
+            time: SimTime::from_secs(t),
+            client: ClientId(0),
+            kind,
+        }
     }
 
     #[test]
     fn byte_accounting() {
         let s: OpStream = vec![
-            op(0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) }),
-            op(1, OpKind::Read { file: FileId(0), range: ByteRange::new(0, 40) }),
-            op(2, OpKind::Write { file: FileId(1), range: ByteRange::new(0, 60) }),
+            op(
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
+            ),
+            op(
+                1,
+                OpKind::Read {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 40),
+                },
+            ),
+            op(
+                2,
+                OpKind::Write {
+                    file: FileId(1),
+                    range: ByteRange::new(0, 60),
+                },
+            ),
         ]
         .into_iter()
         .collect();
@@ -260,13 +283,26 @@ mod tests {
     #[test]
     fn merge_keeps_time_order() {
         let a: OpStream = vec![
-            op(0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             op(5, OpKind::Close { file: FileId(0) }),
         ]
         .into_iter()
         .collect();
-        let b: OpStream =
-            vec![op(3, OpKind::Open { file: FileId(1), mode: OpenMode::Read })].into_iter().collect();
+        let b: OpStream = vec![op(
+            3,
+            OpKind::Open {
+                file: FileId(1),
+                mode: OpenMode::Read,
+            },
+        )]
+        .into_iter()
+        .collect();
         let merged = OpStream::merge([a, b]);
         let times: Vec<u64> = merged.iter().map(|o| o.time.as_secs()).collect();
         assert_eq!(times, vec![0, 3, 5]);
@@ -274,12 +310,22 @@ mod tests {
 
     #[test]
     fn op_metadata() {
-        let w = op(0, OpKind::Write { file: FileId(2), range: ByteRange::new(0, 10) });
+        let w = op(
+            0,
+            OpKind::Write {
+                file: FileId(2),
+                range: ByteRange::new(0, 10),
+            },
+        );
         assert_eq!(w.payload_bytes(), 10);
         assert_eq!(w.file(), Some(FileId(2)));
         let m = op(
             0,
-            OpKind::Migrate { pid: ProcessId(1), to: ClientId(1), files: vec![FileId(0)] },
+            OpKind::Migrate {
+                pid: ProcessId(1),
+                to: ClientId(1),
+                files: vec![FileId(0)],
+            },
         );
         assert_eq!(m.payload_bytes(), 0);
         assert_eq!(m.file(), None);

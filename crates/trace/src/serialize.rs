@@ -107,13 +107,24 @@ pub fn parse_ops(text: &str) -> Result<OpStream, ParseOpsError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: &str| ParseOpsError { line: line_no, message: message.to_string() };
+        let err = |message: &str| ParseOpsError {
+            line: line_no,
+            message: message.to_string(),
+        };
         let mut parts = line.split_whitespace();
         let time = SimTime::from_micros(
-            parts.next().ok_or_else(|| err("missing time"))?.parse().map_err(|_| err("bad time"))?,
+            parts
+                .next()
+                .ok_or_else(|| err("missing time"))?
+                .parse()
+                .map_err(|_| err("bad time"))?,
         );
         let client = ClientId(
-            parts.next().ok_or_else(|| err("missing client"))?.parse().map_err(|_| err("bad client"))?,
+            parts
+                .next()
+                .ok_or_else(|| err("missing client"))?
+                .parse()
+                .map_err(|_| err("bad client"))?,
         );
         let tag = parts.next().ok_or_else(|| err("missing op tag"))?;
         let mut num = |name: &str| -> Result<u64, ParseOpsError> {
@@ -137,7 +148,9 @@ pub fn parse_ops(text: &str) -> Result<OpStream, ParseOpsError> {
                 };
                 OpKind::Open { file, mode }
             }
-            "C" => OpKind::Close { file: FileId(id32("file", num("file")?)?) },
+            "C" => OpKind::Close {
+                file: FileId(id32("file", num("file")?)?),
+            },
             "r" | "w" => {
                 let file = FileId(id32("file", num("file")?)?);
                 let start = num("start")?;
@@ -154,10 +167,17 @@ pub fn parse_ops(text: &str) -> Result<OpStream, ParseOpsError> {
             }
             "T" => {
                 let file = FileId(id32("file", num("file")?)?);
-                OpKind::Truncate { file, new_len: num("new_len")? }
+                OpKind::Truncate {
+                    file,
+                    new_len: num("new_len")?,
+                }
             }
-            "D" => OpKind::Delete { file: FileId(id32("file", num("file")?)?) },
-            "F" => OpKind::Fsync { file: FileId(id32("file", num("file")?)?) },
+            "D" => OpKind::Delete {
+                file: FileId(id32("file", num("file")?)?),
+            },
+            "F" => OpKind::Fsync {
+                file: FileId(id32("file", num("file")?)?),
+            },
             "M" => {
                 let pid = ProcessId(id32("pid", num("pid")?)?);
                 let to = ClientId(id32("to", num("to")?)?);
@@ -217,10 +237,16 @@ mod tests {
         let e = parse_ops("1000 0 D 3\nbogus line\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("line 2"));
-        assert!(parse_ops("1 0 r 0 10 5\n").is_err(), "inverted range rejected");
+        assert!(
+            parse_ops("1 0 r 0 10 5\n").is_err(),
+            "inverted range rejected"
+        );
         assert!(parse_ops("1 0 O 0 X\n").is_err(), "bad mode rejected");
         assert!(parse_ops("1 0 Z 0\n").is_err(), "unknown tag rejected");
-        assert!(parse_ops("1 0 D 4294967297\n").is_err(), "oversized id rejected");
+        assert!(
+            parse_ops("1 0 D 4294967297\n").is_err(),
+            "oversized id rejected"
+        );
     }
 
     #[test]

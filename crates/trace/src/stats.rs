@@ -42,7 +42,10 @@ impl TraceStats {
     pub fn for_stream(ops: &OpStream) -> Self {
         let mut files: BTreeSet<FileId> = BTreeSet::new();
         let mut clients: BTreeSet<ClientId> = BTreeSet::new();
-        let mut s = TraceStats { ops: ops.len(), ..TraceStats::default() };
+        let mut s = TraceStats {
+            ops: ops.len(),
+            ..TraceStats::default()
+        };
         for op in ops {
             clients.insert(op.client);
             if let Some(f) = op.file() {
@@ -76,17 +79,26 @@ mod tests {
             Op {
                 time: SimTime::ZERO,
                 client: ClientId(0),
-                kind: OpKind::Open { file: FileId(0), mode: OpenMode::Write },
+                kind: OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
             },
             Op {
                 time: SimTime::from_secs(1),
                 client: ClientId(0),
-                kind: OpKind::Write { file: FileId(0), range: ByteRange::new(0, 100) },
+                kind: OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 100),
+                },
             },
             Op {
                 time: SimTime::from_secs(2),
                 client: ClientId(1),
-                kind: OpKind::Read { file: FileId(1), range: ByteRange::new(0, 50) },
+                kind: OpKind::Read {
+                    file: FileId(1),
+                    range: ByteRange::new(0, 50),
+                },
             },
             Op {
                 time: SimTime::from_secs(3),

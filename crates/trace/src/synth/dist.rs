@@ -2,9 +2,9 @@
 //!
 //! Implemented locally (rather than pulling in `rand_distr`) so the
 //! generator stays dependency-light and fully deterministic under a seeded
-//! [`rand::Rng`].
+//! [`nvfs_rng::Rng`].
 
-use rand::Rng;
+use nvfs_rng::Rng;
 
 /// Samples an exponential variate with the given `mean`.
 ///
@@ -12,7 +12,10 @@ use rand::Rng;
 ///
 /// Panics if `mean` is not strictly positive and finite.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
-    assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
+    assert!(
+        mean > 0.0 && mean.is_finite(),
+        "mean must be positive and finite"
+    );
     // Inverse-CDF sampling; `gen` yields [0, 1), so 1-u is in (0, 1].
     let u: f64 = rng.gen();
     -mean * (1.0 - u).ln()
@@ -46,7 +49,7 @@ pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
 ///
 /// ```
 /// use nvfs_trace::synth::dist::Zipf;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use nvfs_rng::{SeedableRng, StdRng};
 ///
 /// let z = Zipf::new(100, 0.9);
 /// let mut rng = StdRng::seed_from_u64(1);
@@ -100,8 +103,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nvfs_rng::{SeedableRng, StdRng};
 
     #[test]
     fn exponential_mean_is_close() {
@@ -115,7 +117,9 @@ mod tests {
     #[test]
     fn lognormal_median_is_close() {
         let mut rng = StdRng::seed_from_u64(42);
-        let mut v: Vec<f64> = (0..20_001).map(|_| lognormal(&mut rng, 100.0, 1.0)).collect();
+        let mut v: Vec<f64> = (0..20_001)
+            .map(|_| lognormal(&mut rng, 100.0, 1.0))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         assert!((median - 100.0).abs() < 10.0, "median was {median}");

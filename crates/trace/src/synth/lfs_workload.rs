@@ -21,8 +21,7 @@
 //! segment writer; the Table 3/4 percentages are *outputs* of that
 //! simulation, not constants baked in here.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 
 use nvfs_types::{ByteRange, FileId, SimDuration, SimTime};
 
@@ -82,7 +81,10 @@ impl FsWorkload {
 
     /// Number of fsync operations.
     pub fn fsync_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o.kind, LfsOpKind::Fsync { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, LfsOpKind::Fsync { .. }))
+            .count()
     }
 }
 
@@ -101,17 +103,29 @@ pub struct ServerWorkloadConfig {
 impl ServerWorkloadConfig {
     /// Paper-scale: 24 hours of full-rate traffic.
     pub fn paper() -> Self {
-        ServerWorkloadConfig { seed: 3990, hours: 24, scale: 1.0 }
+        ServerWorkloadConfig {
+            seed: 3990,
+            hours: 24,
+            scale: 1.0,
+        }
     }
 
     /// Reduced scale for tests and examples.
     pub fn small() -> Self {
-        ServerWorkloadConfig { seed: 3990, hours: 6, scale: 0.6 }
+        ServerWorkloadConfig {
+            seed: 3990,
+            hours: 6,
+            scale: 0.6,
+        }
     }
 
     /// Minimal scale for unit tests.
     pub fn tiny() -> Self {
-        ServerWorkloadConfig { seed: 11, hours: 2, scale: 0.4 }
+        ServerWorkloadConfig {
+            seed: 11,
+            hours: 2,
+            scale: 0.4,
+        }
     }
 
     fn end(&self) -> SimTime {
@@ -166,7 +180,10 @@ pub fn sprite_server_workloads(cfg: &ServerWorkloadConfig) -> Vec<FsWorkload> {
                 "/scratch4" => g.scratch(),
                 _ => unreachable!("unknown file system"),
             };
-            FsWorkload { name, ops: g.finish() }
+            FsWorkload {
+                name,
+                ops: g.finish(),
+            }
         })
         .collect()
 }
@@ -202,15 +219,27 @@ impl FsGen {
     }
 
     fn write(&mut self, t: SimTime, file: FileId, offset: u64, len: u64) {
-        self.ops.push(LfsOp { time: t, kind: LfsOpKind::Write { file, range: ByteRange::at(offset, len) } });
+        self.ops.push(LfsOp {
+            time: t,
+            kind: LfsOpKind::Write {
+                file,
+                range: ByteRange::at(offset, len),
+            },
+        });
     }
 
     fn fsync(&mut self, t: SimTime, file: FileId) {
-        self.ops.push(LfsOp { time: t, kind: LfsOpKind::Fsync { file } });
+        self.ops.push(LfsOp {
+            time: t,
+            kind: LfsOpKind::Fsync { file },
+        });
     }
 
     fn delete(&mut self, t: SimTime, file: FileId) {
-        self.ops.push(LfsOp { time: t, kind: LfsOpKind::Delete { file } });
+        self.ops.push(LfsOp {
+            time: t,
+            kind: LfsOpKind::Delete { file },
+        });
     }
 
     fn gap(&mut self, mean_secs: f64) -> SimDuration {
@@ -273,7 +302,9 @@ impl FsGen {
             let mut bt = t;
             while written < total {
                 let f = self.file();
-                let len = self.size(30.0 * 1024.0, 0.7, 256 << 10).min(total - written);
+                let len = self
+                    .size(30.0 * 1024.0, 0.7, 256 << 10)
+                    .min(total - written);
                 self.write(bt, f, 0, len);
                 written += len;
                 bt += SimDuration::from_millis(self.rng.gen_range(20..200));
@@ -458,8 +489,15 @@ mod tests {
     fn user6_is_fsync_heavy() {
         let ws = sprite_server_workloads(&ServerWorkloadConfig::tiny());
         let user6 = &ws[0];
-        let writes = user6.ops.iter().filter(|o| matches!(o.kind, LfsOpKind::Write { .. })).count();
-        assert!(user6.fsync_count() > writes, "db benchmark issues 5 fsyncs per transaction");
+        let writes = user6
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, LfsOpKind::Write { .. }))
+            .count();
+        assert!(
+            user6.fsync_count() > writes,
+            "db benchmark issues 5 fsyncs per transaction"
+        );
     }
 
     #[test]

@@ -24,8 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 
 use nvfs_types::{ClientId, FileId, ProcessId, SimDuration, SimTime};
 
@@ -61,18 +60,36 @@ impl TraceSetConfig {
     /// full volume (typical traces ≈ 200–300 MB of application writes,
     /// traces 3 and 4 well over a gigabyte).
     pub fn paper() -> Self {
-        TraceSetConfig { seed: 1992, clients: 12, hours: 24, scale: 1.0, corpus_files: 6000 }
+        TraceSetConfig {
+            seed: 1992,
+            clients: 12,
+            hours: 24,
+            scale: 1.0,
+            corpus_files: 6000,
+        }
     }
 
     /// Reduced configuration for integration tests and examples: fewer
     /// clients, shorter day, smaller files. Preserves the workload shape.
     pub fn small() -> Self {
-        TraceSetConfig { seed: 1992, clients: 5, hours: 6, scale: 0.35, corpus_files: 2500 }
+        TraceSetConfig {
+            seed: 1992,
+            clients: 5,
+            hours: 6,
+            scale: 0.35,
+            corpus_files: 2500,
+        }
     }
 
     /// Minimal configuration for unit tests.
     pub fn tiny() -> Self {
-        TraceSetConfig { seed: 7, clients: 3, hours: 2, scale: 0.2, corpus_files: 300 }
+        TraceSetConfig {
+            seed: 1,
+            clients: 3,
+            hours: 2,
+            scale: 0.2,
+            corpus_files: 300,
+        }
     }
 
     /// Duration of each trace.
@@ -172,12 +189,14 @@ impl SpriteTraceSet {
     /// assert!(set.trace(2).is_large_file_workload()); // paper trace 3
     /// ```
     pub fn generate(cfg: &TraceSetConfig) -> Self {
-        let traces = (1..=TRACE_COUNT)
-            .map(|number| {
-                let large = LARGE_FILE_TRACES.contains(&number);
-                TraceGen::new(cfg, number, large).generate()
-            })
-            .collect();
+        // Each trace derives its RNG from (cfg.seed, number) alone, so the
+        // eight generations are independent and fan out across worker
+        // threads; par_map joins in submission order, keeping the set
+        // byte-identical to a sequential build at any job count.
+        let traces = nvfs_par::par_map((1..=TRACE_COUNT).collect(), nvfs_par::jobs(), |number| {
+            let large = LARGE_FILE_TRACES.contains(&number);
+            TraceGen::new(cfg, number, large).generate()
+        });
         SpriteTraceSet { traces }
     }
 
@@ -243,7 +262,11 @@ enum Slot {
 
 impl<'a> TraceGen<'a> {
     fn new(cfg: &'a TraceSetConfig, number: usize, large: bool) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(number as u64));
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(number as u64),
+        );
         let end = SimTime::ZERO + cfg.duration();
         // Pre-existing corpus files.
         let mut next_file = 0u32;
@@ -329,7 +352,10 @@ impl<'a> TraceGen<'a> {
             let start = t * (lo + 0.05 * self.rng.gen::<f64>());
             let len = t * (hi - lo) * (0.6 + 0.4 * self.rng.gen::<f64>());
             let end = (start + len).min(t * hi);
-            sessions.push((SimTime::from_micros(start as u64), SimTime::from_micros(end as u64)));
+            sessions.push((
+                SimTime::from_micros(start as u64),
+                SimTime::from_micros(end as u64),
+            ));
         }
         sessions
     }
@@ -345,7 +371,12 @@ impl<'a> TraceGen<'a> {
     }
 
     fn push(&mut self, time: SimTime, client: ClientId, pid: ProcessId, kind: EventKind) {
-        self.events.push(TraceEvent { time, client, pid, kind });
+        self.events.push(TraceEvent {
+            time,
+            client,
+            pid,
+            kind,
+        });
     }
 
     /// Emits open → (truncate) → sequential chunked writes → (fsync) → close,
@@ -361,7 +392,15 @@ impl<'a> TraceGen<'a> {
         truncate: bool,
         fsync: bool,
     ) {
-        self.push(*t, client, pid, EventKind::Open { file, mode: OpenMode::Write });
+        self.push(
+            *t,
+            client,
+            pid,
+            EventKind::Open {
+                file,
+                mode: OpenMode::Write,
+            },
+        );
         bump(t, 2_000);
         if truncate {
             self.push(*t, client, pid, EventKind::Truncate { file, new_len: 0 });
@@ -396,13 +435,29 @@ impl<'a> TraceGen<'a> {
         offset: u64,
         range_len: u64,
     ) {
-        self.push(*t, client, pid, EventKind::Open { file, mode: OpenMode::Read });
+        self.push(
+            *t,
+            client,
+            pid,
+            EventKind::Open {
+                file,
+                mode: OpenMode::Read,
+            },
+        );
         bump(t, 2_000);
         if offset > 0 {
             self.push(*t, client, pid, EventKind::Seek { file, offset });
             bump(t, 500);
         }
-        self.push(*t, client, pid, EventKind::Read { file, len: range_len });
+        self.push(
+            *t,
+            client,
+            pid,
+            EventKind::Read {
+                file,
+                len: range_len,
+            },
+        );
         bump(t, (range_len / BYTES_PER_MICRO).max(1_000));
         self.push(*t, client, pid, EventKind::Close { file });
         bump(t, 1_000);
@@ -418,7 +473,15 @@ impl<'a> TraceGen<'a> {
         len: u64,
     ) {
         let offset = *self.sizes.get(&file).unwrap_or(&0);
-        self.push(*t, client, pid, EventKind::Open { file, mode: OpenMode::Write });
+        self.push(
+            *t,
+            client,
+            pid,
+            EventKind::Open {
+                file,
+                mode: OpenMode::Write,
+            },
+        );
         bump(t, 2_000);
         if offset > 0 {
             self.push(*t, client, pid, EventKind::Seek { file, offset });
@@ -445,7 +508,8 @@ impl<'a> TraceGen<'a> {
             let mut cursor = t;
             for _ in 0..n_temps {
                 let f = self.new_file();
-                let size = scaled_size(&mut self.rng, self.cfg.scale, 40.0 * 1024.0, 0.9, 512 << 10);
+                let size =
+                    scaled_size(&mut self.rng, self.cfg.scale, 40.0 * 1024.0, 0.9, 512 << 10);
                 let mut wt = cursor;
                 self.write_file(&mut wt, client, pid, f, size, false, false);
                 self.attribute("compile-temp", size);
@@ -465,7 +529,9 @@ impl<'a> TraceGen<'a> {
             let mut ot = cursor;
             self.write_file(&mut ot, client, out_pid, output, out_size, false, false);
             self.attribute("compile-output", out_size);
-            t += SimDuration::from_secs_f64(exponential(&mut self.rng, gap).clamp(300.0, 4.0 * 3600.0));
+            t += SimDuration::from_secs_f64(
+                exponential(&mut self.rng, gap).clamp(300.0, 4.0 * 3600.0),
+            );
         }
     }
 
@@ -477,12 +543,14 @@ impl<'a> TraceGen<'a> {
         let docs: Vec<(FileId, u64)> = (0..2)
             .map(|_| {
                 let f = self.new_file();
-                let size = scaled_size(&mut self.rng, self.cfg.scale, 45.0 * 1024.0, 0.6, 512 << 10);
+                let size =
+                    scaled_size(&mut self.rng, self.cfg.scale, 45.0 * 1024.0, 0.6, 512 << 10);
                 (f, size)
             })
             .collect();
         let autosave = self.new_file();
-        let autosave_size = scaled_size(&mut self.rng, self.cfg.scale, 12.0 * 1024.0, 0.4, 64 << 10);
+        let autosave_size =
+            scaled_size(&mut self.rng, self.cfg.scale, 12.0 * 1024.0, 0.4, 64 << 10);
 
         // Saves.
         let save_gap = 7.0 * 60.0 / (self.intensity * intensity);
@@ -494,7 +562,9 @@ impl<'a> TraceGen<'a> {
             let mut wt = t;
             self.write_file(&mut wt, client, pid, f, size, true, fsync);
             self.attribute("edit-save", size);
-            t += SimDuration::from_secs_f64(exponential(&mut self.rng, save_gap).clamp(20.0, 3600.0));
+            t += SimDuration::from_secs_f64(
+                exponential(&mut self.rng, save_gap).clamp(20.0, 3600.0),
+            );
         }
         // Autosaves.
         let auto_gap = 150.0 / (self.intensity * intensity);
@@ -503,7 +573,8 @@ impl<'a> TraceGen<'a> {
             let mut wt = t;
             self.write_file(&mut wt, client, pid, autosave, autosave_size, true, false);
             self.attribute("autosave", autosave_size);
-            t += SimDuration::from_secs_f64(exponential(&mut self.rng, auto_gap).clamp(15.0, 900.0));
+            t +=
+                SimDuration::from_secs_f64(exponential(&mut self.rng, auto_gap).clamp(15.0, 900.0));
         }
         // The autosave file is removed at session end.
         self.push(w.1, client, pid, EventKind::Delete { file: autosave });
@@ -538,9 +609,7 @@ impl<'a> TraceGen<'a> {
         for _ in 0..8 {
             let f = self.new_file();
             let size = scaled_size(&mut self.rng, self.cfg.scale, 110.0 * 1024.0, 0.5, 1 << 20);
-            let mut t = SimTime::from_micros(
-                (day * (0.03 + 0.22 * self.rng.gen::<f64>())) as u64,
-            );
+            let mut t = SimTime::from_micros((day * (0.03 + 0.22 * self.rng.gen::<f64>())) as u64);
             let stop = SimTime::from_micros((day * 0.95) as u64);
             while t < stop {
                 let mut wt = t;
@@ -581,7 +650,9 @@ impl<'a> TraceGen<'a> {
                 };
                 self.read_file(&mut rt, reader, reader_pid, f, 0, read_len);
             }
-            t += SimDuration::from_secs_f64(exponential(&mut self.rng, gap).clamp(60.0, 4.0 * 3600.0));
+            t += SimDuration::from_secs_f64(
+                exponential(&mut self.rng, gap).clamp(60.0, 4.0 * 3600.0),
+            );
         }
     }
 
@@ -597,7 +668,9 @@ impl<'a> TraceGen<'a> {
             let mut wt = t;
             self.write_file(&mut wt, client, pid, f, size, false, false);
             self.attribute("persistent-output", size);
-            t += SimDuration::from_secs_f64(exponential(&mut self.rng, gap).clamp(120.0, 6.0 * 3600.0));
+            t += SimDuration::from_secs_f64(
+                exponential(&mut self.rng, gap).clamp(120.0, 6.0 * 3600.0),
+            );
         }
     }
 
@@ -627,8 +700,7 @@ impl<'a> TraceGen<'a> {
                 // every reference), so a sampled depth of ~180 files is a
                 // genuine stack distance of roughly 10 MB -- the 8..16 MB
                 // cache range is exactly where these hits become misses.
-                let depth =
-                    (exponential(&mut self.rng, 180.0) as usize).min(recent.len() - 1);
+                let depth = (exponential(&mut self.rng, 180.0) as usize).min(recent.len() - 1);
                 recent[recent.len() - 1 - depth]
             } else if self.rng.gen_bool(0.75) {
                 (slice_start + zipf_local.sample(&mut self.rng)) % n
@@ -662,7 +734,13 @@ impl<'a> TraceGen<'a> {
         let pid = self.pid(client, Slot::Sim);
         let output = self.new_file();
         let status = self.new_file();
-        let out_size = scaled_size(&mut self.rng, self.cfg.scale, 20.0 * 1024.0 * 1024.0, 0.3, 64 << 20);
+        let out_size = scaled_size(
+            &mut self.rng,
+            self.cfg.scale,
+            20.0 * 1024.0 * 1024.0,
+            0.3,
+            64 << 20,
+        );
         let status_size = scaled_size(&mut self.rng, self.cfg.scale, 16.0 * 1024.0, 0.2, 64 << 10);
         let t_end = SimTime::from_micros((self.end.as_micros() as f64 * 0.97) as u64);
         let mut t = SimTime::from_micros((self.end.as_micros() as f64 * 0.02) as u64);
@@ -702,16 +780,48 @@ impl<'a> TraceGen<'a> {
             let f = self.new_file();
             let start = self.rand_time(0.1, 0.85);
             let mut t = start;
-            self.push(t, a, pid_a, EventKind::Open { file: f, mode: OpenMode::Write });
+            self.push(
+                t,
+                a,
+                pid_a,
+                EventKind::Open {
+                    file: f,
+                    mode: OpenMode::Write,
+                },
+            );
             bump(&mut t, 50_000);
-            self.push(t, b, pid_b, EventKind::Open { file: f, mode: OpenMode::ReadWrite });
+            self.push(
+                t,
+                b,
+                pid_b,
+                EventKind::Open {
+                    file: f,
+                    mode: OpenMode::ReadWrite,
+                },
+            );
             bump(&mut t, 50_000);
             let rounds = self.rng.gen_range(3..7);
             let chunk = scaled_size(&mut self.rng, self.cfg.scale, 6.0 * 1024.0, 0.3, 32 << 10);
             for _ in 0..rounds {
-                self.push(t, a, pid_a, EventKind::Write { file: f, len: chunk });
+                self.push(
+                    t,
+                    a,
+                    pid_a,
+                    EventKind::Write {
+                        file: f,
+                        len: chunk,
+                    },
+                );
                 bump(&mut t, chunk.max(5_000));
-                self.push(t, b, pid_b, EventKind::Write { file: f, len: chunk });
+                self.push(
+                    t,
+                    b,
+                    pid_b,
+                    EventKind::Write {
+                        file: f,
+                        len: chunk,
+                    },
+                );
                 bump(&mut t, chunk.max(5_000));
                 self.attribute("concurrent-share", 2 * chunk);
             }
@@ -881,14 +991,30 @@ mod tests {
         for t in set.typical() {
             // Short-lived compiler temporaries drive the ≤30 s deaths.
             let temps = t.class_fraction("compile-temp");
-            assert!((0.10..=0.45).contains(&temps), "trace {}: temps {temps:.2}", t.number());
+            assert!(
+                (0.10..=0.45).contains(&temps),
+                "trace {}: temps {temps:.2}",
+                t.number()
+            );
             // Shared handoffs drive consistency callbacks.
             let shared = t.class_fraction("shared-handoff");
-            assert!((0.03..=0.35).contains(&shared), "trace {}: shared {shared:.2}", t.number());
+            assert!(
+                (0.03..=0.35).contains(&shared),
+                "trace {}: shared {shared:.2}",
+                t.number()
+            );
             // Slow churn gives additional NVRAM megabytes something to do.
-            assert!(t.class_fraction("slow-churn") > 0.05, "trace {}", t.number());
+            assert!(
+                t.class_fraction("slow-churn") > 0.05,
+                "trace {}",
+                t.number()
+            );
             // Concurrent write-sharing stays minuscule.
-            assert!(t.class_fraction("concurrent-share") < 0.02, "trace {}", t.number());
+            assert!(
+                t.class_fraction("concurrent-share") < 0.02,
+                "trace {}",
+                t.number()
+            );
             // No simulation output on typical days.
             assert_eq!(t.class_fraction("sim-checkpoint"), 0.0);
         }

@@ -85,7 +85,11 @@ pub fn validate(ops: &OpStream) -> Vec<Violation> {
 
     for (index, op) in ops.iter().enumerate() {
         let mut report = |kind: ViolationKind| {
-            violations.push(Violation { index, time: op.time, kind });
+            violations.push(Violation {
+                index,
+                time: op.time,
+                kind,
+            });
         };
         if op.time < last_time {
             report(ViolationKind::TimeRegression);
@@ -104,13 +108,19 @@ pub fn validate(ops: &OpStream) -> Vec<Violation> {
                         open.remove(&(op.client, *file));
                     }
                 }
-                _ => report(ViolationKind::CloseWithoutOpen { client: op.client, file: *file }),
+                _ => report(ViolationKind::CloseWithoutOpen {
+                    client: op.client,
+                    file: *file,
+                }),
             },
             OpKind::Read { file, .. } | OpKind::Write { file, .. } => {
                 if deleted.contains(file) {
                     report(ViolationKind::UseAfterDelete { file: *file });
                 } else if !open.contains_key(&(op.client, *file)) {
-                    report(ViolationKind::AccessWithoutOpen { client: op.client, file: *file });
+                    report(ViolationKind::AccessWithoutOpen {
+                        client: op.client,
+                        file: *file,
+                    });
                 }
             }
             OpKind::Truncate { file, .. } | OpKind::Fsync { file } => {
@@ -157,14 +167,32 @@ mod tests {
     use nvfs_types::ByteRange;
 
     fn op(t: u64, client: u32, kind: OpKind) -> Op {
-        Op { time: SimTime::from_secs(t), client: ClientId(client), kind }
+        Op {
+            time: SimTime::from_secs(t),
+            client: ClientId(client),
+            kind,
+        }
     }
 
     #[test]
     fn clean_session_passes() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(1, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 10) }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                1,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 10),
+                },
+            ),
             op(2, 0, OpKind::Close { file: FileId(0) }),
         ]
         .into_iter()
@@ -174,40 +202,80 @@ mod tests {
 
     #[test]
     fn access_without_open_is_flagged() {
-        let ops: OpStream =
-            vec![op(0, 1, OpKind::Read { file: FileId(5), range: ByteRange::new(0, 10) })]
-                .into_iter()
-                .collect();
+        let ops: OpStream = vec![op(
+            0,
+            1,
+            OpKind::Read {
+                file: FileId(5),
+                range: ByteRange::new(0, 10),
+            },
+        )]
+        .into_iter()
+        .collect();
         let v = validate(&ops);
         assert_eq!(v.len(), 1);
         assert!(matches!(
             v[0].kind,
-            ViolationKind::AccessWithoutOpen { client: ClientId(1), file: FileId(5) }
+            ViolationKind::AccessWithoutOpen {
+                client: ClientId(1),
+                file: FileId(5)
+            }
         ));
     }
 
     #[test]
     fn use_after_delete_is_flagged_until_recreate() {
         let ops: OpStream = vec![
-            op(0, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
+            op(
+                0,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
             op(1, 0, OpKind::Delete { file: FileId(0) }),
             op(2, 0, OpKind::Fsync { file: FileId(0) }),
-            op(3, 0, OpKind::Open { file: FileId(0), mode: OpenMode::Write }),
-            op(4, 0, OpKind::Write { file: FileId(0), range: ByteRange::new(0, 10) }),
+            op(
+                3,
+                0,
+                OpKind::Open {
+                    file: FileId(0),
+                    mode: OpenMode::Write,
+                },
+            ),
+            op(
+                4,
+                0,
+                OpKind::Write {
+                    file: FileId(0),
+                    range: ByteRange::new(0, 10),
+                },
+            ),
             op(5, 0, OpKind::Close { file: FileId(0) }),
         ]
         .into_iter()
         .collect();
         let v = validate(&ops);
         assert_eq!(v.len(), 1, "{v:?}");
-        assert!(matches!(v[0].kind, ViolationKind::UseAfterDelete { file: FileId(0) }));
+        assert!(matches!(
+            v[0].kind,
+            ViolationKind::UseAfterDelete { file: FileId(0) }
+        ));
     }
 
     #[test]
     fn close_without_open_and_leaks() {
         let ops: OpStream = vec![
             op(0, 0, OpKind::Close { file: FileId(0) }),
-            op(1, 0, OpKind::Open { file: FileId(1), mode: OpenMode::Read }),
+            op(
+                1,
+                0,
+                OpKind::Open {
+                    file: FileId(1),
+                    mode: OpenMode::Read,
+                },
+            ),
         ]
         .into_iter()
         .collect();

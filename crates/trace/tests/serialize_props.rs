@@ -1,66 +1,100 @@
-//! Property tests for the op-stream text format: arbitrary streams must
-//! round-trip exactly, and the parser must be total over rendered output.
+//! Randomized tests for the op-stream text format: arbitrary streams must
+//! round-trip exactly, and the parser must be total over rendered output
+//! and arbitrary printable noise.
+//!
+//! Formerly proptest-based; now driven by a seeded [`nvfs_rng::StdRng`] so
+//! the suite builds offline and failures reproduce exactly.
 
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 use nvfs_trace::event::OpenMode;
 use nvfs_trace::op::{Op, OpKind, OpStream};
 use nvfs_trace::serialize::{parse_ops, render_ops};
 use nvfs_types::{ByteRange, ClientId, FileId, ProcessId, SimTime};
-use proptest::prelude::*;
 
-fn arb_kind() -> impl Strategy<Value = OpKind> {
-    let file = (0u32..50).prop_map(FileId);
-    prop_oneof![
-        (file.clone(), prop_oneof![
-            Just(OpenMode::Read),
-            Just(OpenMode::Write),
-            Just(OpenMode::ReadWrite)
-        ])
-            .prop_map(|(file, mode)| OpKind::Open { file, mode }),
-        file.clone().prop_map(|file| OpKind::Close { file }),
-        (file.clone(), 0u64..1_000_000, 1u64..100_000)
-            .prop_map(|(file, o, l)| OpKind::Read { file, range: ByteRange::at(o, l) }),
-        (file.clone(), 0u64..1_000_000, 1u64..100_000)
-            .prop_map(|(file, o, l)| OpKind::Write { file, range: ByteRange::at(o, l) }),
-        (file.clone(), 0u64..1_000_000)
-            .prop_map(|(file, n)| OpKind::Truncate { file, new_len: n }),
-        file.clone().prop_map(|file| OpKind::Delete { file }),
-        file.prop_map(|file| OpKind::Fsync { file }),
-        (0u32..8, 0u32..8, proptest::collection::vec(0u32..50, 0..5)).prop_map(
-            |(pid, to, files)| OpKind::Migrate {
-                pid: ProcessId(pid),
-                to: ClientId(to),
-                files: files.into_iter().map(FileId).collect(),
-            }
-        ),
-    ]
+fn rand_kind(rng: &mut StdRng) -> OpKind {
+    let file = FileId(rng.gen_range(0..50u32));
+    match rng.gen_range(0..8u32) {
+        0 => OpKind::Open {
+            file,
+            mode: match rng.gen_range(0..3u32) {
+                0 => OpenMode::Read,
+                1 => OpenMode::Write,
+                _ => OpenMode::ReadWrite,
+            },
+        },
+        1 => OpKind::Close { file },
+        2 => OpKind::Read {
+            file,
+            range: ByteRange::at(rng.gen_range(0..1_000_000u64), rng.gen_range(1..100_000u64)),
+        },
+        3 => OpKind::Write {
+            file,
+            range: ByteRange::at(rng.gen_range(0..1_000_000u64), rng.gen_range(1..100_000u64)),
+        },
+        4 => OpKind::Truncate {
+            file,
+            new_len: rng.gen_range(0..1_000_000u64),
+        },
+        5 => OpKind::Delete { file },
+        6 => OpKind::Fsync { file },
+        _ => OpKind::Migrate {
+            pid: ProcessId(rng.gen_range(0..8u32)),
+            to: ClientId(rng.gen_range(0..8u32)),
+            files: (0..rng.gen_range(0..5usize))
+                .map(|_| FileId(rng.gen_range(0..50u32)))
+                .collect(),
+        },
+    }
 }
 
-fn arb_stream() -> impl Strategy<Value = OpStream> {
-    proptest::collection::vec((0u64..1_000_000u64, 0u32..8, arb_kind()), 0..60).prop_map(|raw| {
-        raw.into_iter()
-            .map(|(t, c, kind)| Op { time: SimTime::from_micros(t), client: ClientId(c), kind })
-            .collect()
-    })
+fn rand_stream(rng: &mut StdRng) -> OpStream {
+    let n = rng.gen_range(0..60usize);
+    (0..n)
+        .map(|_| Op {
+            time: SimTime::from_micros(rng.gen_range(0..1_000_000u64)),
+            client: ClientId(rng.gen_range(0..8u32)),
+            kind: rand_kind(rng),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn render_parse_round_trips(stream in arb_stream()) {
+#[test]
+fn render_parse_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x7EC7_0001);
+    for _case in 0..256 {
+        let stream = rand_stream(&mut rng);
         let text = render_ops(&stream);
         let parsed = parse_ops(&text).expect("rendered output must parse");
-        prop_assert_eq!(parsed, stream);
+        assert_eq!(parsed, stream);
     }
+}
 
-    #[test]
-    fn rendered_text_is_line_per_op(stream in arb_stream()) {
+#[test]
+fn rendered_text_is_line_per_op() {
+    let mut rng = StdRng::seed_from_u64(0x7EC7_0002);
+    for _case in 0..256 {
+        let stream = rand_stream(&mut rng);
         let text = render_ops(&stream);
         // Header comment plus one line per op.
-        prop_assert_eq!(text.lines().count(), stream.len() + 1);
+        assert_eq!(text.lines().count(), stream.len() + 1);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_noise(noise in "[ -~\n]{0,200}") {
-        // Totality: arbitrary printable input either parses or errors.
+#[test]
+fn parser_never_panics_on_noise() {
+    // Totality: arbitrary printable input either parses or errors.
+    let mut rng = StdRng::seed_from_u64(0x7EC7_0003);
+    for _case in 0..512 {
+        let len = rng.gen_range(0..200usize);
+        let noise: String = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.1) {
+                    '\n'
+                } else {
+                    char::from(rng.gen_range(0x20u32..0x7F) as u8)
+                }
+            })
+            .collect();
         let _ = parse_ops(&noise);
     }
 }

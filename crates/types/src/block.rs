@@ -98,7 +98,11 @@ mod tests {
         let ids: Vec<_> = blocks_of_range(FileId(7), ByteRange::new(4000, 9000)).collect();
         assert_eq!(
             ids,
-            vec![BlockId::new(FileId(7), 0), BlockId::new(FileId(7), 1), BlockId::new(FileId(7), 2)]
+            vec![
+                BlockId::new(FileId(7), 0),
+                BlockId::new(FileId(7), 1),
+                BlockId::new(FileId(7), 2)
+            ]
         );
     }
 

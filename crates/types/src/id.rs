@@ -4,16 +4,12 @@
 //! being confused with one another (C-NEWTYPE): a [`ClientId`] can never be
 //! passed where a [`FileId`] is expected.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
     ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
         $(#[$meta])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -90,7 +86,7 @@ pub type BlockIndex = u64;
 /// assert_eq!(b.byte_range().start, 8192);
 /// assert_eq!(b.byte_range().end, 12288);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId {
     /// The file this block belongs to.
     pub file: FileId,
@@ -107,7 +103,10 @@ impl BlockId {
     /// The byte range this block covers within its file.
     pub const fn byte_range(self) -> crate::ByteRange {
         let start = self.index * crate::BLOCK_SIZE;
-        crate::ByteRange { start, end: start + crate::BLOCK_SIZE }
+        crate::ByteRange {
+            start,
+            end: start + crate::BLOCK_SIZE,
+        }
     }
 }
 

@@ -4,7 +4,6 @@
 //! range of bytes, overwrites kill previously-dirty bytes, deletes kill whole
 //! files. [`RangeSet`] provides the interval algebra those passes need.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert!(r.overlaps(ByteRange::new(4095, 5000)));
 /// assert!(!r.overlaps(ByteRange::new(4096, 5000)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ByteRange {
     /// First byte offset in the range.
     pub start: u64,
@@ -41,7 +40,10 @@ impl ByteRange {
 
     /// Creates a range from an offset and a length.
     pub const fn at(offset: u64, len: u64) -> Self {
-        ByteRange { start: offset, end: offset + len }
+        ByteRange {
+            start: offset,
+            end: offset + len,
+        }
     }
 
     /// The empty range at offset zero.
@@ -107,7 +109,7 @@ impl fmt::Display for ByteRange {
 /// assert_eq!(s.len_bytes(), 10);
 /// assert_eq!(s.iter().count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RangeSet {
     /// Maps range start → range end. Invariant: ranges are disjoint, sorted,
     /// non-empty, and separated by at least one byte (adjacent ranges merge).
@@ -265,7 +267,9 @@ impl RangeSet {
 
     /// Iterates over the disjoint ranges in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = ByteRange> + '_ {
-        self.ranges.iter().map(|(&s, &e)| ByteRange { start: s, end: e })
+        self.ranges
+            .iter()
+            .map(|(&s, &e)| ByteRange { start: s, end: e })
     }
 
     /// Iterates over the parts of the set that fall within `r`.
@@ -355,7 +359,10 @@ mod tests {
         assert!(r.contains(10));
         assert!(!r.contains(20));
         assert!(r.contains_range(ByteRange::new(12, 18)));
-        assert_eq!(r.intersection(ByteRange::new(15, 30)), Some(ByteRange::new(15, 20)));
+        assert_eq!(
+            r.intersection(ByteRange::new(15, 30)),
+            Some(ByteRange::new(15, 20))
+        );
         assert_eq!(r.intersection(ByteRange::new(20, 30)), None);
         assert_eq!(ByteRange::at(8, 4), ByteRange::new(8, 12));
     }
@@ -420,10 +427,13 @@ mod tests {
 
     #[test]
     fn remove_multiple_fragments() {
-        let mut s: RangeSet =
-            [ByteRange::new(0, 10), ByteRange::new(20, 30), ByteRange::new(40, 50)]
-                .into_iter()
-                .collect();
+        let mut s: RangeSet = [
+            ByteRange::new(0, 10),
+            ByteRange::new(20, 30),
+            ByteRange::new(40, 50),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(s.remove(ByteRange::new(5, 45)), 5 + 10 + 5);
         assert_eq!(s.len_bytes(), 10);
         assert_eq!(s.fragment_count(), 2);
@@ -440,7 +450,9 @@ mod tests {
 
     #[test]
     fn overlap_and_contains_queries() {
-        let s: RangeSet = [ByteRange::new(0, 10), ByteRange::new(20, 30)].into_iter().collect();
+        let s: RangeSet = [ByteRange::new(0, 10), ByteRange::new(20, 30)]
+            .into_iter()
+            .collect();
         assert_eq!(s.overlap_bytes(ByteRange::new(5, 25)), 10);
         assert!(s.contains_range(ByteRange::new(2, 8)));
         assert!(!s.contains_range(ByteRange::new(8, 12)));
@@ -452,7 +464,9 @@ mod tests {
     #[test]
     fn union_and_subtract() {
         let mut a = RangeSet::from_range(ByteRange::new(0, 10));
-        let b: RangeSet = [ByteRange::new(5, 15), ByteRange::new(20, 25)].into_iter().collect();
+        let b: RangeSet = [ByteRange::new(5, 15), ByteRange::new(20, 25)]
+            .into_iter()
+            .collect();
         assert_eq!(a.union_with(&b), 10);
         assert_eq!(a.len_bytes(), 20);
         assert_eq!(a.subtract(&b), 15);
@@ -462,7 +476,9 @@ mod tests {
 
     #[test]
     fn canonical_equality() {
-        let a: RangeSet = [ByteRange::new(0, 5), ByteRange::new(5, 10)].into_iter().collect();
+        let a: RangeSet = [ByteRange::new(0, 5), ByteRange::new(5, 10)]
+            .into_iter()
+            .collect();
         let b = RangeSet::from_range(ByteRange::new(0, 10));
         assert_eq!(a, b);
     }
@@ -470,6 +486,9 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert_eq!(RangeSet::new().to_string(), "{}");
-        assert_eq!(RangeSet::from_range(ByteRange::new(0, 4)).to_string(), "{[0, 4)}");
+        assert_eq!(
+            RangeSet::from_range(ByteRange::new(0, 4)).to_string(),
+            "{[0, 4)}"
+        );
     }
 }

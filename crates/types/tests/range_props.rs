@@ -1,16 +1,22 @@
-//! Property tests for the `RangeSet` interval algebra, which underpins all
-//! byte-level dirty tracking in the simulator.
+//! Randomized model tests for the `RangeSet` interval algebra, which
+//! underpins all byte-level dirty tracking in the simulator.
+//!
+//! Formerly proptest-based; now driven by the workspace's own seeded
+//! [`nvfs_rng::StdRng`] so the suite builds offline. Cases are
+//! deterministic per seed, so failures reproduce exactly.
 
+use nvfs_rng::{Rng, SeedableRng, StdRng};
 use nvfs_types::{ByteRange, RangeSet};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 /// A small byte universe keeps the naive model cheap while still exercising
 /// every merge/split path.
 const UNIVERSE: u64 = 256;
 
-fn arb_range() -> impl Strategy<Value = ByteRange> {
-    (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| ByteRange::new(a.min(b), a.max(b)))
+fn rand_range(rng: &mut StdRng) -> ByteRange {
+    let a = rng.gen_range(0..UNIVERSE);
+    let b = rng.gen_range(0..UNIVERSE);
+    ByteRange::new(a.min(b), a.max(b))
 }
 
 #[derive(Debug, Clone)]
@@ -20,12 +26,12 @@ enum Action {
     Truncate(u64),
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        arb_range().prop_map(Action::Insert),
-        arb_range().prop_map(Action::Remove),
-        (0..UNIVERSE).prop_map(Action::Truncate),
-    ]
+fn rand_action(rng: &mut StdRng) -> Action {
+    match rng.gen_range(0..3u32) {
+        0 => Action::Insert(rand_range(rng)),
+        1 => Action::Remove(rand_range(rng)),
+        _ => Action::Truncate(rng.gen_range(0..UNIVERSE)),
+    }
 }
 
 /// Naive model: an explicit set of byte offsets.
@@ -33,95 +39,118 @@ fn model_bytes(r: ByteRange) -> BTreeSet<u64> {
     (r.start..r.end).collect()
 }
 
-proptest! {
-    #[test]
-    fn matches_naive_model(actions in proptest::collection::vec(arb_action(), 1..40)) {
+#[test]
+fn matches_naive_model() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for _case in 0..300 {
+        let n_actions = rng.gen_range(1..40usize);
+        let actions: Vec<Action> = (0..n_actions).map(|_| rand_action(&mut rng)).collect();
         let mut real = RangeSet::new();
         let mut model: BTreeSet<u64> = BTreeSet::new();
-        for action in actions {
-            match action {
+        for action in &actions {
+            match *action {
                 Action::Insert(r) => {
                     let added = real.insert(r);
                     let before = model.len();
                     model.extend(model_bytes(r));
-                    prop_assert_eq!(added, (model.len() - before) as u64);
+                    assert_eq!(added, (model.len() - before) as u64, "{actions:?}");
                 }
                 Action::Remove(r) => {
                     let removed = real.remove(r);
                     let before = model.len();
                     model.retain(|b| !r.contains(*b));
-                    prop_assert_eq!(removed, (before - model.len()) as u64);
+                    assert_eq!(removed, (before - model.len()) as u64, "{actions:?}");
                 }
                 Action::Truncate(off) => {
                     let removed = real.truncate(off);
                     let before = model.len();
                     model.retain(|b| *b < off);
-                    prop_assert_eq!(removed, (before - model.len()) as u64);
+                    assert_eq!(removed, (before - model.len()) as u64, "{actions:?}");
                 }
             }
-            prop_assert!(real.check_invariants());
-            prop_assert_eq!(real.len_bytes(), model.len() as u64);
+            assert!(real.check_invariants(), "{actions:?}");
+            assert_eq!(real.len_bytes(), model.len() as u64, "{actions:?}");
         }
         // Byte membership agrees everywhere.
         for b in 0..UNIVERSE {
-            prop_assert_eq!(real.contains(b), model.contains(&b));
+            assert_eq!(
+                real.contains(b),
+                model.contains(&b),
+                "byte {b}: {actions:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn overlap_bytes_matches_model(
-        ranges in proptest::collection::vec(arb_range(), 1..10),
-        probe in arb_range(),
-    ) {
+#[test]
+fn overlap_bytes_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for _case in 0..500 {
+        let n = rng.gen_range(1..10usize);
+        let ranges: Vec<ByteRange> = (0..n).map(|_| rand_range(&mut rng)).collect();
+        let probe = rand_range(&mut rng);
         let mut real = RangeSet::new();
         let mut model: BTreeSet<u64> = BTreeSet::new();
-        for r in ranges {
+        for &r in &ranges {
             real.insert(r);
             model.extend(model_bytes(r));
         }
         let expected = model.iter().filter(|b| probe.contains(**b)).count() as u64;
-        prop_assert_eq!(real.overlap_bytes(probe), expected);
+        assert_eq!(
+            real.overlap_bytes(probe),
+            expected,
+            "{ranges:?} probe {probe:?}"
+        );
         // overlapping() pieces are disjoint, sorted, and sum to overlap_bytes.
         let pieces: Vec<ByteRange> = real.overlapping(probe).collect();
         let mut last_end = 0;
         let mut sum = 0;
         for p in &pieces {
-            prop_assert!(p.start >= last_end);
-            prop_assert!(probe.contains_range(*p));
+            assert!(p.start >= last_end, "{ranges:?}");
+            assert!(probe.contains_range(*p), "{ranges:?}");
             last_end = p.end;
             sum += p.len();
         }
-        prop_assert_eq!(sum, expected);
+        assert_eq!(sum, expected, "{ranges:?} probe {probe:?}");
     }
+}
 
-    #[test]
-    fn insert_is_idempotent(ranges in proptest::collection::vec(arb_range(), 1..10)) {
+#[test]
+fn insert_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    for _case in 0..500 {
+        let n = rng.gen_range(1..10usize);
+        let ranges: Vec<ByteRange> = (0..n).map(|_| rand_range(&mut rng)).collect();
         let mut s = RangeSet::new();
         for r in &ranges {
             s.insert(*r);
         }
         let snapshot = s.clone();
         for r in &ranges {
-            prop_assert_eq!(s.insert(*r), 0);
+            assert_eq!(s.insert(*r), 0, "{ranges:?}");
         }
-        prop_assert_eq!(s, snapshot);
+        assert_eq!(s, snapshot, "{ranges:?}");
     }
+}
 
-    #[test]
-    fn union_subtract_round_trip(
-        a in proptest::collection::vec(arb_range(), 0..8),
-        b in proptest::collection::vec(arb_range(), 0..8),
-    ) {
-        let sa: RangeSet = a.into_iter().collect();
-        let sb: RangeSet = b.into_iter().collect();
+#[test]
+fn union_subtract_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    for _case in 0..500 {
+        let na = rng.gen_range(0..8usize);
+        let nb = rng.gen_range(0..8usize);
+        let a: Vec<ByteRange> = (0..na).map(|_| rand_range(&mut rng)).collect();
+        let b: Vec<ByteRange> = (0..nb).map(|_| rand_range(&mut rng)).collect();
+        let sa: RangeSet = a.iter().copied().collect();
+        let sb: RangeSet = b.iter().copied().collect();
         let mut u = sa.clone();
         let added = u.union_with(&sb);
-        prop_assert!(u.len_bytes() == sa.len_bytes() + added);
+        assert!(u.len_bytes() == sa.len_bytes() + added, "{a:?} {b:?}");
         let mut back = u.clone();
         back.subtract(&sb);
         // After removing b, exactly a-minus-b remains.
         let mut expected = sa.clone();
         expected.subtract(&sb);
-        prop_assert_eq!(back, expected);
+        assert_eq!(back, expected, "{a:?} {b:?}");
     }
 }

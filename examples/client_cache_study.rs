@@ -30,7 +30,16 @@ fn main() {
 
     let f3 = fig3::run(&env);
     println!("{}", f3.figure.render());
-    println!("{}", render_plot(&f3.figure, PlotOptions { log_x: true, ..PlotOptions::default() }));
+    println!(
+        "{}",
+        render_plot(
+            &f3.figure,
+            PlotOptions {
+                log_x: true,
+                ..PlotOptions::default()
+            }
+        )
+    );
 
     let f4 = fig4::run(&env);
     println!("{}", f4.figure.render());
@@ -51,13 +60,19 @@ fn main() {
     for v in &f6.verdicts_16mb {
         let dram = v
             .equivalent_dram_mb
-            .map_or("unreachable by DRAM".to_string(), |mb| format!("{mb:.1} MB DRAM"));
+            .map_or("unreachable by DRAM".to_string(), |mb| {
+                format!("{mb:.1} MB DRAM")
+            });
         println!(
             "  +{:.1} MB NVRAM (${:.0}) ≙ {} → {}",
             v.nvram_mb,
             v.nvram_dollars,
             dram,
-            if v.nvram_wins { "NVRAM wins" } else { "DRAM wins" },
+            if v.nvram_wins {
+                "NVRAM wins"
+            } else {
+                "DRAM wins"
+            },
         );
     }
 }

@@ -41,7 +41,11 @@ fn main() {
                 v.nvram_mb,
                 v.nvram_dollars,
                 rhs,
-                if v.nvram_wins { "NVRAM wins" } else { "DRAM wins" },
+                if v.nvram_wins {
+                    "NVRAM wins"
+                } else {
+                    "DRAM wins"
+                },
             );
         }
         println!();

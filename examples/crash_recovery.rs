@@ -32,7 +32,11 @@ fn main() {
 
     let recovered = board.drain();
     let total: u64 = recovered.values().map(RangeSet::len_bytes).sum();
-    println!("recovered {:.0} KB across {} files:", total as f64 / 1024.0, recovered.len());
+    println!(
+        "recovered {:.0} KB across {} files:",
+        total as f64 / 1024.0,
+        recovered.len()
+    );
     for (file, ranges) in &recovered {
         println!("  {file}: {ranges}");
     }

@@ -35,7 +35,13 @@ fn main() {
 
     let mut table = Table::new(
         "Client cache models over Trace 7 (8 MB volatile, +1 MB NVRAM)",
-        &["Model", "Net write traffic", "Net total traffic", "Fsync MB", "Remaining MB"],
+        &[
+            "Model",
+            "Net write traffic",
+            "Net total traffic",
+            "Fsync MB",
+            "Remaining MB",
+        ],
     );
     for (name, cfg) in configs {
         let s = ClusterSim::new(cfg).run(trace.ops());

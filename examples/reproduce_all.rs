@@ -12,5 +12,9 @@ fn main() {
     let card = scorecard::run(&Env::small());
     println!("{}", card.table.render());
     println!("{} of {} checks passed", card.passed(), card.checks.len());
-    assert!(card.all_passed(), "reproduction regressed: {:?}", card.first_failure());
+    assert!(
+        card.all_passed(),
+        "reproduction regressed: {:?}",
+        card.first_failure()
+    );
 }

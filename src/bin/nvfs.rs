@@ -9,9 +9,14 @@
 //! nvfs lfs          [--scale S] [--buffer-kb N]      Tables 3-4 + write-buffer study
 //! nvfs experiments  [--scale S] [ID...]              regenerate paper artifacts
 //! nvfs export-csv   [--scale S] --out DIR            write every artifact as CSV
+//! nvfs bench        [--scale S] [--out FILE]         time sequential vs parallel
 //! ```
 //!
 //! Scales: `tiny`, `small` (default), `paper`.
+//!
+//! A global `--jobs N` flag (or the `NVFS_JOBS` environment variable)
+//! bounds the worker threads used for trace generation, sweeps, and
+//! experiment fan-out; stdout is byte-identical at any job count.
 
 use std::collections::VecDeque;
 use std::fs;
@@ -34,16 +39,33 @@ use nvfs::core::lifetime::LifetimeLog;
 use nvfs::core::{ClusterSim, ConsistencyMode, PolicyKind, SimConfig};
 use nvfs::experiments as exp;
 use nvfs::experiments::env::Env;
+use nvfs::report::{render_plot, PlotOptions};
 use nvfs::trace::serialize::{parse_ops, render_ops};
 use nvfs::trace::stats::TraceStats;
 use nvfs::trace::synth::{SpriteTraceSet, TraceSetConfig};
 use nvfs::trace::validate::validate_ignoring_leaks;
-use nvfs::report::{render_plot, PlotOptions};
 use nvfs::trace::OpStream;
 use nvfs::types::SimDuration;
 
 fn main() -> ExitCode {
     let mut args: VecDeque<String> = std::env::args().skip(1).collect();
+    // `--jobs N` is global (any position); it configures the process-wide
+    // worker count before any command runs. Resolution order: --jobs, then
+    // NVFS_JOBS, then the machine's available parallelism.
+    match take_flag(&mut args, "--jobs") {
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => nvfs::par::set_jobs(n),
+            _ => {
+                eprintln!("error: --jobs requires a positive integer, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let Some(command) = args.pop_front() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -57,6 +79,7 @@ fn main() -> ExitCode {
         "experiments" => cmd_experiments(args),
         "scorecard" => cmd_scorecard(args),
         "export-csv" => cmd_export_csv(args),
+        "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
             Ok(())
@@ -72,7 +95,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: nvfs <command> [options]
+const USAGE: &str = "usage: nvfs [--jobs N] <command> [options]
 commands:
   gen-traces   [--scale tiny|small|paper] [--out DIR]
   trace-stats  <FILE>
@@ -85,14 +108,23 @@ commands:
                 write-buffer disk-sort bus-nvram presto pipeline ablations
                 consistency nvram-speed ...]
   scorecard    [--scale S]
-  export-csv   [--scale S] --out DIR";
+  export-csv   [--scale S] --out DIR
+  bench        [--scale S] [--out FILE]   time sequential vs parallel passes
+
+parallelism:
+  --jobs N     worker threads for trace generation, sweeps, and experiment
+               fan-out; overrides the NVFS_JOBS environment variable, which
+               overrides the machine's available parallelism. Output is
+               byte-identical at any job count (diagnostics go to stderr).";
 
 /// Pulls `--flag VALUE` out of the argument list, if present.
 fn take_flag(args: &mut VecDeque<String>, flag: &str) -> Result<Option<String>, String> {
     if let Some(pos) = args.iter().position(|a| a == flag) {
         let mut rest = args.split_off(pos);
         rest.pop_front();
-        let value = rest.pop_front().ok_or_else(|| format!("{flag} requires a value"))?;
+        let value = rest
+            .pop_front()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
         args.append(&mut rest);
         Ok(Some(value))
     } else {
@@ -119,8 +151,7 @@ fn parse_env(args: &mut VecDeque<String>) -> Result<Env, String> {
 }
 
 fn load_ops(path: &str) -> Result<OpStream, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_ops(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -128,6 +159,7 @@ fn cmd_gen_traces(mut args: VecDeque<String>) -> Result<(), String> {
     let cfg = parse_scale(&mut args)?;
     let out = PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "traces".into()));
     fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    eprintln!("[gen-traces] jobs = {}", nvfs::par::jobs());
     let set = SpriteTraceSet::generate(&cfg);
     for trace in set.traces() {
         let path = out.join(format!("trace{}.ops", trace.number()));
@@ -150,8 +182,16 @@ fn cmd_trace_stats(mut args: VecDeque<String>) -> Result<(), String> {
     let ops = load_ops(&path)?;
     let s = TraceStats::for_stream(&ops);
     outln!("ops:          {}", s.ops);
-    outln!("write bytes:  {} ({:.2} MB)", s.write_bytes, s.write_bytes as f64 / (1 << 20) as f64);
-    outln!("read bytes:   {} ({:.2} MB)", s.read_bytes, s.read_bytes as f64 / (1 << 20) as f64);
+    outln!(
+        "write bytes:  {} ({:.2} MB)",
+        s.write_bytes,
+        s.write_bytes as f64 / (1 << 20) as f64
+    );
+    outln!(
+        "read bytes:   {} ({:.2} MB)",
+        s.read_bytes,
+        s.read_bytes as f64 / (1 << 20) as f64
+    );
     outln!("files:        {}", s.files);
     outln!("clients:      {}", s.clients);
     outln!("opens:        {}", s.opens);
@@ -197,7 +237,9 @@ fn cmd_client_sim(mut args: VecDeque<String>) -> Result<(), String> {
         return Err("--volatile-mb must be at least 1".to_string());
     }
     if nvram_mb == 0 && model != "volatile" {
-        return Err(format!("--nvram-mb must be at least 1 for the {model} model"));
+        return Err(format!(
+            "--nvram-mb must be at least 1 for the {model} model"
+        ));
     }
     let vol = volatile_mb << 20;
     let nv = nvram_mb << 20;
@@ -217,18 +259,42 @@ fn cmd_client_sim(mut args: VecDeque<String>) -> Result<(), String> {
     outln!("model:              {kind:?}");
     outln!("app writes:         {:>10.2} MB", mb(stats.app_write_bytes));
     outln!("app reads:          {:>10.2} MB", mb(stats.app_read_bytes));
-    outln!("server writes:      {:>10.2} MB", mb(stats.server_write_bytes));
+    outln!(
+        "server writes:      {:>10.2} MB",
+        mb(stats.server_write_bytes)
+    );
     outln!("  write-back:       {:>10.2} MB", mb(stats.writeback_bytes));
-    outln!("  replacement:      {:>10.2} MB", mb(stats.replacement_bytes));
+    outln!(
+        "  replacement:      {:>10.2} MB",
+        mb(stats.replacement_bytes)
+    );
     outln!("  callbacks:        {:>10.2} MB", mb(stats.callback_bytes));
     outln!("  migration:        {:>10.2} MB", mb(stats.migration_bytes));
     outln!("  fsync:            {:>10.2} MB", mb(stats.fsync_bytes));
-    outln!("server reads:       {:>10.2} MB", mb(stats.server_read_bytes));
-    outln!("absorbed:           {:>10.2} MB", mb(stats.absorbed_bytes()));
-    outln!("remaining dirty:    {:>10.2} MB", mb(stats.remaining_dirty_bytes));
-    outln!("net write traffic:  {:>9.1}%", stats.net_write_traffic_pct());
-    outln!("net total traffic:  {:>9.1}%", stats.net_total_traffic_pct());
-    outln!("read hit ratio:     {:>9.1}%", 100.0 * stats.read_hit_ratio());
+    outln!(
+        "server reads:       {:>10.2} MB",
+        mb(stats.server_read_bytes)
+    );
+    outln!(
+        "absorbed:           {:>10.2} MB",
+        mb(stats.absorbed_bytes())
+    );
+    outln!(
+        "remaining dirty:    {:>10.2} MB",
+        mb(stats.remaining_dirty_bytes)
+    );
+    outln!(
+        "net write traffic:  {:>9.1}%",
+        stats.net_write_traffic_pct()
+    );
+    outln!(
+        "net total traffic:  {:>9.1}%",
+        stats.net_total_traffic_pct()
+    );
+    outln!(
+        "read hit ratio:     {:>9.1}%",
+        100.0 * stats.read_hit_ratio()
+    );
     if kind.has_nvram() {
         outln!("nvram accesses:     {:>10}", stats.nvram_accesses());
     }
@@ -239,8 +305,14 @@ fn cmd_lifetime(mut args: VecDeque<String>) -> Result<(), String> {
     let path = args.pop_front().ok_or("lifetime requires a trace file")?;
     let ops = load_ops(&path)?;
     let log = LifetimeLog::analyze(&ops);
-    outln!("total writes: {:.2} MB", log.total_write_bytes as f64 / (1 << 20) as f64);
-    outln!("absorbed (infinite NVRAM): {:.1}%", 100.0 * log.absorbed_fraction());
+    outln!(
+        "total writes: {:.2} MB",
+        log.total_write_bytes as f64 / (1 << 20) as f64
+    );
+    outln!(
+        "absorbed (infinite NVRAM): {:.1}%",
+        100.0 * log.absorbed_fraction()
+    );
     outln!("\nfate breakdown:");
     for (fate, bytes) in log.bytes_by_fate() {
         outln!(
@@ -253,7 +325,11 @@ fn cmd_lifetime(mut args: VecDeque<String>) -> Result<(), String> {
     outln!("\nnet write traffic vs write-back delay:");
     for mins in [0.05, 0.5, 5.0, 30.0, 240.0, 10_000.0] {
         let d = SimDuration::from_secs_f64(mins * 60.0);
-        outln!("  {:>9.2} min  {:>5.1}%", mins, log.net_write_traffic_at_delay(d));
+        outln!(
+            "  {:>9.2} min  {:>5.1}%",
+            mins,
+            log.net_write_traffic_at_delay(d)
+        );
     }
     Ok(())
 }
@@ -264,9 +340,15 @@ fn cmd_lfs(mut args: VecDeque<String>) -> Result<(), String> {
         .unwrap_or_else(|| "512".into())
         .parse()
         .map_err(|_| "bad --buffer-kb")?;
+    eprintln!("[lfs] jobs = {}", nvfs::par::jobs());
     outln!("{}", exp::tab3::run(&env).table.render());
     outln!("{}", exp::tab4::run(&env).table.render());
-    outln!("{}", exp::write_buffer::run_with_capacity(&env, buffer_kb << 10).table.render());
+    outln!(
+        "{}",
+        exp::write_buffer::run_with_capacity(&env, buffer_kb << 10)
+            .table
+            .render()
+    );
     Ok(())
 }
 
@@ -277,8 +359,16 @@ fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
     } else {
         args.into_iter().collect()
     };
-    for id in &ids {
-        let text = run_experiment(&env, id)?;
+    let jobs = nvfs::par::jobs();
+    // Independent experiment ids render in parallel; output is printed in
+    // request order, so stdout is byte-identical to a sequential run (the
+    // per-experiment jobs diagnostic goes to stderr for the same reason).
+    let rendered = nvfs::par::par_map(ids, jobs, |id| {
+        eprintln!("[{id}] jobs = {jobs}");
+        run_experiment(&env, &id)
+    });
+    for text in rendered {
+        let text = text?;
         let mut stdout = std::io::stdout().lock();
         let _ = write!(stdout, "{text}");
     }
@@ -286,9 +376,27 @@ fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 const ALL_EXPERIMENTS: [&str; 21] = [
-    "tab1", "fig2", "tab2", "fig3", "fig4", "fig5", "fig6", "tab3", "tab4", "write-buffer",
-    "disk-sort", "bus-nvram", "presto", "pipeline", "ablations", "consistency", "read-latency",
-    "lfs-vs-ffs", "server-cache", "diagrams", "warmup",
+    "tab1",
+    "fig2",
+    "tab2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "tab3",
+    "tab4",
+    "write-buffer",
+    "disk-sort",
+    "bus-nvram",
+    "presto",
+    "pipeline",
+    "ablations",
+    "consistency",
+    "read-latency",
+    "lfs-vs-ffs",
+    "server-cache",
+    "diagrams",
+    "warmup",
 ];
 
 fn run_experiment(env: &Env, id: &str) -> Result<String, String> {
@@ -331,12 +439,19 @@ fn fig_text(figure: &nvfs::report::Figure, log_x: bool) -> String {
     format!(
         "{}{}",
         figure.render(),
-        render_plot(figure, PlotOptions { log_x, ..PlotOptions::default() })
+        render_plot(
+            figure,
+            PlotOptions {
+                log_x,
+                ..PlotOptions::default()
+            }
+        )
     )
 }
 
 fn cmd_scorecard(mut args: VecDeque<String>) -> Result<(), String> {
     let env = parse_env(&mut args)?;
+    eprintln!("[scorecard] jobs = {}", nvfs::par::jobs());
     let card = exp::scorecard::run(&env);
     outln!("{}", card.table.render());
     outln!("{} of {} checks passed", card.passed(), card.checks.len());
@@ -347,31 +462,132 @@ fn cmd_scorecard(mut args: VecDeque<String>) -> Result<(), String> {
     }
 }
 
+/// CSV artifact names exported by `nvfs export-csv`, in output order.
+const CSV_ARTIFACTS: [&str; 15] = [
+    "tab1_costs.csv",
+    "fig2_byte_lifetimes.csv",
+    "tab2_write_fates.csv",
+    "fig3_omniscient.csv",
+    "fig4_policies.csv",
+    "fig5_models.csv",
+    "fig6_cost_effectiveness.csv",
+    "tab3_partial_segments.csv",
+    "tab4_partial_sizes.csv",
+    "write_buffer.csv",
+    "disk_sort.csv",
+    "bus_nvram.csv",
+    "presto.csv",
+    "pipeline.csv",
+    "nvram_speed.csv",
+];
+
+fn csv_artifact(env: &Env, name: &str) -> String {
+    match name {
+        "tab1_costs.csv" => exp::tab1::run().table.to_csv(),
+        "fig2_byte_lifetimes.csv" => exp::fig2::run(env).figure.to_csv(),
+        "tab2_write_fates.csv" => exp::tab2::run(env).table.to_csv(),
+        "fig3_omniscient.csv" => exp::fig3::run(env).figure.to_csv(),
+        "fig4_policies.csv" => exp::fig4::run(env).figure.to_csv(),
+        "fig5_models.csv" => exp::fig5::run(env).figure.to_csv(),
+        "fig6_cost_effectiveness.csv" => exp::fig6::run(env).figure.to_csv(),
+        "tab3_partial_segments.csv" => exp::tab3::run(env).table.to_csv(),
+        "tab4_partial_sizes.csv" => exp::tab4::run(env).table.to_csv(),
+        "write_buffer.csv" => exp::write_buffer::run(env).table.to_csv(),
+        "disk_sort.csv" => exp::disk_sort::run().table.to_csv(),
+        "bus_nvram.csv" => exp::bus_nvram::run(env).table.to_csv(),
+        "presto.csv" => exp::presto::run().table.to_csv(),
+        "pipeline.csv" => exp::pipeline::run(env).table.to_csv(),
+        "nvram_speed.csv" => exp::nvram_speed::run(env).table.to_csv(),
+        other => unreachable!("unknown CSV artifact {other:?}"),
+    }
+}
+
 fn cmd_export_csv(mut args: VecDeque<String>) -> Result<(), String> {
     let env = parse_env(&mut args)?;
     let out = PathBuf::from(take_flag(&mut args, "--out")?.ok_or("export-csv requires --out DIR")?);
     fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
 
-    let write = |name: &str, csv: String| -> Result<(), String> {
+    let jobs = nvfs::par::jobs();
+    eprintln!("[export-csv] jobs = {jobs}");
+    // Artifacts are independent; compute all in parallel, then write in the
+    // fixed order so both the files and the log lines match a sequential
+    // run byte for byte.
+    let rendered = nvfs::par::par_map(CSV_ARTIFACTS.to_vec(), jobs, |name| {
+        (name, csv_artifact(&env, name))
+    });
+    for (name, csv) in rendered {
         let path: &Path = &out.join(name);
         fs::write(path, csv).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         outln!("wrote {}", path.display());
-        Ok(())
+    }
+    Ok(())
+}
+
+/// Stages timed by `nvfs bench`, in pass order.
+const BENCH_STAGES: [&str; 5] = ["gen-traces", "fig2", "fig3", "tab3", "scorecard"];
+
+fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
+    use nvfs::par::bench;
+    use nvfs::trace::synth::lfs_workload::{sprite_server_workloads, ServerWorkloadConfig};
+
+    let (cfg, server_cfg) = match take_flag(&mut args, "--scale")?.as_deref() {
+        None | Some("small") => (TraceSetConfig::small(), ServerWorkloadConfig::small()),
+        Some("tiny") => (TraceSetConfig::tiny(), ServerWorkloadConfig::tiny()),
+        Some("paper") => (TraceSetConfig::paper(), ServerWorkloadConfig::paper()),
+        Some(other) => return Err(format!("unknown scale {other:?} (tiny|small|paper)")),
     };
-    write("tab1_costs.csv", exp::tab1::run().table.to_csv())?;
-    write("fig2_byte_lifetimes.csv", exp::fig2::run(&env).figure.to_csv())?;
-    write("tab2_write_fates.csv", exp::tab2::run(&env).table.to_csv())?;
-    write("fig3_omniscient.csv", exp::fig3::run(&env).figure.to_csv())?;
-    write("fig4_policies.csv", exp::fig4::run(&env).figure.to_csv())?;
-    write("fig5_models.csv", exp::fig5::run(&env).figure.to_csv())?;
-    write("fig6_cost_effectiveness.csv", exp::fig6::run(&env).figure.to_csv())?;
-    write("tab3_partial_segments.csv", exp::tab3::run(&env).table.to_csv())?;
-    write("tab4_partial_sizes.csv", exp::tab4::run(&env).table.to_csv())?;
-    write("write_buffer.csv", exp::write_buffer::run(&env).table.to_csv())?;
-    write("disk_sort.csv", exp::disk_sort::run().table.to_csv())?;
-    write("bus_nvram.csv", exp::bus_nvram::run(&env).table.to_csv())?;
-    write("presto.csv", exp::presto::run().table.to_csv())?;
-    write("pipeline.csv", exp::pipeline::run(&env).table.to_csv())?;
-    write("nvram_speed.csv", exp::nvram_speed::run(&env).table.to_csv())?;
+    let out =
+        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr1.json".into()));
+
+    let parallel = nvfs::par::jobs();
+    let passes: &[usize] = if parallel == 1 { &[1] } else { &[1, parallel] };
+    let mut records = Vec::new();
+    let mut reference: Option<String> = None;
+    for &jobs in passes {
+        nvfs::par::set_jobs(jobs);
+        eprintln!("[bench] pass with jobs = {jobs}");
+        let traces = bench::timed(&mut records, BENCH_STAGES[0], jobs, || {
+            SpriteTraceSet::generate(&cfg)
+        });
+        let env = Env {
+            traces,
+            server: sprite_server_workloads(&server_cfg),
+            trace_config: cfg.clone(),
+        };
+        let f2 = bench::timed(&mut records, BENCH_STAGES[1], jobs, || exp::fig2::run(&env));
+        let f3 = bench::timed(&mut records, BENCH_STAGES[2], jobs, || exp::fig3::run(&env));
+        let t3 = bench::timed(&mut records, BENCH_STAGES[3], jobs, || exp::tab3::run(&env));
+        let card = bench::timed(&mut records, BENCH_STAGES[4], jobs, || {
+            exp::scorecard::run(&env)
+        });
+        // Determinism gate: the rendered artifacts (traces included) must be
+        // byte-identical across job counts.
+        let digest = format!(
+            "{}{}{}{}{}",
+            render_ops(env.traces.trace(0).ops()),
+            f2.figure.render(),
+            f3.figure.render(),
+            t3.table.render(),
+            card.table.render(),
+        );
+        match &reference {
+            None => reference = Some(digest),
+            Some(first) if *first == digest => {}
+            Some(_) => {
+                return Err(format!(
+                    "jobs={jobs} produced different artifacts than jobs=1"
+                ));
+            }
+        }
+    }
+    // Restore the requested job count for any later work in this process.
+    nvfs::par::set_jobs(parallel);
+
+    fs::write(&out, bench::to_json(&records))
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    outln!("wrote {}", out.display());
+    for r in &records {
+        outln!("  {:<12} jobs={:<3} {:>10.1} ms", r.name, r.jobs, r.wall_ms);
+    }
     Ok(())
 }

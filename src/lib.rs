@@ -23,6 +23,10 @@
 //! * [`report`] — tables, figure series, and the experiment registry.
 //! * [`experiments`] — runners that regenerate every table and figure of the
 //!   paper.
+//! * [`rng`] — the self-contained xoshiro256++ PRNG every simulation seeds
+//!   from (no external dependencies, stable streams).
+//! * [`par`] — deterministic parallel fan-out ([`par::par_map`]) and the
+//!   wall-clock bench harness; output is byte-identical at any job count.
 //!
 //! # Quickstart
 //!
@@ -43,7 +47,9 @@ pub use nvfs_disk as disk;
 pub use nvfs_experiments as experiments;
 pub use nvfs_lfs as lfs;
 pub use nvfs_nvram as nvram;
+pub use nvfs_par as par;
 pub use nvfs_report as report;
+pub use nvfs_rng as rng;
 pub use nvfs_server as server;
 pub use nvfs_trace as trace;
 pub use nvfs_types as types;

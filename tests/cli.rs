@@ -5,7 +5,10 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn nvfs(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_nvfs")).args(args).output().expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_nvfs"))
+        .args(args)
+        .output()
+        .expect("binary runs")
 }
 
 fn tempdir(name: &str) -> PathBuf {
@@ -38,7 +41,11 @@ fn gen_stats_sim_lifetime_round_trip() {
     let out_flag = dir.to_str().unwrap();
 
     let gen = nvfs(&["gen-traces", "--scale", "tiny", "--out", out_flag]);
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
     let trace7 = dir.join("trace7.ops");
     assert!(trace7.exists());
 
@@ -58,7 +65,11 @@ fn gen_stats_sim_lifetime_round_trip() {
         "1",
         trace7.to_str().unwrap(),
     ]);
-    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
     let text = String::from_utf8_lossy(&sim.stdout);
     assert!(text.contains("net write traffic:"));
     assert!(text.contains("nvram accesses:"));
@@ -84,7 +95,11 @@ fn client_sim_rejects_bad_model() {
 #[test]
 fn experiments_subset_runs() {
     let out = nvfs(&["experiments", "--scale", "tiny", "tab1", "disk-sort"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Table 1"));
     assert!(text.contains("Disk bandwidth"));
@@ -93,8 +108,18 @@ fn experiments_subset_runs() {
 #[test]
 fn export_csv_writes_every_artifact() {
     let dir = tempdir("csv");
-    let out = nvfs(&["export-csv", "--scale", "tiny", "--out", dir.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = nvfs(&[
+        "export-csv",
+        "--scale",
+        "tiny",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for name in [
         "tab1_costs.csv",
         "fig2_byte_lifetimes.csv",

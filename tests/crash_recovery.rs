@@ -14,7 +14,10 @@ use nvfs::types::{ByteRange, ClientId, FileId, RangeSet};
 fn simulated_remaining_data_survives_a_crash() {
     let set = SpriteTraceSet::generate(&TraceSetConfig::tiny());
     let stats = ClusterSim::new(SimConfig::unified(2 << 20, 512 << 10)).run(set.trace(6).ops());
-    assert!(stats.remaining_dirty_bytes > 0, "trace must leave dirty data");
+    assert!(
+        stats.remaining_dirty_bytes > 0,
+        "trace must leave dirty data"
+    );
 
     // Model the client's NVRAM contents at crash time: its remaining dirty
     // bytes, laid out in board-sized runs.
@@ -60,7 +63,10 @@ fn dead_board_loses_data_but_fails_loudly() {
         board.batteries_mut().fail_one();
     }
     assert_eq!(board.batteries_mut().fail_one(), BatteryState::Dead);
-    assert!(board.drain().is_empty(), "a dead board must not pretend to recover");
+    assert!(
+        board.drain().is_empty(),
+        "a dead board must not pretend to recover"
+    );
 }
 
 #[test]

@@ -24,8 +24,15 @@ fn tab1_nvram_price_ratios() {
     let t = tab1::run();
     // "NVRAM is still four to six times more expensive per megabyte than
     // DRAM" — the 16 MB boards amortize down to ~4×.
-    assert!((3.5..=4.5).contains(&t.ratio_at_16mb), "{}", t.ratio_at_16mb);
-    assert!(t.ratio_at_1mb > t.ratio_at_16mb, "small configurations cost more per MB");
+    assert!(
+        (3.5..=4.5).contains(&t.ratio_at_16mb),
+        "{}",
+        t.ratio_at_16mb
+    );
+    assert!(
+        t.ratio_at_1mb > t.ratio_at_16mb,
+        "small configurations cost more per MB"
+    );
 }
 
 #[test]
@@ -36,17 +43,27 @@ fn fig2_byte_lifetimes() {
         if *n == 3 || *n == 4 {
             // "For traces 3 and 4 … only 5 to 10% of bytes die within 30
             // seconds."
-            assert!((2.0..=18.0).contains(&pct), "trace {n}: {pct:.1}% died in 30 s");
+            assert!(
+                (2.0..=18.0).contains(&pct),
+                "trace {n}: {pct:.1}% died in 30 s"
+            );
         } else {
             // "For most of the traces 35 to 50% of written bytes die within
             // 30 seconds."
-            assert!((25.0..=55.0).contains(&pct), "trace {n}: {pct:.1}% died in 30 s");
+            assert!(
+                (25.0..=55.0).contains(&pct),
+                "trace {n}: {pct:.1}% died in 30 s"
+            );
         }
     }
     for (n, f) in &out.die_within_30m {
         if *n == 3 || *n == 4 {
             // "…while more than 80% die within half an hour."
-            assert!(*f > 0.65, "trace {n}: only {:.1}% died in 30 min", 100.0 * f);
+            assert!(
+                *f > 0.65,
+                "trace {n}: only {:.1}% died in 30 min",
+                100.0 * f
+            );
         }
     }
     // Holding data longer always reduces traffic (Fig. 2 is monotone).
@@ -62,8 +79,14 @@ fn tab2_write_fates() {
     // exclude traces 3 and 4, only 65% absorption is possible."
     let all = 100.0 * out.all.absorbed_fraction();
     let typical = 100.0 * out.typical.absorbed_fraction();
-    assert!((75.0..=92.0).contains(&all), "all-traces absorption {all:.1}%");
-    assert!((55.0..=80.0).contains(&typical), "typical absorption {typical:.1}%");
+    assert!(
+        (75.0..=92.0).contains(&all),
+        "all-traces absorption {all:.1}%"
+    );
+    assert!(
+        (55.0..=80.0).contains(&typical),
+        "typical absorption {typical:.1}%"
+    );
     assert!(all > typical);
     // "This category turns out to be minuscule."
     assert!(100.0 * out.all.concurrent as f64 / out.all.total as f64 % 100.0 < 2.0);
@@ -87,11 +110,17 @@ fn fig3_omniscient_diminishing_returns() {
         // "For most of the traces, one megabyte reduces write traffic by
         // 50%…"
         let reduction_1mb = 100.0 - at(1.0);
-        assert!(reduction_1mb > 40.0, "trace {trace}: 1 MB removed {reduction_1mb:.1}%");
+        assert!(
+            reduction_1mb > 40.0,
+            "trace {trace}: 1 MB removed {reduction_1mb:.1}%"
+        );
         // "…while eight megabytes provides less than 10% further
         // reduction."
         let further = at(1.0) - at(8.0);
-        assert!(further < 12.0, "trace {trace}: {further:.1}% more from 1->8 MB");
+        assert!(
+            further < 12.0,
+            "trace {trace}: {further:.1}% more from 1->8 MB"
+        );
     }
 }
 
@@ -105,7 +134,11 @@ fn fig4_replacement_policies() {
     let lru = at("lru", 1.0);
     let omni = at("omniscient", 1.0);
     let gap = (lru - omni) / lru;
-    assert!((0.0..=0.30).contains(&gap), "omniscient gap {:.1}%", 100.0 * gap);
+    assert!(
+        (0.0..=0.30).contains(&gap),
+        "omniscient gap {:.1}%",
+        100.0 * gap
+    );
     // "The random policy behaves almost as well as the LRU policy."
     let random = at("random", 1.0);
     assert!(random <= lru * 1.25, "random {random:.1} vs lru {lru:.1}");
@@ -142,11 +175,16 @@ fn fig6_nvram_payoff_grows_with_base_cache() {
     // (more than six in the paper); at an 8 MB base the equivalent is far
     // smaller.
     let eq = |vs: &[nvfs::core::cost::CostVerdict], mb: f64| {
-        vs.iter().find(|v| (v.nvram_mb - mb).abs() < 1e-9).map(|v| v.equivalent_dram_mb)
+        vs.iter()
+            .find(|v| (v.nvram_mb - mb).abs() < 1e-9)
+            .map(|v| v.equivalent_dram_mb)
     };
     // None means DRAM cannot reach it at all — an even stronger win.
     if let Some(dram_mb) = eq(&out.verdicts_16mb, 0.5).flatten() {
-        assert!(dram_mb > 2.0, "16 MB base: ½ MB NVRAM ≙ {dram_mb:.1} MB DRAM");
+        assert!(
+            dram_mb > 2.0,
+            "16 MB base: ½ MB NVRAM ≙ {dram_mb:.1} MB DRAM"
+        );
     }
     // NVRAM must win the price comparison at the 16 MB base.
     let v = out
@@ -164,10 +202,18 @@ fn tab3_partial_segments() {
     // "/user6 … showed 92% of segment writes were partial segments due to
     // fsyncs" and 97% partial overall.
     assert!(u6.pct_partial() > 90.0, "{}", u6.pct_partial());
-    assert!((85.0..=99.0).contains(&u6.pct_fsync_partial()), "{}", u6.pct_fsync_partial());
+    assert!(
+        (85.0..=99.0).contains(&u6.pct_fsync_partial()),
+        "{}",
+        u6.pct_fsync_partial()
+    );
     // "…one of the users was executing long-running data base benchmarks":
     // /user6 issues ~89% of all segment writes.
-    assert!((75.0..=95.0).contains(&out.shares[0].1), "user6 share {}", out.shares[0].1);
+    assert!(
+        (75.0..=95.0).contains(&out.shares[0].1),
+        "user6 share {}",
+        out.shares[0].1
+    );
     // "/swap1 … saw no partial segments due to fsyncs."
     assert_eq!(out.report("/swap1").unwrap().pct_fsync_partial(), 0.0);
     assert_eq!(out.report("/scratch4").unwrap().pct_fsync_partial(), 0.0);
@@ -175,7 +221,10 @@ fn tab3_partial_segments() {
     // LFS disk are partial segments due to application fsyncs."
     for name in ["/user1", "/user4", "/sprite/src/kernel", "/user2"] {
         let pct = out.report(name).unwrap().pct_fsync_partial();
-        assert!((8.0..=30.0).contains(&pct), "{name}: {pct:.1}% fsync partials");
+        assert!(
+            (8.0..=30.0).contains(&pct),
+            "{name}: {pct:.1}% fsync partials"
+        );
     }
     // Every home-directory file system is partial-dominated (90%+ in the
     // paper; band widened).
@@ -192,7 +241,10 @@ fn tab4_partial_sizes_and_overhead() {
     let u6 = out.partial_kb_of("/user6").unwrap();
     let kernel = out.partial_kb_of("/sprite/src/kernel").unwrap();
     assert!(u6 < 15.0, "/user6 partials {u6:.1} KB");
-    assert!((30.0..=90.0).contains(&kernel), "/sprite/src/kernel partials {kernel:.1} KB");
+    assert!(
+        (30.0..=90.0).contains(&kernel),
+        "/sprite/src/kernel partials {kernel:.1} KB"
+    );
     assert!(kernel > 3.0 * u6);
     // "On /user6, the space taken up by the metadata and summary blocks in
     // partial segments is about one third of the segment."
@@ -209,7 +261,11 @@ fn write_buffer_reductions() {
     // "…would reduce disk write accesses by 90% on the most heavily-used
     // file system."
     let u6 = out.of("/user6").unwrap();
-    assert!((0.80..=0.99).contains(&u6.reduction), "/user6 reduction {:.2}", u6.reduction);
+    assert!(
+        (0.80..=0.99).contains(&u6.reduction),
+        "/user6 reduction {:.2}",
+        u6.reduction
+    );
     // "…by a modest 10 to 25%" for most file systems (band widened).
     for name in ["/user1", "/user4", "/sprite/src/kernel", "/user2"] {
         let r = out.of(name).unwrap().reduction;
@@ -228,10 +284,16 @@ fn disk_sort_bandwidth_claim() {
     let out = disk_sort::run();
     let (fifo, sorted) = out.at(1000).unwrap();
     // "only 7% of disk bandwidth is used when writing dirty data randomly"
-    assert!((0.03..=0.12).contains(&fifo), "random utilization {fifo:.3}");
+    assert!(
+        (0.03..=0.12).contains(&fifo),
+        "random utilization {fifo:.3}"
+    );
     // "1000 I/O's … buffered and sorted to utilize 40% of the disk
     // bandwidth."
-    assert!((0.25..=0.60).contains(&sorted), "sorted utilization {sorted:.3}");
+    assert!(
+        (0.25..=0.60).contains(&sorted),
+        "sorted utilization {sorted:.3}"
+    );
 }
 
 #[test]
@@ -239,12 +301,20 @@ fn bus_and_nvram_access_claims() {
     let out = bus_nvram::run(env());
     // "the unified model generates at least 25% less file cache traffic on
     // the local memory bus than the write-aside model."
-    assert!(out.bus_ratio() >= 4.0 / 3.0 * 0.95, "bus ratio {:.2}", out.bus_ratio());
+    assert!(
+        out.bus_ratio() >= 4.0 / 3.0 * 0.95,
+        "bus ratio {:.2}",
+        out.bus_ratio()
+    );
     // "the unified model generates from two to two-and-a-half times as many
     // NVRAM accesses." Our synthetic workload is more read-heavy than the
     // 1991 Sprite mix, which inflates unified's NVRAM reads, so the band is
     // widened upward; the shape claim is that the ratio is well above 1.
-    assert!((1.5..=8.0).contains(&out.access_ratio()), "access ratio {:.2}", out.access_ratio());
+    assert!(
+        (1.5..=8.0).contains(&out.access_ratio()),
+        "access ratio {:.2}",
+        out.access_ratio()
+    );
     // The write-aside NVRAM "is never read except during crash recovery".
     assert_eq!(out.write_aside.nvram_reads, 0);
 }
@@ -266,7 +336,11 @@ fn read_latency_claims() {
         "typical penalty {:.1}%",
         out.typical_penalty_pct
     );
-    assert!(out.heavy_penalty_pct > 25.0, "heavy penalty {:.1}%", out.heavy_penalty_pct);
+    assert!(
+        out.heavy_penalty_pct > 25.0,
+        "heavy penalty {:.1}%",
+        out.heavy_penalty_pct
+    );
 }
 
 #[test]
@@ -274,7 +348,11 @@ fn prestoserve_latency_claim() {
     let out = presto::run();
     // Reported gains were "up to 50%"; raw synchronous-write latency
     // improves by much more once NVRAM absorbs it.
-    assert!(out.latency_improvement() > 2.0, "{:.2}x", out.latency_improvement());
+    assert!(
+        out.latency_improvement() > 2.0,
+        "{:.2}x",
+        out.latency_improvement()
+    );
     assert!(out.presto.disk_busy_ms < out.nfs.disk_busy_ms);
 }
 
