@@ -38,6 +38,9 @@ pub enum FlushCause {
     /// An application fsync (volatile model only; NVRAM models treat
     /// NVRAM contents as already permanent).
     Fsync,
+    /// A recovery agent drained a relocated NVRAM board after a client
+    /// crash (§4).
+    Recovery,
 }
 
 /// One write from a client cache to the file server, with its cause —
@@ -780,6 +783,7 @@ impl ClientCache {
             FlushCause::Callback => stats.callback_bytes += bytes,
             FlushCause::Migration => stats.migration_bytes += bytes,
             FlushCause::Fsync => stats.fsync_bytes += bytes,
+            FlushCause::Recovery => stats.recovery_bytes += bytes,
         }
     }
 

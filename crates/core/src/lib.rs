@@ -54,5 +54,5 @@ pub use lifetime::{ByteFate, FateRecord, LifetimeLog};
 pub use metrics::TrafficStats;
 pub use omniscient::OmniscientSchedule;
 pub use policy::Policy;
-pub use recovery::{recover, snapshot_nvram, RecoveryOutcome};
-pub use sim::ClusterSim;
+pub use recovery::{recover, recover_up_to, snapshot_nvram, RecoveryError, RecoveryOutcome};
+pub use sim::{ClusterSim, FaultRunReport};

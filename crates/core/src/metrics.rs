@@ -30,6 +30,9 @@ pub struct TrafficStats {
     pub migration_bytes: u64,
     /// …of which: forced by application fsync.
     pub fsync_bytes: u64,
+    /// …of which: drained from a relocated NVRAM board by a recovery
+    /// agent after a client crash (§4).
+    pub recovery_bytes: u64,
     /// Bytes written straight through to the server while caching was
     /// disabled by concurrent write-sharing.
     pub concurrent_write_bytes: u64,
@@ -121,6 +124,7 @@ impl AddAssign for TrafficStats {
         self.callback_bytes += o.callback_bytes;
         self.migration_bytes += o.migration_bytes;
         self.fsync_bytes += o.fsync_bytes;
+        self.recovery_bytes += o.recovery_bytes;
         self.concurrent_write_bytes += o.concurrent_write_bytes;
         self.concurrent_read_bytes += o.concurrent_read_bytes;
         self.remaining_dirty_bytes += o.remaining_dirty_bytes;

@@ -12,6 +12,9 @@
 //! that was "as permanent as disk" in the simulation really can be turned
 //! back into server writes after a crash.
 
+use std::error::Error;
+use std::fmt;
+
 use nvfs_nvram::{NvramBoard, RecoveredData};
 use nvfs_types::{ClientId, FileId, RangeSet, SimTime};
 
@@ -33,6 +36,32 @@ pub fn snapshot_nvram(cache: &ClientCache, host: ClientId, capacity: u64) -> Nvr
     board
 }
 
+/// Recovery of a relocated board failed outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Every battery on the board had died before it was drained: the
+    /// contents are gone and the recovery agent has nothing to send.
+    DeadBoard {
+        /// The client the board was installed in when it was drained.
+        host: ClientId,
+        /// Dirty bytes that were on the board and are now lost.
+        bytes_lost: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::DeadBoard { host, bytes_lost } => write!(
+                f,
+                "board on {host} found with all batteries dead; {bytes_lost} dirty bytes lost"
+            ),
+        }
+    }
+}
+
+impl Error for RecoveryError {}
+
 /// Outcome of recovering a board on a healthy client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryOutcome {
@@ -40,16 +69,46 @@ pub struct RecoveryOutcome {
     pub writes: Vec<ServerWrite>,
     /// Total bytes recovered.
     pub bytes: u64,
+    /// Bytes the drain failed to apply (torn drains; zero on full
+    /// recovery).
+    pub bytes_lost: u64,
     /// Whether the board's batteries had preserved the data at all.
     pub data_survived: bool,
 }
 
 /// Drains `board` on the client it has been moved to, producing the write
 /// stream the recovery agent sends to the server.
-pub fn recover(board: &mut NvramBoard, at: SimTime) -> RecoveryOutcome {
-    let survived = board.batteries_mut().preserves_data();
-    let contents: RecoveredData = board.drain();
+///
+/// # Errors
+///
+/// A board whose batteries all died before the drain returns
+/// [`RecoveryError::DeadBoard`] carrying the byte count that was lost —
+/// `bytes == 0`, no writes are fabricated, and the caller decides how to
+/// report the loss. (An earlier version drained the board regardless and
+/// counted the drained bytes as recovered even when `preserves_data()`
+/// was false.)
+pub fn recover(board: &mut NvramBoard, at: SimTime) -> Result<RecoveryOutcome, RecoveryError> {
+    recover_up_to(board, at, u64::MAX)
+}
+
+/// Like [`recover`], but the drain is cut short after `max_bytes` — the
+/// torn-drain case. The un-applied remainder is reported in
+/// [`RecoveryOutcome::bytes_lost`] rather than silently dropped.
+///
+/// # Errors
+///
+/// Returns [`RecoveryError::DeadBoard`] exactly as [`recover`] does.
+pub fn recover_up_to(
+    board: &mut NvramBoard,
+    at: SimTime,
+    max_bytes: u64,
+) -> Result<RecoveryOutcome, RecoveryError> {
     let host = board.host();
+    if !board.batteries().preserves_data() {
+        let (_, bytes_lost) = board.drain_up_to(0);
+        return Err(RecoveryError::DeadBoard { host, bytes_lost });
+    }
+    let (contents, bytes_lost): (RecoveredData, u64) = board.drain_up_to(max_bytes);
     let mut writes = Vec::new();
     let mut bytes = 0;
     for (file, ranges) in contents {
@@ -60,14 +119,15 @@ pub fn recover(board: &mut NvramBoard, at: SimTime) -> RecoveryOutcome {
             client: host,
             file,
             bytes: len,
-            cause: FlushCause::Callback,
+            cause: FlushCause::Recovery,
         });
     }
-    RecoveryOutcome {
+    Ok(RecoveryOutcome {
         writes,
         bytes,
-        data_survived: survived,
-    }
+        bytes_lost,
+        data_survived: true,
+    })
 }
 
 impl ClientCache {
@@ -116,11 +176,16 @@ mod tests {
             let mut board = snapshot_nvram(&c, ClientId(0), 1 << 20);
             assert_eq!(board.dirty_bytes(), 2 * BLOCK_SIZE, "{model:?}");
             board.move_to(ClientId(5));
-            let outcome = recover(&mut board, SimTime::from_secs(100));
+            let outcome = recover(&mut board, SimTime::from_secs(100)).expect("batteries held");
             assert_eq!(outcome.bytes, 2 * BLOCK_SIZE, "{model:?}");
             assert_eq!(outcome.writes.len(), 2);
+            assert_eq!(outcome.bytes_lost, 0);
             assert!(outcome.data_survived);
             assert!(outcome.writes.iter().all(|w| w.client == ClientId(5)));
+            assert!(outcome
+                .writes
+                .iter()
+                .all(|w| w.cause == FlushCause::Recovery));
         }
     }
 
@@ -153,17 +218,50 @@ mod tests {
         assert_eq!(c.remaining_dirty_bytes(), 2 * BLOCK_SIZE);
     }
 
+    /// Regression test: a dead board must never report its (stale) contents
+    /// as recovered — zero bytes, zero writes, data did not survive.
     #[test]
     fn dead_batteries_mean_no_recovery() {
         let mut c = cache(CacheModelKind::Unified);
         write_block(&mut c, 1, 0, 1);
         let mut board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+        assert_eq!(board.dirty_bytes(), BLOCK_SIZE);
         for _ in 0..3 {
             board.batteries_mut().fail_one();
         }
-        let outcome = recover(&mut board, SimTime::from_secs(10));
-        assert_eq!(outcome.bytes, 0);
-        assert!(!outcome.data_survived);
+        let err = recover(&mut board, SimTime::from_secs(10))
+            .expect_err("a dead board must not pretend to recover");
+        assert_eq!(
+            err,
+            RecoveryError::DeadBoard {
+                host: ClientId(0),
+                bytes_lost: BLOCK_SIZE,
+            }
+        );
+        assert!(err.to_string().contains("batteries dead"));
+        // The board really is empty afterwards: a retry finds nothing more
+        // to lose and nothing to fabricate.
+        let err = recover(&mut board, SimTime::from_secs(11)).expect_err("still dead");
+        assert_eq!(
+            err,
+            RecoveryError::DeadBoard {
+                host: ClientId(0),
+                bytes_lost: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn torn_drain_reports_partial_recovery() {
+        let mut c = cache(CacheModelKind::Unified);
+        write_block(&mut c, 1, 0, 1);
+        write_block(&mut c, 2, 1, 2);
+        let mut board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+        let outcome = recover_up_to(&mut board, SimTime::from_secs(10), BLOCK_SIZE + 100)
+            .expect("batteries held");
+        assert_eq!(outcome.bytes, BLOCK_SIZE + 100);
+        assert_eq!(outcome.bytes_lost, BLOCK_SIZE - 100);
+        assert!(outcome.data_survived);
     }
 
     #[test]

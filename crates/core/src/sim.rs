@@ -6,9 +6,11 @@
 //! Figures 3–6 are derived. The volatile model's 30-second delayed
 //! write-back is driven by a 5-second cleaner tick, exactly as in Sprite.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use nvfs_faults::{ClientCrashFault, FaultSchedule, ReliabilityStats};
+use nvfs_nvram::NvramBoard;
 use nvfs_trace::op::{OpKind, OpStream};
 use nvfs_types::{ClientId, SimTime};
 
@@ -18,6 +20,7 @@ use crate::consistency::ConsistencyServer;
 use crate::metrics::TrafficStats;
 use crate::omniscient::OmniscientSchedule;
 use crate::policy::Policy;
+use crate::recovery::{recover_up_to, snapshot_nvram, RecoveryError};
 
 /// A configured cluster simulation, ready to run over op streams.
 ///
@@ -36,6 +39,18 @@ use crate::policy::Policy;
 #[derive(Debug, Clone)]
 pub struct ClusterSim {
     config: SimConfig,
+}
+
+/// Results of a fault-injected run ([`ClusterSim::run_with_faults`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRunReport {
+    /// Ordinary traffic counters; recovery drains appear under
+    /// [`TrafficStats::recovery_bytes`].
+    pub stats: TrafficStats,
+    /// Crash/recovery accounting, per fault kind.
+    pub reliability: ReliabilityStats,
+    /// Time-ordered server-write log including recovery drains.
+    pub writes: Vec<ServerWrite>,
 }
 
 impl ClusterSim {
@@ -81,15 +96,48 @@ impl ClusterSim {
         self.run_detailed_until(ops, usize::MAX, None)
     }
 
-    /// Core driver: replays ops up to index `stop` (exclusive); if
-    /// `reset_at` is given, every counter is zeroed after that op index so
-    /// the result reflects only the steady-state suffix.
+    /// Replays `ops` under an injected [`FaultSchedule`]: each scheduled
+    /// client crash cuts that client's trace at the fault time, snapshots
+    /// its NVRAM contents onto a removable board, and — after the board's
+    /// relocation delay, with its batteries aged on the schedule's failure
+    /// clock — drains the board through the §4 recovery flow. Losses
+    /// (volatile window, dead batteries, torn drains) are reported in the
+    /// returned [`ReliabilityStats`] rather than panicking.
+    ///
+    /// Deterministic: the same `(schedule, ops, config)` triple produces
+    /// byte-identical results at any worker-thread count.
+    pub fn run_with_faults(&self, ops: &OpStream, schedule: &FaultSchedule) -> FaultRunReport {
+        let (stats, writes, reliability) = self.run_core(ops, usize::MAX, None, Some(schedule));
+        FaultRunReport {
+            stats,
+            reliability,
+            writes,
+        }
+    }
+
+    /// Fault-free driver (the historical entry point).
     fn run_detailed_until(
         &self,
         ops: &OpStream,
         stop: usize,
         reset_at: Option<usize>,
     ) -> (TrafficStats, Vec<ServerWrite>) {
+        let (stats, writes, _) = self.run_core(ops, stop, reset_at, None);
+        (stats, writes)
+    }
+
+    /// Core driver: replays ops up to index `stop` (exclusive); if
+    /// `reset_at` is given, every counter is zeroed after that op index so
+    /// the result reflects only the steady-state suffix; if `faults` is
+    /// given, its client crashes and board recoveries are interleaved with
+    /// the op stream.
+    fn run_core(
+        &self,
+        ops: &OpStream,
+        stop: usize,
+        reset_at: Option<usize>,
+        faults: Option<&FaultSchedule>,
+    ) -> (TrafficStats, Vec<ServerWrite>, ReliabilityStats) {
         let schedule = match self.config.policy {
             PolicyKind::Omniscient => Some(Arc::new(OmniscientSchedule::build(ops))),
             _ => None,
@@ -103,6 +151,17 @@ impl ClusterSim {
             CacheModelKind::Volatile | CacheModelKind::Hybrid
         );
 
+        // Fault-injection state: the crash feed (sorted by time), clients
+        // whose traces have been cut, and boards in transit to a healthy
+        // host awaiting their recovery drain.
+        let mut reliability = ReliabilityStats::default();
+        let crash_feed: &[ClientCrashFault] = faults.map_or(&[], |s| &s.client_crashes);
+        let board_batteries = faults.map_or(3, |s| s.plan.board_batteries);
+        let mut next_crash = 0usize;
+        let mut crashed: BTreeSet<ClientId> = BTreeSet::new();
+        let mut in_transit: Vec<(NvramBoard, &ClientCrashFault)> = Vec::new();
+        let mut recovery_writes: Vec<ServerWrite> = Vec::new();
+
         macro_rules! client {
             ($id:expr) => {
                 clients.entry($id).or_insert_with(|| {
@@ -115,6 +174,78 @@ impl ClusterSim {
             };
         }
 
+        // Cuts `fault.client`'s trace: everything still dirty is at risk,
+        // whatever the model kept in NVRAM is snapshotted onto a board,
+        // and the board goes into transit towards a healthy host. The
+        // client's pre-crash server writes and device counters are folded
+        // in here since its cache is dropped.
+        macro_rules! crash_client {
+            ($fault:expr) => {{
+                let fault: &ClientCrashFault = $fault;
+                crashed.insert(fault.client);
+                reliability.client_crashes += 1;
+                if let Some(mut cache) = clients.remove(&fault.client) {
+                    let at_risk = cache.remaining_dirty_bytes();
+                    let board = snapshot_nvram(&cache, fault.client, self.config.nvram_bytes)
+                        .with_batteries(board_batteries);
+                    reliability.bytes_at_risk += at_risk;
+                    reliability.bytes_in_nvram += board.dirty_bytes();
+                    reliability.bytes_lost_window += at_risk - board.dirty_bytes();
+                    let d = cache.device();
+                    stats.nvram_reads += d.reads();
+                    stats.nvram_writes += d.writes();
+                    stats.nvram_bytes += d.bytes_transferred();
+                    recovery_writes.append(&mut cache.take_server_writes());
+                    in_transit.push((board, fault));
+                }
+            }};
+        }
+
+        // Drains every board whose relocation completed by `$now`, in
+        // (recovery time, client) order so the result is deterministic.
+        // Batteries age on the schedule's failure clock while the board is
+        // without bus power; dead boards and torn drains become reported
+        // losses, never panics.
+        macro_rules! recover_due {
+            ($now:expr) => {
+                loop {
+                    let due = in_transit
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (_, f))| f.recovery_time() <= $now)
+                        .min_by_key(|(_, (_, f))| (f.recovery_time(), f.client.0))
+                        .map(|(i, _)| i);
+                    let Some(idx) = due else { break };
+                    let (mut board, fault) = in_transit.remove(idx);
+                    let at = fault.recovery_time();
+                    board
+                        .batteries_mut()
+                        .age_to(at, fault.battery_clock(board_batteries));
+                    let cap = match fault.torn_drain {
+                        Some(fraction) => (board.dirty_bytes() as f64 * fraction) as u64,
+                        None => u64::MAX,
+                    };
+                    match recover_up_to(&mut board, at, cap) {
+                        Ok(outcome) => {
+                            reliability.boards_recovered += 1;
+                            reliability.bytes_recovered += outcome.bytes;
+                            reliability.bytes_lost_torn += outcome.bytes_lost;
+                            stats.server_write_bytes += outcome.bytes;
+                            stats.recovery_bytes += outcome.bytes;
+                            for w in &outcome.writes {
+                                server.note_flush(w.file, w.client);
+                            }
+                            recovery_writes.extend(outcome.writes);
+                        }
+                        Err(RecoveryError::DeadBoard { bytes_lost, .. }) => {
+                            reliability.boards_dead += 1;
+                            reliability.bytes_lost_battery += bytes_lost;
+                        }
+                    }
+                }
+            };
+        }
+
         for (op_index, op) in ops.iter().enumerate() {
             if op_index >= stop {
                 break;
@@ -124,6 +255,14 @@ impl ClusterSim {
                 for cache in clients.values_mut() {
                     cache.reset_counters();
                 }
+            }
+            // Fault hooks: fire crashes and recovery drains due by now.
+            if faults.is_some() {
+                while next_crash < crash_feed.len() && crash_feed[next_crash].time <= op.time {
+                    crash_client!(&crash_feed[next_crash]);
+                    next_crash += 1;
+                }
+                recover_due!(op.time);
             }
             // Advance the 5-second block cleaner up to this op's time.
             if run_cleaner {
@@ -138,6 +277,11 @@ impl ClusterSim {
                     }
                     next_tick += self.config.cleaner_period;
                 }
+            }
+            // A crashed workstation issues no further ops: its trace is
+            // cut at the fault time.
+            if crashed.contains(&op.client) {
+                continue;
             }
 
             match &op.kind {
@@ -247,6 +391,16 @@ impl ClusterSim {
             }
         }
 
+        // Faults scheduled past the end of the recorded trace still fire:
+        // the plan's duration may exceed the op stream's.
+        if faults.is_some() {
+            while next_crash < crash_feed.len() {
+                crash_client!(&crash_feed[next_crash]);
+                next_crash += 1;
+            }
+            recover_due!(SimTime::MAX);
+        }
+
         // End of trace: dirty bytes still cached count as eventual traffic.
         for cache in clients.values() {
             stats.remaining_dirty_bytes += cache.remaining_dirty_bytes();
@@ -261,8 +415,9 @@ impl ClusterSim {
             stats.nvram_bytes += d.bytes_transferred();
             writes.append(&mut cache.take_server_writes());
         }
+        writes.append(&mut recovery_writes);
         writes.sort_by_key(|w| w.time);
-        (stats, writes)
+        (stats, writes, reliability)
     }
 }
 
@@ -605,6 +760,83 @@ mod tests {
         let a = ClusterSim::new(cfg.clone()).run(traces.trace(4).ops());
         let b = ClusterSim::new(cfg).run(traces.trace(4).ops());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_crash_cuts_the_trace_and_recovers_nvram_contents() {
+        use nvfs_faults::{FaultPlanConfig, FaultSchedule};
+        use nvfs_types::SimDuration;
+        // Client 0 writes one block, then (post-crash) would write another;
+        // client 1 writes one block and survives.
+        let ops: OpStream = vec![
+            wr(2, 0, 0, 0),
+            wr(2, 1, 1, 0),
+            wr(40, 0, 2, 0),
+            op(
+                100,
+                1,
+                OpKind::Open {
+                    file: FileId(3),
+                    mode: OpenMode::Read,
+                },
+            ),
+        ]
+        .into_iter()
+        .collect();
+        // One crash in a 1-client plan always hits ClientId(0).
+        let plan = FaultPlanConfig::new(1, SimDuration::from_secs(20))
+            .with_client_crashes(1)
+            .with_relocation_delay(SimDuration::from_secs(10));
+        let schedule = FaultSchedule::compile(9, &plan).unwrap();
+        assert_eq!(schedule.client_crashes[0].client, ClientId(0));
+
+        let unified = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10))
+            .run_with_faults(&ops, &schedule);
+        let r = &unified.reliability;
+        assert_eq!(r.client_crashes, 1);
+        assert_eq!(r.bytes_at_risk, BLOCK_SIZE, "only the pre-crash write");
+        assert_eq!(r.bytes_recovered, BLOCK_SIZE);
+        assert_eq!(
+            r.bytes_lost_window + r.bytes_lost_battery + r.bytes_lost_torn,
+            0
+        );
+        assert_eq!(r.boards_recovered, 1);
+        assert_eq!(unified.stats.recovery_bytes, BLOCK_SIZE);
+        // The post-crash write never happened; the survivor's write did.
+        assert_eq!(unified.stats.app_write_bytes, 2 * BLOCK_SIZE);
+        assert!(unified
+            .writes
+            .iter()
+            .any(|w| w.cause == FlushCause::Recovery));
+
+        // The volatile model has nothing in NVRAM: the window is lost.
+        let volatile =
+            ClusterSim::new(SimConfig::volatile(1 << 20)).run_with_faults(&ops, &schedule);
+        let r = &volatile.reliability;
+        assert_eq!(r.bytes_at_risk, BLOCK_SIZE);
+        assert_eq!(r.bytes_in_nvram, 0);
+        assert_eq!(r.bytes_lost_window, BLOCK_SIZE);
+        assert_eq!(r.bytes_recovered, 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use nvfs_faults::{FaultPlanConfig, FaultSchedule};
+        use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+        use nvfs_types::SimDuration;
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let ops = traces.trace(6).ops();
+        let plan = FaultPlanConfig::new(8, SimDuration::from_hours(24))
+            .with_client_crashes(3)
+            .with_batteries(1)
+            .with_battery_mtbf(SimDuration::from_hours(6))
+            .with_torn_probability(0.3);
+        let schedule = FaultSchedule::compile(42, &plan).unwrap();
+        let sim = ClusterSim::new(SimConfig::write_aside(1 << 20, 512 << 10));
+        let a = sim.run_with_faults(ops, &schedule);
+        let b = sim.run_with_faults(ops, &schedule);
+        assert_eq!(a, b);
+        assert_eq!(a.reliability.client_crashes, 3);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! | [`lfs_vs_ffs`] | §3 framing — LFS amortization vs the update-in-place baseline |
 //! | [`server_cache`] | §3 opening — a server NVRAM cache absorbs client write traffic |
 //! | [`warmup`] | methodology — quantifying the paper's cold-start caveat |
+//! | [`faults`] | §2.3/§4 — bytes lost under a seeded fault schedule, per cache model |
 //! | [`scorecard`] | every claim above evaluated programmatically with PASS/FAIL verdicts |
 //!
 //! All runners share an [`env::Env`] so the synthetic workloads are only
@@ -55,6 +56,7 @@ pub mod consistency_protocol;
 pub mod diagrams;
 pub mod disk_sort;
 pub mod env;
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -18,7 +18,8 @@
 //! writes"): *all* flushed data stages through NVRAM and only full
 //! segments ever reach the disk.
 
-use nvfs_types::{FileId, RangeSet, SimDuration, SimTime};
+use nvfs_faults::{ReliabilityStats, ServerCrashFault};
+use nvfs_types::{ByteRange, FileId, RangeSet, SimDuration, SimTime};
 
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOpKind};
 
@@ -282,6 +283,26 @@ fn average_kb<'a, I: Iterator<Item = &'a SegmentRecord>>(records: I) -> Option<f
 /// assert!(report.pct_fsync_partial() > 50.0); // /user6 is fsync-bound
 /// ```
 pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
+    run_filesystem_faulted(workload, config, &[]).0
+}
+
+/// Like [`run_filesystem`], but with injected server crashes: at each crash
+/// the volatile dirty cache (the in-memory partial-segment write buffer)
+/// is lost, while NVRAM-staged data survives and is replayed into the log
+/// on restart as [`SegmentCause::Recovery`] segments. A torn replay write
+/// is detected and written a second time — wasted disk work but no loss,
+/// which is the §3 durability claim for the NVRAM write buffer.
+///
+/// Crashes must be sorted by time (as [`FaultSchedule`] compiles them).
+///
+/// [`FaultSchedule`]: nvfs_faults::FaultSchedule
+pub fn run_filesystem_faulted(
+    workload: &FsWorkload,
+    config: &LfsConfig,
+    crashes: &[ServerCrashFault],
+) -> (FsReport, ReliabilityStats) {
+    let mut reliability = ReliabilityStats::default();
+    let mut next_fault = 0usize;
     let mut writer = SegmentWriter::new(config.segment_bytes);
     let mut dirty = DirtyCache::new();
     let mut nvram: Vec<(FileId, RangeSet)> = Vec::new();
@@ -307,7 +328,44 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
         }
     };
 
+    // The server dies: the in-memory partial-segment buffer is lost, the
+    // NVRAM staging buffer survives and is replayed on restart. A torn
+    // replay write is written again from NVRAM (wasted access, no loss).
+    macro_rules! server_crash {
+        ($fault:expr) => {{
+            let fault: &ServerCrashFault = $fault;
+            reliability.server_crashes += 1;
+            let lost = dirty.take_all();
+            reliability.bytes_lost_buffer += lost.iter().map(|(_, r)| r.len_bytes()).sum::<u64>();
+            if nvram_bytes > 0 {
+                let staged = std::mem::take(&mut nvram);
+                reliability.bytes_replayed += nvram_bytes;
+                if let Some(fraction) = fault.torn_segment {
+                    let torn = (nvram_bytes as f64 * fraction) as u64;
+                    let prefix = chunk_prefix(&staged, torn);
+                    if !prefix.is_empty() {
+                        writer.write_all(fault.time, &prefix, SegmentCause::Recovery, true);
+                        reliability.bytes_rewritten_torn += torn;
+                    }
+                }
+                write_out(
+                    &mut writer,
+                    &mut cleaner,
+                    fault.time,
+                    &staged,
+                    SegmentCause::Recovery,
+                );
+                nvram_bytes = 0;
+            }
+        }};
+    }
+
     for op in &workload.ops {
+        // Fire server crashes due by this op's time.
+        while next_fault < crashes.len() && crashes[next_fault].time <= op.time {
+            server_crash!(&crashes[next_fault]);
+            next_fault += 1;
+        }
         end_time = end_time.max(op.time);
         // Advance the 5-second sweep: flush data older than the write-back
         // age, folding in any NVRAM-buffered data (piggyback).
@@ -439,6 +497,14 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
         }
     }
 
+    // Crashes scheduled past the end of the recorded workload still fire:
+    // the plan's duration may exceed the op stream's.
+    while next_fault < crashes.len() {
+        end_time = end_time.max(crashes[next_fault].time);
+        server_crash!(&crashes[next_fault]);
+        next_fault += 1;
+    }
+
     // Shutdown: flush whatever is left.
     let mut rest = dirty.take_all();
     rest.append(&mut nvram);
@@ -450,14 +516,42 @@ pub fn run_filesystem(workload: &FsWorkload, config: &LfsConfig) -> FsReport {
         SegmentCause::Shutdown,
     );
 
-    FsReport {
-        name: workload.name.to_string(),
-        records: writer.records().to_vec(),
-        fsync_ops,
-        fsyncs_absorbed,
-        app_write_bytes,
-        cleaner: cleaner.map_or(CleanerStats::default(), |c| c.stats()),
+    (
+        FsReport {
+            name: workload.name.to_string(),
+            records: writer.records().to_vec(),
+            fsync_ops,
+            fsyncs_absorbed,
+            app_write_bytes,
+            cleaner: cleaner.map_or(CleanerStats::default(), |c| c.stats()),
+        },
+        reliability,
+    )
+}
+
+/// The first `limit` bytes of `chunks`, in chunk order — the prefix a torn
+/// segment write managed to put on disk before it was cut.
+fn chunk_prefix(chunks: &Chunks, limit: u64) -> Chunks {
+    let mut out: Chunks = Vec::new();
+    let mut budget = limit;
+    for (file, ranges) in chunks {
+        if budget == 0 {
+            break;
+        }
+        let mut kept = RangeSet::new();
+        for r in ranges.iter() {
+            if budget == 0 {
+                break;
+            }
+            let take = r.len().min(budget);
+            kept.insert(ByteRange::at(r.start, take));
+            budget -= take;
+        }
+        if !kept.is_empty() {
+            out.push((*file, kept));
+        }
     }
+    out
 }
 
 /// Writes full segments out of the NVRAM staging buffer; forces a flush if
@@ -499,6 +593,26 @@ pub fn run_server(workloads: &[FsWorkload], config: &LfsConfig) -> Vec<FsReport>
     nvfs_par::par_map(workloads.iter().collect(), nvfs_par::jobs(), |w| {
         run_filesystem(w, config)
     })
+}
+
+/// Runs all eight Sprite file systems under `config` with the same
+/// injected server-crash schedule, merging the per-FS reliability
+/// accounting in workload order (deterministic at any job count).
+pub fn run_server_faulted(
+    workloads: &[FsWorkload],
+    config: &LfsConfig,
+    crashes: &[ServerCrashFault],
+) -> (Vec<FsReport>, ReliabilityStats) {
+    let results = nvfs_par::par_map(workloads.iter().collect(), nvfs_par::jobs(), |w| {
+        run_filesystem_faulted(w, config, crashes)
+    });
+    let mut merged = ReliabilityStats::default();
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, reliability) in results {
+        merged.merge(&reliability);
+        reports.push(report);
+    }
+    (reports, merged)
 }
 
 /// Share of total segment writes (across `reports`) issued by each file
@@ -692,6 +806,80 @@ mod tests {
             buffered.total_ms < direct.total_ms * 0.7,
             "{buffered:?} vs {direct:?}"
         );
+    }
+
+    fn crash_at(secs: u64) -> ServerCrashFault {
+        ServerCrashFault {
+            time: SimTime::from_secs(secs),
+            torn_segment: None,
+        }
+    }
+
+    #[test]
+    fn server_crash_loses_the_volatile_buffer_without_nvram() {
+        // One write, then a crash before any flush: everything is lost.
+        let w = FsWorkload {
+            name: "/test",
+            ops: vec![
+                LfsOp {
+                    time: SimTime::from_secs(1),
+                    kind: LfsOpKind::Write {
+                        file: FileId(0),
+                        range: ByteRange::new(0, 8192),
+                    },
+                },
+                LfsOp {
+                    time: SimTime::from_secs(10),
+                    kind: LfsOpKind::Fsync { file: FileId(1) },
+                },
+            ],
+        };
+        let (r, rel) = run_filesystem_faulted(&w, &LfsConfig::direct(), &[crash_at(5)]);
+        assert_eq!(rel.server_crashes, 1);
+        assert_eq!(rel.bytes_lost_buffer, 8192);
+        assert_eq!(rel.bytes_replayed, 0);
+        assert_eq!(r.data_bytes(), 0, "the lost bytes never reach disk");
+    }
+
+    #[test]
+    fn nvram_staged_data_survives_a_server_crash() {
+        // Write + fsync stages the data into NVRAM; the crash then loses
+        // nothing and the restart replays the buffer into the log.
+        let w = ops_writes_and_fsync();
+        let cfg = LfsConfig::with_fsync_buffer(512 << 10);
+        let (r, rel) = run_filesystem_faulted(&w, &cfg, &[crash_at(5)]);
+        assert_eq!(rel.server_crashes, 1);
+        assert_eq!(rel.bytes_lost_buffer, 0);
+        assert_eq!(rel.bytes_replayed, 8192);
+        assert_eq!(r.count(SegmentCause::Recovery), 1);
+        assert_eq!(r.data_bytes(), 8192, "every byte reaches the disk");
+        assert_eq!(rel.bytes_lost(), 0);
+    }
+
+    #[test]
+    fn torn_replay_is_rewritten_not_lost() {
+        let w = ops_writes_and_fsync();
+        let cfg = LfsConfig::with_fsync_buffer(512 << 10);
+        let torn = ServerCrashFault {
+            time: SimTime::from_secs(5),
+            torn_segment: Some(0.5),
+        };
+        let (r, rel) = run_filesystem_faulted(&w, &cfg, &[torn]);
+        assert_eq!(rel.bytes_rewritten_torn, 4096);
+        assert_eq!(rel.bytes_replayed, 8192);
+        assert_eq!(rel.bytes_lost(), 0, "NVRAM lets the replay retry");
+        // The torn attempt costs an extra Recovery segment write.
+        assert_eq!(r.count(SegmentCause::Recovery), 2);
+    }
+
+    #[test]
+    fn faulted_run_with_no_crashes_matches_plain_run() {
+        let ws = sprite_server_workloads(&ServerWorkloadConfig::tiny());
+        let cfg = LfsConfig::with_fsync_buffer(512 << 10);
+        let plain = run_filesystem(&ws[0], &cfg);
+        let (faulted, rel) = run_filesystem_faulted(&ws[0], &cfg, &[]);
+        assert_eq!(plain.records, faulted.records);
+        assert_eq!(rel, ReliabilityStats::default());
     }
 
     #[test]

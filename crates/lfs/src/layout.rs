@@ -33,6 +33,8 @@ pub enum SegmentCause {
     Cleaner,
     /// End-of-trace flush.
     Shutdown,
+    /// Restart replay of the NVRAM write buffer after a server crash.
+    Recovery,
 }
 
 impl SegmentCause {

@@ -45,7 +45,10 @@ pub mod sampling;
 pub use cleaner::{Cleaner, CleanerConfig, CleanerStats};
 pub use dirty::DirtyCache;
 pub use ffs_baseline::{run_update_in_place, FfsConfig, FfsReport};
-pub use fs::{run_filesystem, run_server, segment_share, FsReport, LfsConfig, WriteBufferMode};
+pub use fs::{
+    run_filesystem, run_filesystem_faulted, run_server, run_server_faulted, segment_share,
+    FsReport, LfsConfig, WriteBufferMode,
+};
 pub use layout::{SegmentCause, SegmentRecord, SEGMENT_BYTES};
 pub use log::{SegmentUsage, SegmentWriter};
 pub use read_latency::ReadLatencyModel;

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use nvfs_types::SimTime;
+
 /// Health of the battery bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatteryState {
@@ -51,6 +53,7 @@ impl fmt::Display for BatteryState {
 pub struct BatteryBank {
     total: u8,
     alive: u8,
+    bus_powered: bool,
 }
 
 impl BatteryBank {
@@ -64,6 +67,7 @@ impl BatteryBank {
         BatteryBank {
             total: count,
             alive: count,
+            bus_powered: false,
         }
     }
 
@@ -86,9 +90,24 @@ impl BatteryBank {
         }
     }
 
-    /// Whether stored data would survive a power outage right now.
+    /// Whether the component currently draws bus power from a running host.
+    pub fn bus_powered(&self) -> bool {
+        self.bus_powered
+    }
+
+    /// Sets whether the component draws bus power. While the host machine
+    /// runs, the memory is refreshed from the bus and data is safe even
+    /// with every battery dead; batteries only matter once the host loses
+    /// power (the Table 1 parts trickle-charge from the bus for exactly
+    /// this reason).
+    pub fn set_bus_power(&mut self, powered: bool) {
+        self.bus_powered = powered;
+    }
+
+    /// Whether stored data would survive right now: at least one battery
+    /// alive, or the host's bus still powering the part.
     pub fn preserves_data(&self) -> bool {
-        self.alive > 0
+        self.alive > 0 || self.bus_powered
     }
 
     /// Fails one battery (no-op once the bank is dead). Returns the new
@@ -102,6 +121,23 @@ impl BatteryBank {
     /// Replaces every failed battery.
     pub fn service(&mut self) {
         self.alive = self.total;
+    }
+
+    /// Ages the bank against a failure clock: every entry of
+    /// `failure_clock` (one absolute failure instant per installed cell,
+    /// extra entries ignored) that is `<= now` has taken its cell with it.
+    ///
+    /// Idempotent, and never resurrects a cell that was already failed by
+    /// [`fail_one`](BatteryBank::fail_one). Returns the resulting state so
+    /// callers can react to the Healthy→Degraded→Dead transitions.
+    pub fn age_to(&mut self, now: SimTime, failure_clock: &[SimTime]) -> BatteryState {
+        let expired = failure_clock
+            .iter()
+            .take(self.total as usize)
+            .filter(|&&t| t <= now)
+            .count() as u8;
+        self.alive = self.alive.min(self.total - expired);
+        self.state()
     }
 }
 
@@ -202,6 +238,99 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_failure_probability_rejected() {
         let _ = survival_probability(1, 1.5, 1.0);
+    }
+
+    #[test]
+    fn state_transitions_are_ordered_healthy_degraded_dead() {
+        let mut bank = BatteryBank::new(3);
+        let mut seen = vec![bank.state()];
+        for _ in 0..3 {
+            seen.push(bank.fail_one());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                BatteryState::Healthy,
+                BatteryState::Degraded,
+                BatteryState::Degraded,
+                BatteryState::Dead,
+            ],
+            "failures must walk Healthy→Degraded→Dead, never backwards"
+        );
+    }
+
+    #[test]
+    fn one_survivor_keeps_data_safe() {
+        let mut bank = BatteryBank::new(3);
+        bank.fail_one();
+        bank.fail_one();
+        assert_eq!(bank.alive(), 1);
+        assert_eq!(bank.state(), BatteryState::Degraded);
+        assert!(
+            bank.preserves_data(),
+            "a single surviving cell must keep contents non-volatile"
+        );
+        bank.fail_one();
+        assert!(!bank.preserves_data());
+    }
+
+    #[test]
+    fn bus_power_overrides_dead_batteries() {
+        let mut bank = BatteryBank::new(2);
+        bank.set_bus_power(true);
+        bank.fail_one();
+        bank.fail_one();
+        assert_eq!(bank.state(), BatteryState::Dead);
+        assert!(
+            bank.preserves_data(),
+            "a running host refreshes the part from the bus"
+        );
+        // The host loses power: now only batteries matter, and they're gone.
+        bank.set_bus_power(false);
+        assert!(!bank.preserves_data());
+    }
+
+    #[test]
+    fn age_to_follows_the_failure_clock() {
+        let clock = [
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            SimTime::from_secs(30),
+        ];
+        let mut bank = BatteryBank::new(3);
+        assert_eq!(
+            bank.age_to(SimTime::from_secs(5), &clock),
+            BatteryState::Healthy
+        );
+        assert_eq!(
+            bank.age_to(SimTime::from_secs(25), &clock),
+            BatteryState::Degraded
+        );
+        assert_eq!(bank.alive(), 1);
+        // Idempotent: re-aging to the same instant changes nothing.
+        assert_eq!(
+            bank.age_to(SimTime::from_secs(25), &clock),
+            BatteryState::Degraded
+        );
+        assert_eq!(
+            bank.age_to(SimTime::from_secs(31), &clock),
+            BatteryState::Dead
+        );
+        // A two-cell bank ignores the third clock entry.
+        let mut pair = BatteryBank::new(2);
+        assert_eq!(
+            pair.age_to(SimTime::from_secs(25), &clock),
+            BatteryState::Dead
+        );
+    }
+
+    #[test]
+    fn age_to_never_resurrects_manually_failed_cells() {
+        let clock = [SimTime::from_secs(100); 3];
+        let mut bank = BatteryBank::new(3);
+        bank.fail_one();
+        bank.age_to(SimTime::from_secs(1), &clock);
+        assert_eq!(bank.alive(), 2, "aging must not undo an injected failure");
     }
 
     #[test]

@@ -51,9 +51,21 @@ impl NvramBoard {
         }
     }
 
+    /// Replaces the battery bank, e.g. to model the cheaper one- and
+    /// two-battery parts of Table 1 (builder style).
+    pub fn with_batteries(mut self, count: u8) -> Self {
+        self.batteries = BatteryBank::new(count);
+        self
+    }
+
     /// The client the board is currently installed in.
     pub fn host(&self) -> ClientId {
         self.host
+    }
+
+    /// Battery bank (read-only).
+    pub fn batteries(&self) -> &BatteryBank {
+        &self.batteries
     }
 
     /// Capacity in bytes.
@@ -120,6 +132,42 @@ impl NvramBoard {
     pub fn dirty_of(&self, file: FileId) -> Option<&RangeSet> {
         self.contents.get(&file)
     }
+
+    /// Drains at most `max_bytes`, modelling a torn (cut short) recovery
+    /// drain. Returns `(recovered, lost)`: the ranges that made it out and
+    /// the byte count that did not. Afterwards the board is empty — a
+    /// truncated drain does not leave a retryable remainder, it is exactly
+    /// the partial-application failure §4's recovery flow has to report.
+    ///
+    /// Dead batteries lose everything, as with [`drain`](NvramBoard::drain).
+    pub fn drain_up_to(&mut self, max_bytes: u64) -> (RecoveredData, u64) {
+        let held = self.dirty_bytes();
+        if !self.batteries.preserves_data() {
+            self.contents.clear();
+            return (RecoveredData::new(), held);
+        }
+        let mut recovered = RecoveredData::new();
+        let mut budget = max_bytes;
+        for (file, set) in std::mem::take(&mut self.contents) {
+            if budget == 0 {
+                continue;
+            }
+            let mut kept = RangeSet::new();
+            for range in set.iter() {
+                if budget == 0 {
+                    break;
+                }
+                let take = range.len().min(budget);
+                kept.insert(ByteRange::at(range.start, take));
+                budget -= take;
+            }
+            if !kept.is_empty() {
+                recovered.insert(file, kept);
+            }
+        }
+        let out: u64 = recovered.values().map(RangeSet::len_bytes).sum();
+        (recovered, held - out)
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +207,29 @@ mod tests {
             b.batteries_mut().fail_one();
         }
         assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn truncated_drain_reports_the_lost_remainder() {
+        let mut b = NvramBoard::new(ClientId(0), 1 << 20);
+        b.store(FileId(1), ByteRange::new(0, 4096));
+        b.store(FileId(2), ByteRange::new(0, 4096));
+        let (recovered, lost) = b.drain_up_to(6000);
+        let out: u64 = recovered.values().map(RangeSet::len_bytes).sum();
+        assert_eq!(out, 6000);
+        assert_eq!(lost, 2192);
+        assert_eq!(b.dirty_bytes(), 0, "a torn drain leaves nothing behind");
+    }
+
+    #[test]
+    fn truncated_drain_with_dead_batteries_loses_everything() {
+        let mut b = NvramBoard::new(ClientId(0), 1 << 20).with_batteries(1);
+        b.store(FileId(1), ByteRange::new(0, 4096));
+        b.batteries_mut().fail_one();
+        assert!(!b.batteries().preserves_data());
+        let (recovered, lost) = b.drain_up_to(u64::MAX);
+        assert!(recovered.is_empty());
+        assert_eq!(lost, 4096);
     }
 
     #[test]

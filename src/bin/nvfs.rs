@@ -7,6 +7,7 @@
 //!                   [--policy P] [--consistency C]   run the client cache simulator
 //! nvfs lifetime     <FILE>                           byte-lifetime fates + delay sweep
 //! nvfs lfs          [--scale S] [--buffer-kb N]      Tables 3-4 + write-buffer study
+//! nvfs faults       [--scale S] [--seed N] [--model M]  reliability under injected faults
 //! nvfs experiments  [--scale S] [ID...]              regenerate paper artifacts
 //! nvfs export-csv   [--scale S] --out DIR            write every artifact as CSV
 //! nvfs bench        [--scale S] [--out FILE]         time sequential vs parallel
@@ -76,6 +77,7 @@ fn main() -> ExitCode {
         "client-sim" => cmd_client_sim(args),
         "lifetime" => cmd_lifetime(args),
         "lfs" => cmd_lfs(args),
+        "faults" => cmd_faults(args),
         "experiments" => cmd_experiments(args),
         "scorecard" => cmd_scorecard(args),
         "export-csv" => cmd_export_csv(args),
@@ -104,9 +106,13 @@ commands:
                [--policy lru|random|omniscient] [--consistency whole-file|block]
   lifetime     <FILE>
   lfs          [--scale S] [--buffer-kb N]
+  faults       [--scale S] [--seed N] [--model volatile|write-aside|hybrid|unified]
+               reliability scorecard: bytes lost per cache model under one
+               seeded fault schedule (client crashes, battery death, torn
+               writes, server crashes)
   experiments  [--scale S] [tab1 fig2 tab2 fig3 fig4 fig5 fig6 tab3 tab4
                 write-buffer disk-sort bus-nvram presto pipeline ablations
-                consistency nvram-speed ...]
+                consistency nvram-speed faults ...]
   scorecard    [--scale S]
   export-csv   [--scale S] --out DIR
   bench        [--scale S] [--out FILE]   time sequential vs parallel passes
@@ -352,6 +358,58 @@ fn cmd_lfs(mut args: VecDeque<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `f`, converting a library panic into an `Err` so the CLI prints a
+/// one-line diagnostic and exits nonzero instead of dumping a backtrace on
+/// bad user input.
+fn catching<T>(label: &str, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("unknown panic");
+        Err(format!("{label} failed: {msg}"))
+    })
+}
+
+fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
+    let env = parse_env(&mut args)?;
+    let seed: u64 = take_flag(&mut args, "--seed")?
+        .unwrap_or_else(|| exp::faults::DEFAULT_SEED.to_string())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let model = take_flag(&mut args, "--model")?;
+    eprintln!("[faults] jobs = {}", nvfs::par::jobs());
+    match model {
+        // One model: just that row of the client scorecard (the CI fault
+        // matrix runs this once per model and diffs against a golden file).
+        Some(name) => {
+            let kind = exp::faults::parse_model(&name).ok_or_else(|| {
+                format!("unknown model {name:?} (volatile|write-aside|hybrid|unified)")
+            })?;
+            let stats = catching("faults", || {
+                exp::faults::model_reliability(&env, seed, kind).map_err(|e| e.to_string())
+            })?;
+            outln!(
+                "{}",
+                exp::faults::client_table(seed, &[(kind, stats)]).render()
+            );
+        }
+        None => {
+            let out = catching("faults", || {
+                exp::faults::run_seeded(&env, seed).map_err(|e| e.to_string())
+            })?;
+            outln!("{}", out.render());
+            if !out.loss_ordering_holds() {
+                return Err(
+                    "bytes-lost ordering volatile > write-aside > unified does not hold".into(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
     let env = parse_env(&mut args)?;
     let ids: Vec<String> = if args.is_empty() {
@@ -400,6 +458,10 @@ const ALL_EXPERIMENTS: [&str; 21] = [
 ];
 
 fn run_experiment(env: &Env, id: &str) -> Result<String, String> {
+    catching(id, || run_experiment_inner(env, id))
+}
+
+fn run_experiment_inner(env: &Env, id: &str) -> Result<String, String> {
     Ok(match id {
         "tab1" => exp::tab1::run().table.render(),
         "fig2" => fig_text(&exp::fig2::run(env).figure, true),
@@ -430,6 +492,7 @@ fn run_experiment(env: &Env, id: &str) -> Result<String, String> {
             format!("{}{}", out.table.render(), fig_text(&out.figure, false))
         }
         "nvram-speed" => exp::nvram_speed::run(env).table.render(),
+        "faults" => exp::faults::run(env).map_err(|e| e.to_string())?.render(),
         other => return Err(format!("unknown experiment {other:?}")),
     })
 }
@@ -452,7 +515,7 @@ fn fig_text(figure: &nvfs::report::Figure, log_x: bool) -> String {
 fn cmd_scorecard(mut args: VecDeque<String>) -> Result<(), String> {
     let env = parse_env(&mut args)?;
     eprintln!("[scorecard] jobs = {}", nvfs::par::jobs());
-    let card = exp::scorecard::run(&env);
+    let card = catching("scorecard", || Ok(exp::scorecard::run(&env)))?;
     outln!("{}", card.table.render());
     outln!("{} of {} checks passed", card.passed(), card.checks.len());
     if card.all_passed() {

@@ -23,6 +23,9 @@
 //! * [`report`] — tables, figure series, and the experiment registry.
 //! * [`experiments`] — runners that regenerate every table and figure of the
 //!   paper.
+//! * [`faults`] — deterministic fault-injection schedules (client/server
+//!   crashes, battery aging, torn writes) and end-to-end reliability
+//!   accounting for the §2.3/§4 crash studies.
 //! * [`rng`] — the self-contained xoshiro256++ PRNG every simulation seeds
 //!   from (no external dependencies, stable streams).
 //! * [`par`] — deterministic parallel fan-out ([`par::par_map`]) and the
@@ -45,6 +48,7 @@
 pub use nvfs_core as core;
 pub use nvfs_disk as disk;
 pub use nvfs_experiments as experiments;
+pub use nvfs_faults as faults;
 pub use nvfs_lfs as lfs;
 pub use nvfs_nvram as nvram;
 pub use nvfs_par as par;

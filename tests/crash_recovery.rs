@@ -4,6 +4,8 @@
 //! disk".
 
 use nvfs::core::{ClusterSim, SimConfig};
+use nvfs::experiments as exp;
+use nvfs::experiments::env::Env;
 use nvfs::nvram::{BatteryState, NvramBoard, RecoveredData};
 use nvfs::trace::synth::{SpriteTraceSet, TraceSetConfig};
 use nvfs::types::{ByteRange, ClientId, FileId, RangeSet};
@@ -67,6 +69,35 @@ fn dead_board_loses_data_but_fails_loudly() {
         board.drain().is_empty(),
         "a dead board must not pretend to recover"
     );
+}
+
+/// Same `(seed, plan)` ⇒ byte-identical reliability accounting at any
+/// `--jobs` count. The job count is process-global, so this is the only
+/// jobs-toggling test in this binary (same rule as
+/// `tests/par_determinism.rs`).
+#[test]
+fn fault_schedule_accounting_is_identical_at_any_job_count() {
+    let env = Env::tiny();
+    nvfs::par::set_jobs(1);
+    let sequential = exp::faults::run_seeded(&env, 42).expect("valid fault plan");
+    nvfs::par::set_jobs(4);
+    let parallel = exp::faults::run_seeded(&env, 42).expect("valid fault plan");
+    nvfs::par::set_jobs(1);
+
+    assert_eq!(
+        sequential.models, parallel.models,
+        "per-model ReliabilityStats differ between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        sequential.server_modes, parallel.server_modes,
+        "server-side ReliabilityStats differ between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        sequential.render(),
+        parallel.render(),
+        "rendered scorecard differs between jobs=1 and jobs=4"
+    );
+    assert!(sequential.loss_ordering_holds());
 }
 
 #[test]
