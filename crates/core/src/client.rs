@@ -43,6 +43,20 @@ pub enum FlushCause {
     Recovery,
 }
 
+impl FlushCause {
+    /// Stable lowercase label (trace events, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushCause::WriteBack => "write-back",
+            FlushCause::Replacement => "replacement",
+            FlushCause::Callback => "callback",
+            FlushCause::Migration => "migration",
+            FlushCause::Fsync => "fsync",
+            FlushCause::Recovery => "recovery",
+        }
+    }
+}
+
 /// One write from a client cache to the file server, with its cause —
 /// the event stream a server-side simulation (e.g. the LFS study) can
 /// consume.
@@ -453,6 +467,11 @@ impl ClientCache {
             // The overall LRU block is in the NVRAM: replace it there. This
             // is how read traffic can evict dirty blocks (§2.5).
             let entry = self.nvram.remove(nv_lru.0).expect("victim is cached");
+            nvfs_obs::event("cache_evict", t.as_micros())
+                .u64("client", self.client.0 as u64)
+                .u64("file", nv_lru.0.file.0 as u64)
+                .u64("dirty", entry.is_dirty() as u64)
+                .emit();
             if entry.is_dirty() {
                 self.flush_bytes(
                     nv_lru.0.file,
@@ -466,6 +485,11 @@ impl ClientCache {
             self.device.record_write(BLOCK_SIZE);
         } else {
             let evicted = self.volatile.remove(vol_lru.0).expect("victim is cached");
+            nvfs_obs::event("cache_evict", t.as_micros())
+                .u64("client", self.client.0 as u64)
+                .u64("file", vol_lru.0.file.0 as u64)
+                .u64("dirty", evicted.is_dirty() as u64)
+                .emit();
             if evicted.is_dirty() {
                 // Hybrid only: volatile blocks can be dirty.
                 self.flush_bytes(
@@ -785,6 +809,13 @@ impl ClientCache {
             FlushCause::Fsync => stats.fsync_bytes += bytes,
             FlushCause::Recovery => stats.recovery_bytes += bytes,
         }
+        nvfs_obs::histogram_record("core.flush_bytes", bytes);
+        nvfs_obs::event("write_back", t.as_micros())
+            .str("cause", cause.label())
+            .u64("client", self.client.0 as u64)
+            .u64("file", file.0 as u64)
+            .u64("bytes", bytes)
+            .emit();
     }
 
     /// Checks internal invariants (for tests): bounded stores, and for the

@@ -111,6 +111,35 @@ impl TrafficStats {
     pub fn nvram_accesses(&self) -> u64 {
         self.nvram_reads + self.nvram_writes
     }
+
+    /// Folds this run's totals into the `core.*` counters of the
+    /// `nvfs-obs` metrics registry. Called once per completed run (not per
+    /// op) so instrumentation stays off the simulator's hot path.
+    pub fn fold_into_obs(&self) {
+        use nvfs_obs::counter_add;
+        counter_add("core.app_read_bytes", self.app_read_bytes);
+        counter_add("core.app_write_bytes", self.app_write_bytes);
+        counter_add("core.server_read_bytes", self.server_read_bytes);
+        counter_add("core.server_write_bytes", self.server_write_bytes);
+        counter_add("core.writeback_bytes", self.writeback_bytes);
+        counter_add("core.replacement_bytes", self.replacement_bytes);
+        counter_add("core.callback_bytes", self.callback_bytes);
+        counter_add("core.migration_bytes", self.migration_bytes);
+        counter_add("core.fsync_bytes", self.fsync_bytes);
+        counter_add("core.recovery_bytes", self.recovery_bytes);
+        counter_add("core.concurrent_write_bytes", self.concurrent_write_bytes);
+        counter_add("core.concurrent_read_bytes", self.concurrent_read_bytes);
+        counter_add("core.remaining_dirty_bytes", self.remaining_dirty_bytes);
+        counter_add("core.overwritten_dead_bytes", self.overwritten_dead_bytes);
+        counter_add("core.deleted_dead_bytes", self.deleted_dead_bytes);
+        counter_add("core.bus_bytes", self.bus_bytes);
+        counter_add("core.nvram_reads", self.nvram_reads);
+        counter_add("core.nvram_writes", self.nvram_writes);
+        counter_add("core.nvram_bytes", self.nvram_bytes);
+        counter_add("core.aged_into_nvram_bytes", self.aged_into_nvram_bytes);
+        counter_add("core.read_hit_blocks", self.read_hit_blocks);
+        counter_add("core.read_miss_blocks", self.read_miss_blocks);
+    }
 }
 
 impl AddAssign for TrafficStats {

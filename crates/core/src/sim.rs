@@ -184,6 +184,10 @@ impl ClusterSim {
                 let fault: &ClientCrashFault = $fault;
                 crashed.insert(fault.client);
                 reliability.client_crashes += 1;
+                nvfs_obs::event("fault_fired", fault.time.as_micros())
+                    .str("fault", "client-crash")
+                    .u64("client", fault.client.0 as u64)
+                    .emit();
                 if let Some(mut cache) = clients.remove(&fault.client) {
                     let at_risk = cache.remaining_dirty_bytes();
                     let board = snapshot_nvram(&cache, fault.client, self.config.nvram_bytes)
@@ -230,6 +234,11 @@ impl ClusterSim {
                             reliability.boards_recovered += 1;
                             reliability.bytes_recovered += outcome.bytes;
                             reliability.bytes_lost_torn += outcome.bytes_lost;
+                            nvfs_obs::event("recovery_drain", at.as_micros())
+                                .u64("client", fault.client.0 as u64)
+                                .u64("bytes", outcome.bytes)
+                                .u64("lost_bytes", outcome.bytes_lost)
+                                .emit();
                             stats.server_write_bytes += outcome.bytes;
                             stats.recovery_bytes += outcome.bytes;
                             for w in &outcome.writes {
@@ -240,16 +249,25 @@ impl ClusterSim {
                         Err(RecoveryError::DeadBoard { bytes_lost, .. }) => {
                             reliability.boards_dead += 1;
                             reliability.bytes_lost_battery += bytes_lost;
+                            nvfs_obs::event("recovery_drain", at.as_micros())
+                                .u64("client", fault.client.0 as u64)
+                                .u64("bytes", 0)
+                                .u64("lost_bytes", bytes_lost)
+                                .emit();
                         }
                     }
                 }
             };
         }
 
+        let mut ops_replayed: u64 = 0;
+        let mut sim_end = SimTime::ZERO;
         for (op_index, op) in ops.iter().enumerate() {
             if op_index >= stop {
                 break;
             }
+            ops_replayed += 1;
+            sim_end = op.time;
             if reset_at == Some(op_index) {
                 stats = TrafficStats::default();
                 for cache in clients.values_mut() {
@@ -417,6 +435,14 @@ impl ClusterSim {
         }
         writes.append(&mut recovery_writes);
         writes.sort_by_key(|w| w.time);
+        // Fold this run's totals into the observability registry in one
+        // pass (never per op) and note the simulated span covered.
+        nvfs_obs::counter_add("core.runs", 1);
+        nvfs_obs::counter_add("core.ops_replayed", ops_replayed);
+        nvfs_obs::gauge_set("core.sim_end_us", sim_end.as_micros());
+        nvfs_obs::timing::set_span_sim_us(sim_end.as_micros());
+        stats.fold_into_obs();
+        reliability.fold_into_obs();
         (stats, writes, reliability)
     }
 }

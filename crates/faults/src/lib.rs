@@ -383,6 +383,15 @@ impl FaultSchedule {
 
         client_crashes.sort_by_key(|c| (c.time, c.client.0));
         server_crashes.sort_by_key(|a| a.time);
+        nvfs_obs::counter_add("faults.schedules_compiled", 1);
+        nvfs_obs::counter_add(
+            "faults.client_crashes_scheduled",
+            client_crashes.len() as u64,
+        );
+        nvfs_obs::counter_add(
+            "faults.server_crashes_scheduled",
+            server_crashes.len() as u64,
+        );
         Ok(FaultSchedule {
             seed,
             plan: plan.clone(),
@@ -467,6 +476,25 @@ impl ReliabilityStats {
         self.bytes_rewritten_torn += other.bytes_rewritten_torn;
         self.boards_recovered += other.boards_recovered;
         self.boards_dead += other.boards_dead;
+    }
+
+    /// Folds this run's accounting into the `faults.*` counters of the
+    /// `nvfs-obs` metrics registry (once per completed run).
+    pub fn fold_into_obs(&self) {
+        use nvfs_obs::counter_add;
+        counter_add("faults.client_crashes", self.client_crashes);
+        counter_add("faults.server_crashes", self.server_crashes);
+        counter_add("faults.bytes_at_risk", self.bytes_at_risk);
+        counter_add("faults.bytes_in_nvram", self.bytes_in_nvram);
+        counter_add("faults.bytes_recovered", self.bytes_recovered);
+        counter_add("faults.bytes_lost_window", self.bytes_lost_window);
+        counter_add("faults.bytes_lost_battery", self.bytes_lost_battery);
+        counter_add("faults.bytes_lost_torn", self.bytes_lost_torn);
+        counter_add("faults.bytes_lost_buffer", self.bytes_lost_buffer);
+        counter_add("faults.bytes_replayed", self.bytes_replayed);
+        counter_add("faults.bytes_rewritten_torn", self.bytes_rewritten_torn);
+        counter_add("faults.boards_recovered", self.boards_recovered);
+        counter_add("faults.boards_dead", self.boards_dead);
     }
 }
 

@@ -47,6 +47,19 @@ impl SegmentCause {
             SegmentCause::Fsync | SegmentCause::Timeout | SegmentCause::Shutdown
         )
     }
+
+    /// Stable lowercase label (trace events, reports).
+    pub const fn label(self) -> &'static str {
+        match self {
+            SegmentCause::Full => "full",
+            SegmentCause::Fsync => "fsync",
+            SegmentCause::Timeout => "timeout",
+            SegmentCause::NvramFull => "nvram-full",
+            SegmentCause::Cleaner => "cleaner",
+            SegmentCause::Shutdown => "shutdown",
+            SegmentCause::Recovery => "recovery",
+        }
+    }
 }
 
 /// One segment written to disk.

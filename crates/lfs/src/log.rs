@@ -251,13 +251,30 @@ impl SegmentWriter {
         for b in &seg.blocks {
             self.usage.place(*b, id);
         }
-        self.records.push(SegmentRecord {
+        let record = SegmentRecord {
             id,
             time: t,
             cause,
             data_bytes: seg.data_bytes(),
             file_count: seg.files.len(),
-        });
+        };
+        nvfs_obs::counter_add("lfs.segments_written", 1);
+        nvfs_obs::counter_add("lfs.data_bytes", record.data_bytes);
+        if record.is_partial() {
+            nvfs_obs::counter_add("lfs.segments_partial", 1);
+        }
+        nvfs_obs::histogram_record(
+            "lfs.segment_fill_pct",
+            record.on_disk_bytes() * 100 / self.segment_bytes.max(1),
+        );
+        nvfs_obs::event("seg_write", t.as_micros())
+            .str("cause", cause.label())
+            .u64("seg", id)
+            .u64("data_bytes", record.data_bytes)
+            .u64("files", record.file_count as u64)
+            .u64("partial", record.is_partial() as u64)
+            .emit();
+        self.records.push(record);
     }
 }
 

@@ -1,0 +1,459 @@
+//! Run manifests: a machine-readable record of what a command ran and
+//! what it measured.
+//!
+//! Every `nvfs` subcommand can emit one via `--manifest-out`. The JSON
+//! document has two top-level sections with deliberately different
+//! contracts:
+//!
+//! * `run` — **deterministic**: command, scale, seed, config digest,
+//!   phase names with simulated time, and the full metric snapshot. For a
+//!   fixed command line this section is byte-identical across `--jobs`
+//!   counts, runs, and machines; golden files and `nvfs obs diff` gate on
+//!   it.
+//! * `meta` — **volatile by design**: git revision, job count,
+//!   wall-clock per phase, parallel-task totals, traced event count.
+//!   Diffs report it informationally and never fail on it.
+//!
+//! Commands describe themselves through the process-wide context
+//! ([`set_scale`], [`set_seed`], [`set_config_digest`]) before
+//! [`RunManifest::collect`] snapshots everything.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::json::{self, Json};
+use crate::metrics::Snapshot;
+use crate::timing::SpanRecord;
+
+#[derive(Debug, Clone, Default)]
+struct Context {
+    scale: Option<String>,
+    seed: Option<u64>,
+    config_digest: Option<String>,
+}
+
+static CTX: Mutex<Option<Context>> = Mutex::new(None);
+
+fn with_ctx<R>(f: impl FnOnce(&mut Context) -> R) -> R {
+    let mut guard = CTX.lock().expect("manifest context poisoned");
+    f(guard.get_or_insert_with(Context::default))
+}
+
+/// Records the workload scale (`tiny` / `small` / `paper`) for the manifest.
+pub fn set_scale(scale: &str) {
+    with_ctx(|c| c.scale = Some(scale.to_string()));
+}
+
+/// Records the seed the command ran with.
+pub fn set_seed(seed: u64) {
+    with_ctx(|c| c.seed = Some(seed));
+}
+
+/// Records the canonical config digest (hex from [`crate::digest::Digest`]).
+pub fn set_config_digest(hex: String) {
+    with_ctx(|c| c.config_digest = Some(hex));
+}
+
+/// Clears the context (part of [`crate::reset`]).
+pub(crate) fn reset_context() {
+    *CTX.lock().expect("manifest context poisoned") = None;
+}
+
+/// A collected manifest, ready to render.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// The subcommand that ran.
+    pub command: String,
+    /// Workload scale, if the command has one.
+    pub scale: Option<String>,
+    /// Seed, if the command has one.
+    pub seed: Option<u64>,
+    /// Canonical configuration digest, if the command set one.
+    pub config_digest: Option<String>,
+    /// Deterministic metric snapshot.
+    pub metrics: Snapshot,
+    /// Completed spans in submission order.
+    pub spans: Vec<SpanRecord>,
+    /// Job count the process ran with (meta).
+    pub jobs: usize,
+    /// Git revision of the working tree, or `"unknown"` (meta).
+    pub git_rev: String,
+    /// Number of traced events (meta: depends on `--trace-out`).
+    pub trace_events: u64,
+    /// `(count, cumulative wall µs)` of parallel tasks (meta).
+    pub par_tasks: (u64, u64),
+}
+
+impl RunManifest {
+    /// Snapshots the global observability state into a manifest.
+    pub fn collect(command: &str, jobs: usize) -> RunManifest {
+        let (scale, seed, config_digest) =
+            with_ctx(|c| (c.scale.clone(), c.seed, c.config_digest.clone()));
+        RunManifest {
+            command: command.to_string(),
+            scale,
+            seed,
+            config_digest,
+            metrics: Snapshot::take(),
+            spans: crate::timing::spans(),
+            jobs,
+            git_rev: git_rev(),
+            trace_events: crate::events::count(),
+            par_tasks: crate::timing::task_totals(),
+        }
+    }
+
+    /// Renders the deterministic `run` section (canonical form: fixed key
+    /// order, sorted metric names). Byte-identical at any `--jobs` count.
+    pub fn render_run(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "    \"command\": \"{}\",", json::escape(&self.command));
+        if let Some(scale) = &self.scale {
+            let _ = writeln!(out, "    \"scale\": \"{}\",", json::escape(scale));
+        }
+        if let Some(seed) = self.seed {
+            let _ = writeln!(out, "    \"seed\": {seed},");
+        }
+        if let Some(digest) = &self.config_digest {
+            let _ = writeln!(out, "    \"config_digest\": \"{}\",", json::escape(digest));
+        }
+        out.push_str("    \"phases\": [");
+        for (i, span) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n      {{\"name\": \"{}\", \"sim_us\": {}}}",
+                json::escape(&span.name),
+                span.sim_us
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "    \"metrics\": {}", self.metrics.render_json("    "));
+        out.push_str("  }");
+        out
+    }
+
+    /// Renders the full manifest document (`meta` + `run`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"nvfs_manifest\": 1,\n  \"meta\": {\n");
+        let _ = writeln!(out, "    \"git_rev\": \"{}\",", json::escape(&self.git_rev));
+        let _ = writeln!(out, "    \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "    \"trace_events\": {},", self.trace_events);
+        let _ = writeln!(out, "    \"par_tasks\": {},", self.par_tasks.0);
+        let _ = writeln!(out, "    \"par_task_wall_us\": {},", self.par_tasks.1);
+        out.push_str("    \"phases\": [");
+        for (i, span) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n      {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"excl_ms\": {:.3}}}",
+                json::escape(&span.name),
+                span.wall_ms,
+                span.excl_ms
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  },\n");
+        let _ = write!(out, "  \"run\": {}\n}}\n", self.render_run());
+        out
+    }
+}
+
+/// Best-effort git revision of the current working tree: follows
+/// `.git/HEAD` one level without shelling out. Returns `"unknown"` when
+/// not in a repository.
+pub fn git_rev() -> String {
+    let head = match std::fs::read_to_string(".git/HEAD") {
+        Ok(h) => h,
+        Err(_) => return "unknown".to_string(),
+    };
+    let head = head.trim();
+    if let Some(reference) = head.strip_prefix("ref: ") {
+        if let Ok(rev) = std::fs::read_to_string(format!(".git/{reference}")) {
+            return rev.trim().to_string();
+        }
+        // Packed refs: scan .git/packed-refs for the ref name.
+        if let Ok(packed) = std::fs::read_to_string(".git/packed-refs") {
+            for line in packed.lines() {
+                if let Some(rev) = line.strip_suffix(reference) {
+                    return rev.trim().to_string();
+                }
+            }
+        }
+        return "unknown".to_string();
+    }
+    head.to_string()
+}
+
+/// Outcome of comparing two manifests.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Whether the deterministic `run` sections are identical.
+    pub runs_match: bool,
+    /// Human-readable difference lines (`run:` prefixed lines are
+    /// failures; `meta:` lines are informational).
+    pub lines: Vec<String>,
+}
+
+impl DiffReport {
+    /// Renders the report for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "run sections {}",
+            if self.runs_match { "MATCH" } else { "DIFFER" }
+        );
+        out
+    }
+}
+
+/// Parses a manifest document, returning `(meta, run)`.
+pub fn parse_manifest(text: &str) -> Result<(Json, Json), String> {
+    let doc = json::parse(text)?;
+    if doc.get("nvfs_manifest").and_then(Json::as_u64) != Some(1) {
+        return Err("not an nvfs manifest (missing \"nvfs_manifest\": 1)".into());
+    }
+    let meta = doc
+        .get("meta")
+        .cloned()
+        .ok_or("manifest has no meta section")?;
+    let run = doc
+        .get("run")
+        .cloned()
+        .ok_or("manifest has no run section")?;
+    Ok((meta, run))
+}
+
+/// Diffs two manifest documents: config drift and metric deltas from the
+/// deterministic `run` sections, wall-clock movement from `meta`
+/// (informational only).
+pub fn diff(a_text: &str, b_text: &str) -> Result<DiffReport, String> {
+    let (a_meta, a_run) = parse_manifest(a_text)?;
+    let (b_meta, b_run) = parse_manifest(b_text)?;
+    let mut lines = Vec::new();
+
+    for key in ["command", "scale", "seed", "config_digest"] {
+        let (av, bv) = (a_run.get(key), b_run.get(key));
+        if av != bv {
+            lines.push(format!(
+                "run: {key} drift: {} -> {}",
+                render_opt(av),
+                render_opt(bv)
+            ));
+        }
+    }
+
+    let phase_names = |run: &Json| -> Vec<String> {
+        match run.get("phases") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|p| p.get("name").and_then(Json::as_str).map(String::from))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let (ap, bp) = (phase_names(&a_run), phase_names(&b_run));
+    if ap != bp {
+        lines.push(format!("run: phases drift: {ap:?} -> {bp:?}"));
+    }
+
+    for family in ["counters", "gauges"] {
+        let collect = |run: &Json| -> Vec<(String, u64)> {
+            run.get("metrics")
+                .and_then(|m| m.get(family))
+                .and_then(Json::members)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let (am, bm) = (collect(&a_run), collect(&b_run));
+        let mut names: Vec<&String> = am.iter().chain(&bm).map(|(k, _)| k).collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let av = am.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+            let bv = bm.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+            if av != bv {
+                let delta = bv.unwrap_or(0) as i128 - av.unwrap_or(0) as i128;
+                lines.push(format!(
+                    "run: {family}.{name}: {} -> {} ({}{delta})",
+                    av.map_or("absent".into(), |v| v.to_string()),
+                    bv.map_or("absent".into(), |v| v.to_string()),
+                    if delta >= 0 { "+" } else { "" },
+                ));
+            }
+        }
+    }
+    let histos = |run: &Json| {
+        run.get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .cloned()
+    };
+    if histos(&a_run) != histos(&b_run) {
+        lines.push("run: histograms differ".to_string());
+    }
+
+    let runs_match = a_run == b_run;
+    if !runs_match && lines.is_empty() {
+        lines.push("run: sections differ structurally".to_string());
+    }
+
+    // Informational wall-clock movement per phase.
+    let walls = |meta: &Json| -> Vec<(String, f64)> {
+        match meta.get("phases") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|p| {
+                    let name = p.get("name")?.as_str()?.to_string();
+                    let ms = p.get("wall_ms")?.as_f64()?;
+                    Some((name, ms))
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    for (name, a_ms) in walls(&a_meta) {
+        if let Some((_, b_ms)) = walls(&b_meta).into_iter().find(|(n, _)| *n == name) {
+            lines.push(format!("meta: phase {name}: {a_ms:.1} ms -> {b_ms:.1} ms"));
+        }
+    }
+    if a_meta.get("jobs") != b_meta.get("jobs") {
+        lines.push(format!(
+            "meta: jobs: {} -> {}",
+            render_opt(a_meta.get("jobs")),
+            render_opt(b_meta.get("jobs"))
+        ));
+    }
+
+    Ok(DiffReport { runs_match, lines })
+}
+
+fn render_opt(v: Option<&Json>) -> String {
+    v.map_or("absent".to_string(), |v| v.to_string())
+}
+
+/// Pretty-prints a parsed manifest for `nvfs obs show`.
+pub fn render_summary(text: &str) -> Result<String, String> {
+    let (meta, run) = parse_manifest(text)?;
+    let mut out = String::new();
+    let field = |run: &Json, key: &str| {
+        run.get(key).map_or("-".to_string(), |v| {
+            v.to_string().trim_matches('"').to_string()
+        })
+    };
+    let _ = writeln!(out, "command:       {}", field(&run, "command"));
+    let _ = writeln!(out, "scale:         {}", field(&run, "scale"));
+    let _ = writeln!(out, "seed:          {}", field(&run, "seed"));
+    let _ = writeln!(out, "config digest: {}", field(&run, "config_digest"));
+    let _ = writeln!(out, "git rev:       {}", field(&meta, "git_rev"));
+    let _ = writeln!(out, "jobs:          {}", field(&meta, "jobs"));
+    let _ = writeln!(out, "trace events:  {}", field(&meta, "trace_events"));
+    if let Some(Json::Arr(phases)) = meta.get("phases") {
+        if !phases.is_empty() {
+            let _ = writeln!(out, "phases:");
+            for p in phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>10} ms wall {:>10} ms excl",
+                    p.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    p.get("wall_ms")
+                        .and_then(Json::as_f64)
+                        .map_or("-".into(), |v| format!("{v:.1}")),
+                    p.get("excl_ms")
+                        .and_then(Json::as_f64)
+                        .map_or("-".into(), |v| format!("{v:.1}")),
+                );
+            }
+        }
+    }
+    if let Some(counters) = run
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(Json::members)
+    {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {:<36} {}", name, v);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{reset, test_lock};
+
+    fn sample(seed: u64, extra_counter: u64) -> String {
+        reset();
+        set_scale("tiny");
+        set_seed(seed);
+        set_config_digest(crate::digest::Digest::of_str(&format!("seed={seed}")).hex());
+        crate::metrics::counter_add("t.manifest.bytes", 100 + extra_counter);
+        crate::timing::span("phase-a", || {});
+        RunManifest::collect("faults", 4).render()
+    }
+
+    #[test]
+    fn manifest_parses_and_summarizes() {
+        let _g = test_lock();
+        let text = sample(42, 0);
+        let (meta, run) = parse_manifest(&text).expect("parses");
+        assert_eq!(run.get("command").and_then(Json::as_str), Some("faults"));
+        assert_eq!(run.get("seed").and_then(Json::as_u64), Some(42));
+        assert_eq!(meta.get("jobs").and_then(Json::as_u64), Some(4));
+        let summary = render_summary(&text).unwrap();
+        assert!(summary.contains("command:       faults"));
+        assert!(summary.contains("t.manifest.bytes"));
+        reset();
+    }
+
+    #[test]
+    fn identical_manifests_match() {
+        let _g = test_lock();
+        let a = sample(42, 0);
+        let b = sample(42, 0);
+        let report = diff(&a, &b).unwrap();
+        assert!(report.runs_match, "{}", report.render());
+        reset();
+    }
+
+    #[test]
+    fn diff_reports_config_drift_and_metric_deltas() {
+        let _g = test_lock();
+        let a = sample(42, 0);
+        let b = sample(43, 5);
+        let report = diff(&a, &b).unwrap();
+        assert!(!report.runs_match);
+        let text = report.render();
+        assert!(text.contains("seed drift"), "{text}");
+        assert!(text.contains("config_digest drift"), "{text}");
+        assert!(
+            text.contains("counters.t.manifest.bytes: 100 -> 105 (+5)"),
+            "{text}"
+        );
+        reset();
+    }
+
+    #[test]
+    fn non_manifest_input_is_rejected() {
+        assert!(parse_manifest("{\"x\": 1}").is_err());
+        assert!(parse_manifest("not json").is_err());
+    }
+}

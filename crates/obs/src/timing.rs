@@ -1,0 +1,193 @@
+//! Nesting-safe wall-clock spans.
+//!
+//! [`timed`] measures a closure and reports both **inclusive** wall time
+//! and **exclusive** wall time (inclusive minus same-thread child spans).
+//! Exclusive time is what fixes the old `bench` double-count: a phase
+//! timed inside another phase no longer bills its milliseconds twice.
+//! Nesting is tracked per thread — spans running inside `par_map` tasks
+//! subtract their own children, not their siblings on other threads.
+//!
+//! Wall-clock values are inherently nondeterministic, so span records are
+//! **never** merged into the metrics registry: they flow into the run
+//! manifest's volatile `meta` section. Only the span *names*, in
+//! submission order, enter the deterministic `run` section. When tracing
+//! is enabled each span additionally emits `span` begin/end events (at
+//! `t_us = 0`, outside simulated time).
+//!
+//! Per-task totals from `nvfs-par` land here too, via [`add_task_wall`]:
+//! a cumulative task count and wall-clock sum, reported in manifest meta.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::sink;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (e.g. a bench stage or CLI phase).
+    pub name: String,
+    /// Inclusive wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Exclusive wall-clock milliseconds (children subtracted).
+    pub excl_ms: f64,
+    /// Simulated microseconds covered, when the caller noted them via
+    /// [`set_span_sim_us`]; 0 otherwise.
+    pub sim_us: u64,
+}
+
+thread_local! {
+    /// Child wall ms accumulated by each open span on this thread.
+    static STACK: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// High-water mark of simulated time noted via [`set_span_sim_us`].
+///
+/// A process-global **max** rather than a per-span slot: simulation work
+/// often runs on `nvfs-par` worker threads, where a thread-local span
+/// stack would silently drop the note (and make the recorded value depend
+/// on `--jobs`). `max` is commutative, so the value a span observes is
+/// identical at any job count.
+static SIM_MAX: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` inside a named span, recording a [`SpanRecord`] into the
+/// current task shard and returning it alongside the result.
+pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> (R, SpanRecord) {
+    crate::events::event("span", 0)
+        .owned("name", name)
+        .str("phase", "begin")
+        .emit();
+    STACK.with(|s| s.borrow_mut().push(0.0));
+    let sim_at_open = SIM_MAX.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let out = f();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let sim_at_close = SIM_MAX.load(Ordering::Relaxed);
+    let child_ms = STACK.with(|s| s.borrow_mut().pop()).unwrap_or(0.0);
+    STACK.with(|s| {
+        if let Some(parent_child_ms) = s.borrow_mut().last_mut() {
+            *parent_child_ms += wall_ms;
+        }
+    });
+    let record = SpanRecord {
+        name: name.to_string(),
+        wall_ms,
+        excl_ms: (wall_ms - child_ms).max(0.0),
+        sim_us: if sim_at_close > sim_at_open {
+            sim_at_close
+        } else {
+            0
+        },
+    };
+    sink::with_local(|l| l.spans.push(record.clone()));
+    crate::events::event("span", 0)
+        .owned("name", name)
+        .str("phase", "end")
+        .emit();
+    (out, record)
+}
+
+/// Runs `f` inside a named span, discarding the record (it is still
+/// collected for the manifest).
+pub fn span<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    timed(name, f).0
+}
+
+/// Notes simulated time reached by the running workload. Every span open
+/// while the high-water mark advances reports the new mark as its
+/// `sim_us`; order- and thread-independent, so jobs-invariant.
+pub fn set_span_sim_us(sim_us: u64) {
+    SIM_MAX.fetch_max(sim_us, Ordering::Relaxed);
+}
+
+/// All recorded spans, merged in submission order.
+pub fn spans() -> Vec<SpanRecord> {
+    sink::merged_shards()
+        .into_iter()
+        .flat_map(|s| s.spans)
+        .collect()
+}
+
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static TASK_WALL_US: AtomicU64 = AtomicU64::new(0);
+
+/// Accumulates one parallel task's wall time (called by `nvfs-par`).
+pub fn add_task_wall(wall: std::time::Duration) {
+    TASKS.fetch_add(1, Ordering::Relaxed);
+    TASK_WALL_US.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+}
+
+/// `(task count, cumulative wall µs)` accumulated by [`add_task_wall`].
+pub fn task_totals() -> (u64, u64) {
+    (
+        TASKS.load(Ordering::Relaxed),
+        TASK_WALL_US.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the per-task totals and the sim high-water mark (part of
+/// [`crate::reset`]).
+pub(crate) fn reset_task_totals() {
+    TASKS.store(0, Ordering::Relaxed);
+    TASK_WALL_US.store(0, Ordering::Relaxed);
+    SIM_MAX.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{reset, test_lock};
+
+    #[test]
+    fn nested_spans_do_not_double_count() {
+        let _g = test_lock();
+        reset();
+        let (_, outer) = timed("outer", || {
+            let (_, inner) = timed("inner", || {
+                std::thread::sleep(std::time::Duration::from_millis(20))
+            });
+            assert!(inner.wall_ms >= 18.0, "inner {}", inner.wall_ms);
+        });
+        assert!(outer.wall_ms >= 18.0);
+        // The outer span's exclusive time excludes the inner sleep.
+        assert!(
+            outer.excl_ms < outer.wall_ms - 15.0,
+            "excl {} vs wall {}",
+            outer.excl_ms,
+            outer.wall_ms
+        );
+        let names: Vec<String> = spans().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["inner".to_string(), "outer".to_string()]);
+        reset();
+    }
+
+    #[test]
+    fn sim_time_attaches_to_open_spans() {
+        let _g = test_lock();
+        reset();
+        reset_task_totals();
+        // Noted from another thread (as under par_map): still attaches.
+        let (_, rec) = timed("phase", || {
+            std::thread::spawn(|| set_span_sim_us(1_000_000))
+                .join()
+                .unwrap();
+        });
+        assert_eq!(rec.sim_us, 1_000_000);
+        // A later span during which the mark does not advance reports 0.
+        let (_, idle) = timed("idle", || set_span_sim_us(500));
+        assert_eq!(idle.sim_us, 0);
+        reset();
+        reset_task_totals();
+    }
+
+    #[test]
+    fn task_totals_accumulate() {
+        let _g = test_lock();
+        reset_task_totals();
+        add_task_wall(std::time::Duration::from_micros(500));
+        add_task_wall(std::time::Duration::from_micros(300));
+        assert_eq!(task_totals(), (2, 800));
+        reset_task_totals();
+    }
+}

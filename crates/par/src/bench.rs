@@ -1,49 +1,49 @@
 //! Wall-clock timing harness for the experiment pipeline.
 //!
-//! Deliberately minimal — `std::time::Instant` around a closure, no
-//! statistical machinery — because the artifact it feeds
-//! (`BENCH_pr1.json`) tracks coarse sequential-vs-parallel wall-clock
-//! ratios across PRs, not microbenchmark noise floors.
+//! Thin shim over [`nvfs_obs::timing`] spans: each stage reports both
+//! inclusive wall time and **exclusive** wall time (children subtracted),
+//! so a stage timed inside another stage no longer bills its milliseconds
+//! twice in the `BENCH_*.json` trajectory. Spans also land in the run
+//! manifest's `meta` section, keeping the two reports consistent.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
-/// One timed run: an experiment name, its wall-clock milliseconds, and
-/// the job count it ran with.
+/// One timed run: an experiment name, its wall-clock milliseconds
+/// (inclusive and exclusive of nested stages), and the job count it ran
+/// with.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Experiment or stage name (e.g. `"gen-traces"`, `"fig3"`).
     pub name: String,
-    /// Wall-clock duration in milliseconds.
+    /// Inclusive wall-clock duration in milliseconds.
     pub wall_ms: f64,
+    /// Exclusive wall-clock milliseconds: inclusive minus same-thread
+    /// nested stages.
+    pub excl_ms: f64,
     /// Job count the stage ran with.
     pub jobs: usize,
 }
 
-/// Times `f`, returning its result and the elapsed milliseconds.
-pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64() * 1e3)
-}
-
-/// Times `f` and appends a [`BenchRecord`] for it to `records`.
+/// Times `f` as an observability span and appends a [`BenchRecord`] for
+/// it to `records`.
 pub fn timed<R>(
     records: &mut Vec<BenchRecord>,
     name: &str,
     jobs: usize,
     f: impl FnOnce() -> R,
 ) -> R {
-    let (out, wall_ms) = time(f);
+    let (out, span) = nvfs_obs::timing::timed(name, f);
     records.push(BenchRecord {
-        name: name.to_string(),
-        wall_ms,
+        name: span.name,
+        wall_ms: span.wall_ms,
+        excl_ms: span.excl_ms,
         jobs,
     });
     out
 }
 
-/// Serializes records as a JSON array of `{name, wall_ms, jobs}` rows.
+/// Serializes records as a JSON array of `{name, wall_ms, excl_ms, jobs}`
+/// rows.
 ///
 /// Hand-rolled (the workspace builds offline, without serde); names are
 /// plain ASCII experiment identifiers, escaped defensively anyway.
@@ -53,9 +53,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         let sep = if i + 1 == records.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"jobs\": {}}}{sep}",
-            escape(&r.name),
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"excl_ms\": {:.3}, \"jobs\": {}}}{sep}",
+            nvfs_obs::json::escape(&r.name),
             r.wall_ms,
+            r.excl_ms,
             r.jobs
         );
     }
@@ -63,31 +64,9 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn time_returns_result_and_positive_duration() {
-        let (v, ms) = time(|| 21 * 2);
-        assert_eq!(v, 42);
-        assert!(ms >= 0.0);
-    }
 
     #[test]
     fn timed_appends_records_in_order() {
@@ -101,24 +80,51 @@ mod tests {
     }
 
     #[test]
+    fn nested_stages_report_exclusive_time() {
+        let mut records = Vec::new();
+        timed(&mut records, "outer", 1, || {
+            let mut inner_records = Vec::new();
+            timed(&mut inner_records, "inner", 1, || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            });
+        });
+        let outer = &records[0];
+        assert!(outer.wall_ms >= 18.0, "wall {}", outer.wall_ms);
+        // Exclusive time excludes the nested stage's sleep: summing
+        // excl_ms across stages counts each millisecond once.
+        assert!(
+            outer.excl_ms < outer.wall_ms - 15.0,
+            "excl {} vs wall {}",
+            outer.excl_ms,
+            outer.wall_ms
+        );
+    }
+
+    #[test]
     fn json_shape_is_stable() {
         let records = vec![
             BenchRecord {
                 name: "gen-traces".into(),
                 wall_ms: 12.5,
+                excl_ms: 12.5,
                 jobs: 1,
             },
             BenchRecord {
                 name: "fig3".into(),
                 wall_ms: 0.25,
+                excl_ms: 0.25,
                 jobs: 4,
             },
         ];
         let json = to_json(&records);
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with("]\n"));
-        assert!(json.contains("{\"name\": \"gen-traces\", \"wall_ms\": 12.500, \"jobs\": 1},"));
-        assert!(json.contains("{\"name\": \"fig3\", \"wall_ms\": 0.250, \"jobs\": 4}\n"));
+        assert!(json.contains(
+            "{\"name\": \"gen-traces\", \"wall_ms\": 12.500, \"excl_ms\": 12.500, \"jobs\": 1},"
+        ));
+        assert!(json.contains(
+            "{\"name\": \"fig3\", \"wall_ms\": 0.250, \"excl_ms\": 0.250, \"jobs\": 4}\n"
+        ));
     }
 
     #[test]
@@ -126,6 +132,7 @@ mod tests {
         let records = vec![BenchRecord {
             name: "a\"b\\c\nd".into(),
             wall_ms: 1.0,
+            excl_ms: 1.0,
             jobs: 1,
         }];
         let json = to_json(&records);

@@ -24,10 +24,17 @@
 //! [`std::thread::available_parallelism`]. `jobs = 1` short-circuits to a
 //! plain sequential loop, so single-core runs pay no threading overhead.
 //!
-//! The [`bench`] module is the matching timing harness: wall-clock
-//! [`std::time::Instant`] measurements serialized as JSON rows
-//! (`{name, wall_ms, jobs}`) for the repository's `BENCH_*.json`
-//! trajectory.
+//! Every task runs inside an `nvfs-obs` *task frame* tagged with the
+//! item's submission index, so metrics and trace events recorded by task
+//! bodies merge in submission order — the observability layer inherits
+//! the same any-job-count invariant as the results themselves. Task wall
+//! time accumulates into the manifest's volatile `meta` section via
+//! [`nvfs_obs::timing::add_task_wall`].
+//!
+//! The [`bench`] module is the matching timing harness: nesting-safe
+//! [`nvfs_obs::timing`] spans serialized as JSON rows
+//! (`{name, wall_ms, excl_ms, jobs}`) for the repository's
+//! `BENCH_*.json` trajectory.
 //!
 //! # Examples
 //!
@@ -63,8 +70,16 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
+    // Capture the submitting context's task path before fan-out: worker
+    // threads have empty thread-local paths, and nested par_map tasks must
+    // record under `outer_index/inner_index` for deterministic merging.
+    let base = nvfs_obs::task_path();
     if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_task(&base, i as u32, || f(item)))
+            .collect();
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -78,7 +93,7 @@ where
                 }
                 let item = slots[i].lock().expect("input slot poisoned").take();
                 let item = item.expect("each index is claimed exactly once");
-                let out = f(item);
+                let out = run_task(&base, i as u32, || f(item));
                 *results[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
@@ -91,6 +106,20 @@ where
                 .expect("worker stored every claimed slot")
         })
         .collect()
+}
+
+/// Runs one `par_map` item inside its observability task frame (shared by
+/// the sequential and parallel paths, which is what keeps shard layout
+/// independent of the job count) and accumulates its wall time into the
+/// manifest's volatile per-task totals.
+fn run_task<R>(base: &[u32], index: u32, f: impl FnOnce() -> R) -> R {
+    let start = std::time::Instant::now();
+    let out = nvfs_obs::task_frame(base, index, || {
+        nvfs_obs::counter_add("par.tasks", 1);
+        f()
+    });
+    nvfs_obs::timing::add_task_wall(start.elapsed());
+    out
 }
 
 /// Job count explicitly requested for this process (0 = unset).

@@ -18,6 +18,12 @@
 //! A global `--jobs N` flag (or the `NVFS_JOBS` environment variable)
 //! bounds the worker threads used for trace generation, sweeps, and
 //! experiment fan-out; stdout is byte-identical at any job count.
+//!
+//! Global observability flags (any command): `--trace-out FILE` records
+//! the typed event stream as JSONL, `--manifest-out FILE` writes a run
+//! manifest (seed, config digest, phases, metric snapshot). Both are
+//! byte-identical at any job count except the manifest's explicitly
+//! volatile `meta` section. `nvfs obs show|diff` reads them back.
 
 use std::collections::VecDeque;
 use std::fs;
@@ -67,11 +73,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Global observability flags: `--trace-out FILE` records the typed
+    // event stream, `--manifest-out FILE` writes a run manifest. Both are
+    // parsed before dispatch so every subcommand honours them.
+    let (trace_out, manifest_out) = match (
+        take_flag(&mut args, "--trace-out"),
+        take_flag(&mut args, "--manifest-out"),
+    ) {
+        (Ok(t), Ok(m)) => (t, m),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace_out.is_some() {
+        nvfs::obs::set_trace_enabled(true);
+    }
     let Some(command) = args.pop_front() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = match command.as_str() {
+    // The whole command runs inside a root span, so every manifest has at
+    // least one phase even when the command doesn't time its own stages.
+    let result = nvfs::obs::span(&command, || match command.as_str() {
         "gen-traces" => cmd_gen_traces(args),
         "trace-stats" => cmd_trace_stats(args),
         "client-sim" => cmd_client_sim(args),
@@ -82,12 +106,14 @@ fn main() -> ExitCode {
         "scorecard" => cmd_scorecard(args),
         "export-csv" => cmd_export_csv(args),
         "bench" => cmd_bench(args),
+        "obs" => cmd_obs(args),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
-    };
+    });
+    let result = result.and_then(|()| write_obs_outputs(&command, trace_out, manifest_out));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -97,7 +123,29 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: nvfs [--jobs N] <command> [options]
+/// Writes the `--trace-out` JSONL stream and the `--manifest-out` run
+/// manifest after a successful command. Confirmations go to stderr so
+/// stdout stays byte-identical with and without the flags.
+fn write_obs_outputs(
+    command: &str,
+    trace_out: Option<String>,
+    manifest_out: Option<String>,
+) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        fs::write(&path, nvfs::obs::events::render_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[obs] wrote trace {path}");
+    }
+    if let Some(path) = manifest_out {
+        let manifest = nvfs::obs::RunManifest::collect(command, nvfs::par::jobs());
+        fs::write(&path, manifest.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[obs] wrote manifest {path}");
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: nvfs [--jobs N] [--trace-out FILE] [--manifest-out FILE] <command> [options]
 commands:
   gen-traces   [--scale tiny|small|paper] [--out DIR]
   trace-stats  <FILE>
@@ -116,12 +164,22 @@ commands:
   scorecard    [--scale S]
   export-csv   [--scale S] --out DIR
   bench        [--scale S] [--out FILE]   time sequential vs parallel passes
+  obs          show FILE | diff A B       pretty-print or compare run manifests
 
 parallelism:
   --jobs N     worker threads for trace generation, sweeps, and experiment
                fan-out; overrides the NVFS_JOBS environment variable, which
                overrides the machine's available parallelism. Output is
-               byte-identical at any job count (diagnostics go to stderr).";
+               byte-identical at any job count (diagnostics go to stderr).
+
+observability (global, any command):
+  --trace-out FILE     record the typed event stream as JSONL (one event
+                       per line, sorted by simulated time; byte-identical
+                       at any job count)
+  --manifest-out FILE  write a run manifest: seed, config digest, phases,
+                       and the full metric snapshot. The `run` section is
+                       deterministic; `meta` (wall clock, git rev, jobs)
+                       is volatile. Compare with `nvfs obs diff`.";
 
 /// Pulls `--flag VALUE` out of the argument list, if present.
 fn take_flag(args: &mut VecDeque<String>, flag: &str) -> Result<Option<String>, String> {
@@ -138,22 +196,48 @@ fn take_flag(args: &mut VecDeque<String>, flag: &str) -> Result<Option<String>, 
     }
 }
 
-fn parse_scale(args: &mut VecDeque<String>) -> Result<TraceSetConfig, String> {
-    match take_flag(args, "--scale")?.as_deref() {
-        None | Some("small") => Ok(TraceSetConfig::small()),
-        Some("tiny") => Ok(TraceSetConfig::tiny()),
-        Some("paper") => Ok(TraceSetConfig::paper()),
-        Some(other) => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
-    }
+/// Resolves the `--scale` flag to its canonical name, noting it in the
+/// run-manifest context.
+fn parse_scale_name(args: &mut VecDeque<String>) -> Result<&'static str, String> {
+    let name = match take_flag(args, "--scale")?.as_deref() {
+        None | Some("small") => "small",
+        Some("tiny") => "tiny",
+        Some("paper") => "paper",
+        Some(other) => return Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+    };
+    nvfs::obs::manifest::set_scale(name);
+    Ok(name)
 }
 
-fn parse_env(args: &mut VecDeque<String>) -> Result<Env, String> {
-    match take_flag(args, "--scale")?.as_deref() {
-        None | Some("small") => Ok(Env::small()),
-        Some("tiny") => Ok(Env::tiny()),
-        Some("paper") => Ok(Env::paper()),
-        Some(other) => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+fn parse_scale(args: &mut VecDeque<String>) -> Result<TraceSetConfig, String> {
+    Ok(match parse_scale_name(args)? {
+        "tiny" => TraceSetConfig::tiny(),
+        "paper" => TraceSetConfig::paper(),
+        _ => TraceSetConfig::small(),
+    })
+}
+
+fn parse_env(args: &mut VecDeque<String>) -> Result<(Env, &'static str), String> {
+    let scale = parse_scale_name(args)?;
+    let env = match scale {
+        "tiny" => Env::tiny(),
+        "paper" => Env::paper(),
+        _ => Env::small(),
+    };
+    Ok((env, scale))
+}
+
+/// Fingerprints a command's resolved configuration into the run-manifest
+/// context via the workspace's canonical digest ([`nvfs::obs::digest`]).
+fn note_config(parts: &[(&str, &str)]) {
+    let mut d = nvfs::obs::digest::Digest::new();
+    for (key, value) in parts {
+        d.update(key);
+        d.update("=");
+        d.update(value);
+        d.update(";");
     }
+    nvfs::obs::manifest::set_config_digest(d.hex());
 }
 
 fn load_ops(path: &str) -> Result<OpStream, String> {
@@ -258,6 +342,15 @@ fn cmd_client_sim(mut args: VecDeque<String>) -> Result<(), String> {
     }
     .with_policy(policy)
     .with_consistency(consistency);
+    note_config(&[
+        ("command", "client-sim"),
+        ("trace", &path),
+        ("model", &model),
+        ("volatile_mb", &volatile_mb.to_string()),
+        ("nvram_mb", &nvram_mb.to_string()),
+        ("policy", &format!("{policy:?}")),
+        ("consistency", &format!("{consistency:?}")),
+    ]);
     let kind = cfg.model;
     let stats = ClusterSim::new(cfg).run(&ops);
 
@@ -341,11 +434,16 @@ fn cmd_lifetime(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 fn cmd_lfs(mut args: VecDeque<String>) -> Result<(), String> {
-    let env = parse_env(&mut args)?;
+    let (env, scale) = parse_env(&mut args)?;
     let buffer_kb: u64 = take_flag(&mut args, "--buffer-kb")?
         .unwrap_or_else(|| "512".into())
         .parse()
         .map_err(|_| "bad --buffer-kb")?;
+    note_config(&[
+        ("command", "lfs"),
+        ("scale", scale),
+        ("buffer_kb", &buffer_kb.to_string()),
+    ]);
     eprintln!("[lfs] jobs = {}", nvfs::par::jobs());
     outln!("{}", exp::tab3::run(&env).table.render());
     outln!("{}", exp::tab4::run(&env).table.render());
@@ -373,12 +471,19 @@ fn catching<T>(label: &str, f: impl FnOnce() -> Result<T, String>) -> Result<T, 
 }
 
 fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
-    let env = parse_env(&mut args)?;
+    let (env, scale) = parse_env(&mut args)?;
     let seed: u64 = take_flag(&mut args, "--seed")?
         .unwrap_or_else(|| exp::faults::DEFAULT_SEED.to_string())
         .parse()
         .map_err(|_| "bad --seed")?;
     let model = take_flag(&mut args, "--model")?;
+    nvfs::obs::manifest::set_seed(seed);
+    note_config(&[
+        ("command", "faults"),
+        ("scale", scale),
+        ("seed", &seed.to_string()),
+        ("model", model.as_deref().unwrap_or("all")),
+    ]);
     eprintln!("[faults] jobs = {}", nvfs::par::jobs());
     match model {
         // One model: just that row of the client scorecard (the CI fault
@@ -411,12 +516,17 @@ fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
-    let env = parse_env(&mut args)?;
+    let (env, scale) = parse_env(&mut args)?;
     let ids: Vec<String> = if args.is_empty() {
         ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
     } else {
         args.into_iter().collect()
     };
+    note_config(&[
+        ("command", "experiments"),
+        ("scale", scale),
+        ("ids", &ids.join(",")),
+    ]);
     let jobs = nvfs::par::jobs();
     // Independent experiment ids render in parallel; output is printed in
     // request order, so stdout is byte-identical to a sequential run (the
@@ -513,7 +623,8 @@ fn fig_text(figure: &nvfs::report::Figure, log_x: bool) -> String {
 }
 
 fn cmd_scorecard(mut args: VecDeque<String>) -> Result<(), String> {
-    let env = parse_env(&mut args)?;
+    let (env, scale) = parse_env(&mut args)?;
+    note_config(&[("command", "scorecard"), ("scale", scale)]);
     eprintln!("[scorecard] jobs = {}", nvfs::par::jobs());
     let card = catching("scorecard", || Ok(exp::scorecard::run(&env)))?;
     outln!("{}", card.table.render());
@@ -566,8 +677,9 @@ fn csv_artifact(env: &Env, name: &str) -> String {
 }
 
 fn cmd_export_csv(mut args: VecDeque<String>) -> Result<(), String> {
-    let env = parse_env(&mut args)?;
+    let (env, scale) = parse_env(&mut args)?;
     let out = PathBuf::from(take_flag(&mut args, "--out")?.ok_or("export-csv requires --out DIR")?);
+    note_config(&[("command", "export-csv"), ("scale", scale)]);
     fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
 
     let jobs = nvfs::par::jobs();
@@ -593,14 +705,15 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     use nvfs::par::bench;
     use nvfs::trace::synth::lfs_workload::{sprite_server_workloads, ServerWorkloadConfig};
 
-    let (cfg, server_cfg) = match take_flag(&mut args, "--scale")?.as_deref() {
-        None | Some("small") => (TraceSetConfig::small(), ServerWorkloadConfig::small()),
-        Some("tiny") => (TraceSetConfig::tiny(), ServerWorkloadConfig::tiny()),
-        Some("paper") => (TraceSetConfig::paper(), ServerWorkloadConfig::paper()),
-        Some(other) => return Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+    let scale = parse_scale_name(&mut args)?;
+    let (cfg, server_cfg) = match scale {
+        "tiny" => (TraceSetConfig::tiny(), ServerWorkloadConfig::tiny()),
+        "paper" => (TraceSetConfig::paper(), ServerWorkloadConfig::paper()),
+        _ => (TraceSetConfig::small(), ServerWorkloadConfig::small()),
     };
     let out =
         PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr1.json".into()));
+    note_config(&[("command", "bench"), ("scale", scale)]);
 
     let parallel = nvfs::par::jobs();
     let passes: &[usize] = if parallel == 1 { &[1] } else { &[1, parallel] };
@@ -624,15 +737,15 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
             exp::scorecard::run(&env)
         });
         // Determinism gate: the rendered artifacts (traces included) must be
-        // byte-identical across job counts.
-        let digest = format!(
-            "{}{}{}{}{}",
-            render_ops(env.traces.trace(0).ops()),
-            f2.figure.render(),
-            f3.figure.render(),
-            t3.table.render(),
-            card.table.render(),
-        );
+        // byte-identical across job counts. Streamed through the workspace's
+        // canonical digest instead of holding concatenated renders.
+        let mut digest = nvfs::obs::digest::Digest::new();
+        digest.update(&render_ops(env.traces.trace(0).ops()));
+        digest.update(&f2.figure.render());
+        digest.update(&f3.figure.render());
+        digest.update(&t3.table.render());
+        digest.update(&card.table.render());
+        let digest = digest.hex();
         match &reference {
             None => reference = Some(digest),
             Some(first) if *first == digest => {}
@@ -653,4 +766,33 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
         outln!("  {:<12} jobs={:<3} {:>10.1} ms", r.name, r.jobs, r.wall_ms);
     }
     Ok(())
+}
+
+fn cmd_obs(mut args: VecDeque<String>) -> Result<(), String> {
+    let usage = "usage: nvfs obs show FILE | nvfs obs diff A B";
+    let sub = args.pop_front().ok_or(usage)?;
+    let read = |path: &str| -> Result<String, String> {
+        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    match sub.as_str() {
+        "show" => {
+            let path = args.pop_front().ok_or(usage)?;
+            let summary = nvfs::obs::manifest::render_summary(&read(&path)?)
+                .map_err(|e| format!("{path}: {e}"))?;
+            outln!("{summary}");
+            Ok(())
+        }
+        "diff" => {
+            let a = args.pop_front().ok_or(usage)?;
+            let b = args.pop_front().ok_or(usage)?;
+            let report = nvfs::obs::manifest::diff(&read(&a)?, &read(&b)?)?;
+            outln!("{}", report.render().trim_end());
+            if report.runs_match {
+                Ok(())
+            } else {
+                Err(format!("run sections differ: {a} vs {b}"))
+            }
+        }
+        other => Err(format!("unknown obs subcommand {other:?}\n{usage}")),
+    }
 }

@@ -30,6 +30,11 @@
 //!   from (no external dependencies, stable streams).
 //! * [`par`] — deterministic parallel fan-out ([`par::par_map`]) and the
 //!   wall-clock bench harness; output is byte-identical at any job count.
+//! * [`obs`] — deterministic observability: the metrics registry, the
+//!   opt-in event-trace layer (`--trace-out`), run manifests
+//!   (`--manifest-out`), and the workspace config-digest primitive.
+//!   Snapshots, event streams, and manifest `run` sections are
+//!   byte-identical at any job count.
 //!
 //! # Quickstart
 //!
@@ -51,6 +56,7 @@ pub use nvfs_experiments as experiments;
 pub use nvfs_faults as faults;
 pub use nvfs_lfs as lfs;
 pub use nvfs_nvram as nvram;
+pub use nvfs_obs as obs;
 pub use nvfs_par as par;
 pub use nvfs_report as report;
 pub use nvfs_rng as rng;

@@ -1,0 +1,156 @@
+//! Observability determinism: metric snapshots, event traces, and manifest
+//! `run` sections must be byte-identical at any `--jobs` count, and the
+//! tiny fault-matrix manifest must match the golden copy checked into
+//! `tests/golden/`.
+//!
+//! Job counts are compared across *processes* (the obs registry is
+//! process-global), driving the real binary exactly as CI does.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn nvfs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nvfs"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvfs-obs-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Runs the tiny fault matrix with obs outputs enabled, returning
+/// `(stdout, trace JSONL, manifest text)`.
+fn faults_run(dir: &std::path::Path, jobs: &str) -> (String, String, String) {
+    let trace = dir.join(format!("trace-j{jobs}.jsonl"));
+    let manifest = dir.join(format!("manifest-j{jobs}.json"));
+    let out = nvfs(&[
+        "--jobs",
+        jobs,
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--manifest-out",
+        manifest.to_str().unwrap(),
+        "faults",
+        "--scale",
+        "tiny",
+        "--seed",
+        "42",
+    ]);
+    assert!(
+        out.status.success(),
+        "jobs={jobs}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        std::fs::read_to_string(&trace).expect("trace written"),
+        std::fs::read_to_string(&manifest).expect("manifest written"),
+    )
+}
+
+/// Extracts the deterministic `run` section, rendered canonically.
+fn run_section(manifest: &str) -> String {
+    let (_, run) = nvfs::obs::manifest::parse_manifest(manifest).expect("manifest parses");
+    run.to_string()
+}
+
+#[test]
+fn jobs_do_not_change_metrics_or_events() {
+    let dir = tempdir("jobs");
+    let (stdout1, trace1, manifest1) = faults_run(&dir, "1");
+    let (stdout8, trace8, manifest8) = faults_run(&dir, "8");
+
+    assert_eq!(stdout1, stdout8, "stdout differs between jobs 1 and 8");
+    assert_eq!(trace1, trace8, "event JSONL differs between jobs 1 and 8");
+    assert!(!trace1.is_empty() && trace1.lines().count() > 100);
+    assert_eq!(
+        run_section(&manifest1),
+        run_section(&manifest8),
+        "manifest run sections differ between jobs 1 and 8"
+    );
+
+    // Every trace line is a JSON object with monotonically increasing seq
+    // and nondecreasing t_us.
+    let (mut seq, mut t) = (0u64, 0u64);
+    for line in trace1.lines() {
+        let v = nvfs::obs::json::parse(line).expect("trace line parses");
+        assert_eq!(v.get("seq").and_then(|s| s.as_u64()), Some(seq));
+        let t_us = v.get("t_us").and_then(|s| s.as_u64()).expect("t_us");
+        assert!(t_us >= t, "t_us regressed at seq {seq}");
+        (seq, t) = (seq + 1, t_us);
+    }
+
+    // `nvfs obs diff` agrees, and only flags volatile meta fields.
+    let m1 = dir.join("manifest-j1.json");
+    let m8 = dir.join("manifest-j8.json");
+    let diff = nvfs(&["obs", "diff", m1.to_str().unwrap(), m8.to_str().unwrap()]);
+    assert!(diff.status.success(), "obs diff rejected equal runs");
+    let text = String::from_utf8_lossy(&diff.stdout);
+    assert!(text.contains("run sections MATCH"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_matches_golden() {
+    let dir = tempdir("golden");
+    let (_, _, manifest) = faults_run(&dir, "2");
+    let golden = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/manifest_faults_tiny.json"),
+    )
+    .expect("golden manifest present");
+    assert_eq!(
+        run_section(&manifest),
+        run_section(&golden),
+        "run section drifted from tests/golden/manifest_faults_tiny.json; \
+         regenerate it if the change is intentional"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn obs_show_and_diff_detect_drift() {
+    let dir = tempdir("cli");
+    let (_, _, manifest) = faults_run(&dir, "2");
+    let m = dir.join("manifest-j2.json");
+
+    let show = nvfs(&["obs", "show", m.to_str().unwrap()]);
+    assert!(show.status.success());
+    let text = String::from_utf8_lossy(&show.stdout);
+    assert!(
+        text.contains("command:") && text.contains("faults"),
+        "{text}"
+    );
+    assert!(text.contains("counters:"), "{text}");
+
+    // A different seed must be flagged as a run-section difference.
+    let other = dir.join("manifest-seed7.json");
+    let out = nvfs(&[
+        "--manifest-out",
+        other.to_str().unwrap(),
+        "faults",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success());
+    let diff = nvfs(&["obs", "diff", m.to_str().unwrap(), other.to_str().unwrap()]);
+    assert!(!diff.status.success(), "obs diff missed a seed change");
+    let text = String::from_utf8_lossy(&diff.stdout);
+    assert!(text.contains("run sections DIFFER"), "{text}");
+
+    // Corrupt input is a clean error, not a panic.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "not json").unwrap();
+    let show = nvfs(&["obs", "show", bad.to_str().unwrap()]);
+    assert!(!show.status.success());
+
+    drop(manifest);
+    let _ = std::fs::remove_dir_all(&dir);
+}
