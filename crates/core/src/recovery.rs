@@ -67,6 +67,10 @@ impl Error for RecoveryError {}
 pub struct RecoveryOutcome {
     /// The writes sent to the server to make the data durable on disk.
     pub writes: Vec<ServerWrite>,
+    /// The exact byte ranges, per file, that made it off the board — the
+    /// observed durable state the durability oracle diffs against its
+    /// shadow model.
+    pub recovered: RecoveredData,
     /// Total bytes recovered.
     pub bytes: u64,
     /// Bytes the drain failed to apply (torn drains; zero on full
@@ -111,19 +115,20 @@ pub fn recover_up_to(
     let (contents, bytes_lost): (RecoveredData, u64) = board.drain_up_to(max_bytes);
     let mut writes = Vec::new();
     let mut bytes = 0;
-    for (file, ranges) in contents {
+    for (file, ranges) in &contents {
         let len = ranges.len_bytes();
         bytes += len;
         writes.push(ServerWrite {
             time: at,
             client: host,
-            file,
+            file: *file,
             bytes: len,
             cause: FlushCause::Recovery,
         });
     }
     Ok(RecoveryOutcome {
         writes,
+        recovered: contents,
         bytes,
         bytes_lost,
         data_survived: true,
@@ -257,11 +262,16 @@ mod tests {
         write_block(&mut c, 1, 0, 1);
         write_block(&mut c, 2, 1, 2);
         let mut board = snapshot_nvram(&c, ClientId(0), 1 << 20);
+        // The budget covers one block plus 100 spare bytes: the torn cut
+        // lands on the block boundary, so exactly one whole block survives
+        // and exactly one whole block is lost — no write record is split.
         let outcome = recover_up_to(&mut board, SimTime::from_secs(10), BLOCK_SIZE + 100)
             .expect("batteries held");
-        assert_eq!(outcome.bytes, BLOCK_SIZE + 100);
-        assert_eq!(outcome.bytes_lost, BLOCK_SIZE - 100);
+        assert_eq!(outcome.bytes, BLOCK_SIZE);
+        assert_eq!(outcome.bytes_lost, BLOCK_SIZE);
         assert!(outcome.data_survived);
+        let recovered: u64 = outcome.recovered.values().map(RangeSet::len_bytes).sum();
+        assert_eq!(recovered, outcome.bytes);
     }
 
     #[test]

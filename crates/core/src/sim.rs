@@ -11,8 +11,9 @@ use std::sync::Arc;
 
 use nvfs_faults::{ClientCrashFault, FaultSchedule, ReliabilityStats};
 use nvfs_nvram::NvramBoard;
+use nvfs_oracle::{DrainExpectation, DurableMap, DurablePromise, Oracle};
 use nvfs_trace::op::{OpKind, OpStream};
-use nvfs_types::{ClientId, SimTime};
+use nvfs_types::{ClientId, SimTime, BLOCK_SIZE};
 
 use crate::client::{ClientCache, FlushCause, ServerWrite};
 use crate::config::{CacheModelKind, ConsistencyMode, PolicyKind, SimConfig};
@@ -107,12 +108,37 @@ impl ClusterSim {
     /// Deterministic: the same `(schedule, ops, config)` triple produces
     /// byte-identical results at any worker-thread count.
     pub fn run_with_faults(&self, ops: &OpStream, schedule: &FaultSchedule) -> FaultRunReport {
-        let (stats, writes, reliability) = self.run_core(ops, usize::MAX, None, Some(schedule));
+        let (stats, writes, reliability) =
+            self.run_core(ops, usize::MAX, None, Some(schedule), None);
         FaultRunReport {
             stats,
             reliability,
             writes,
         }
+    }
+
+    /// Like [`ClusterSim::run_with_faults`], but every crash + recovery is
+    /// judged by the durability [`Oracle`]: at each crash instant the cache
+    /// model's durable promise is captured *before* any recovery code runs,
+    /// and after the board drain the recovered ranges are diffed against
+    /// the shadow model's independent prediction. The returned oracle holds
+    /// one [`CrashReport`](nvfs_oracle::CrashReport) per recovered crash.
+    pub fn run_with_faults_verified(
+        &self,
+        ops: &OpStream,
+        schedule: &FaultSchedule,
+    ) -> (FaultRunReport, Oracle) {
+        let mut oracle = Oracle::new();
+        let (stats, writes, reliability) =
+            self.run_core(ops, usize::MAX, None, Some(schedule), Some(&mut oracle));
+        (
+            FaultRunReport {
+                stats,
+                reliability,
+                writes,
+            },
+            oracle,
+        )
     }
 
     /// Fault-free driver (the historical entry point).
@@ -122,7 +148,7 @@ impl ClusterSim {
         stop: usize,
         reset_at: Option<usize>,
     ) -> (TrafficStats, Vec<ServerWrite>) {
-        let (stats, writes, _) = self.run_core(ops, stop, reset_at, None);
+        let (stats, writes, _) = self.run_core(ops, stop, reset_at, None, None);
         (stats, writes)
     }
 
@@ -137,6 +163,7 @@ impl ClusterSim {
         stop: usize,
         reset_at: Option<usize>,
         faults: Option<&FaultSchedule>,
+        mut oracle: Option<&mut Oracle>,
     ) -> (TrafficStats, Vec<ServerWrite>, ReliabilityStats) {
         let schedule = match self.config.policy {
             PolicyKind::Omniscient => Some(Arc::new(OmniscientSchedule::build(ops))),
@@ -159,7 +186,8 @@ impl ClusterSim {
         let board_batteries = faults.map_or(3, |s| s.plan.board_batteries);
         let mut next_crash = 0usize;
         let mut crashed: BTreeSet<ClientId> = BTreeSet::new();
-        let mut in_transit: Vec<(NvramBoard, &ClientCrashFault)> = Vec::new();
+        let mut in_transit: Vec<(NvramBoard, &ClientCrashFault, Option<DurablePromise>)> =
+            Vec::new();
         let mut recovery_writes: Vec<ServerWrite> = Vec::new();
 
         macro_rules! client {
@@ -190,6 +218,16 @@ impl ClusterSim {
                     .emit();
                 if let Some(mut cache) = clients.remove(&fault.client) {
                     let at_risk = cache.remaining_dirty_bytes();
+                    // The durable promise is captured straight from the
+                    // cache, *before* the snapshot path runs — a broken
+                    // snapshot must show up as LostDurable, not be trusted.
+                    let promise = oracle.as_ref().map(|_| {
+                        DurablePromise::capture(
+                            fault.client,
+                            fault.time,
+                            cache.nvram_dirty_contents(),
+                        )
+                    });
                     let board = snapshot_nvram(&cache, fault.client, self.config.nvram_bytes)
                         .with_batteries(board_batteries);
                     reliability.bytes_at_risk += at_risk;
@@ -200,7 +238,7 @@ impl ClusterSim {
                     stats.nvram_writes += d.writes();
                     stats.nvram_bytes += d.bytes_transferred();
                     recovery_writes.append(&mut cache.take_server_writes());
-                    in_transit.push((board, fault));
+                    in_transit.push((board, fault, promise));
                 }
             }};
         }
@@ -216,18 +254,19 @@ impl ClusterSim {
                     let due = in_transit
                         .iter()
                         .enumerate()
-                        .filter(|(_, (_, f))| f.recovery_time() <= $now)
-                        .min_by_key(|(_, (_, f))| (f.recovery_time(), f.client.0))
+                        .filter(|(_, (_, f, _))| f.recovery_time() <= $now)
+                        .min_by_key(|(_, (_, f, _))| (f.recovery_time(), f.client.0))
                         .map(|(i, _)| i);
                     let Some(idx) = due else { break };
-                    let (mut board, fault) = in_transit.remove(idx);
+                    let (mut board, fault, promise) = in_transit.remove(idx);
                     let at = fault.recovery_time();
                     board
                         .batteries_mut()
                         .age_to(at, fault.battery_clock(board_batteries));
-                    let cap = match fault.torn_drain {
-                        Some(fraction) => (board.dirty_bytes() as f64 * fraction) as u64,
-                        None => u64::MAX,
+                    let cap = match (fault.torn_drain_blocks, fault.torn_drain) {
+                        (Some(blocks), _) => blocks * BLOCK_SIZE,
+                        (None, Some(fraction)) => (board.dirty_bytes() as f64 * fraction) as u64,
+                        (None, None) => u64::MAX,
                     };
                     match recover_up_to(&mut board, at, cap) {
                         Ok(outcome) => {
@@ -244,6 +283,13 @@ impl ClusterSim {
                             for w in &outcome.writes {
                                 server.note_flush(w.file, w.client);
                             }
+                            if let (Some(o), Some(p)) = (oracle.as_deref_mut(), &promise) {
+                                let expect = DrainExpectation {
+                                    board_dead: false,
+                                    max_bytes: cap,
+                                };
+                                o.judge(p, expect, &outcome.recovered);
+                            }
                             recovery_writes.extend(outcome.writes);
                         }
                         Err(RecoveryError::DeadBoard { bytes_lost, .. }) => {
@@ -254,6 +300,9 @@ impl ClusterSim {
                                 .u64("bytes", 0)
                                 .u64("lost_bytes", bytes_lost)
                                 .emit();
+                            if let (Some(o), Some(p)) = (oracle.as_deref_mut(), &promise) {
+                                o.judge(p, DrainExpectation::dead(), &DurableMap::new());
+                            }
                         }
                     }
                 }
@@ -863,6 +912,51 @@ mod tests {
         let b = sim.run_with_faults(ops, &schedule);
         assert_eq!(a, b);
         assert_eq!(a.reliability.client_crashes, 3);
+    }
+
+    #[test]
+    fn verified_run_judges_every_recovery_clean() {
+        use nvfs_faults::{CrashPointKind, FaultPlanConfig, FaultSchedule};
+        use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+        use nvfs_types::SimDuration;
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let ops = traces.trace(6).ops();
+        let plan = FaultPlanConfig::new(8, SimDuration::from_hours(24))
+            .with_client_crashes(4)
+            .with_torn_probability(0.5);
+        let schedule = FaultSchedule::compile(42, &plan).unwrap();
+        let sim = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10));
+        // Every crash-point variant of the schedule must be judged Clean:
+        // the recovery path honours the durability contract at full drains,
+        // per-block mid-drain cuts, battery-death edges, and flush edges.
+        for kind in [
+            CrashPointKind::FullDrain,
+            CrashPointKind::TornDrainBlocks(1),
+            CrashPointKind::DeadBoard,
+            CrashPointKind::BatteryEdgeAlive,
+            CrashPointKind::PreFlush,
+            CrashPointKind::PostFlush,
+        ] {
+            let variant = schedule.apply_crash_point(kind, SimDuration::from_secs(5));
+            let (report, oracle) = sim.run_with_faults_verified(ops, &variant);
+            assert_eq!(report.reliability.client_crashes, 4, "{kind}");
+            let s = oracle.summary();
+            assert_eq!(
+                s.crash_points,
+                report.reliability.boards_recovered + report.reliability.boards_dead,
+                "{kind}"
+            );
+            assert_eq!(s.violations(), 0, "{kind}: {:?}", oracle.reports());
+            // The oracle's byte totals agree with the reliability ledger.
+            assert_eq!(
+                s.bytes_observed, report.reliability.bytes_recovered,
+                "{kind}"
+            );
+        }
+        // And the unverified path is byte-identical to the verified one.
+        let (verified, _) = sim.run_with_faults_verified(ops, &schedule);
+        let plain = sim.run_with_faults(ops, &schedule);
+        assert_eq!(verified, plain);
     }
 
     #[test]

@@ -127,7 +127,11 @@ impl Faults {
 /// redundant ones essentially never do), boards relocated after about a
 /// sixth of the trace. Torn drains are left to the server half so the
 /// client comparison isolates the window-vs-battery story.
-fn client_plan(clients: u32, duration: SimDuration, model: CacheModelKind) -> FaultPlanConfig {
+pub(crate) fn client_plan(
+    clients: u32,
+    duration: SimDuration,
+    model: CacheModelKind,
+) -> FaultPlanConfig {
     let micros = duration.as_micros();
     FaultPlanConfig::new(clients, duration)
         .with_client_crashes((clients / 2).max(1).min(clients))

@@ -31,6 +31,7 @@
 //! | [`server_cache`] | §3 opening — a server NVRAM cache absorbs client write traffic |
 //! | [`warmup`] | methodology — quantifying the paper's cold-start caveat |
 //! | [`faults`] | §2.3/§4 — bytes lost under a seeded fault schedule, per cache model |
+//! | [`verify_crash`] | robustness — durability oracle crash-point sweep with typed verdicts |
 //! | [`scorecard`] | every claim above evaluated programmatically with PASS/FAIL verdicts |
 //!
 //! All runners share an [`env::Env`] so the synthetic workloads are only
@@ -73,6 +74,7 @@ pub mod tab1;
 pub mod tab2;
 pub mod tab3;
 pub mod tab4;
+pub mod verify_crash;
 pub mod warmup;
 pub mod write_buffer;
 

@@ -1,0 +1,496 @@
+//! Durability oracle — deterministic crash-point sweep (`nvfs verify-crash`).
+//!
+//! The other fault runners *account* for what crashes cost; this one
+//! *verifies* that recovery is exactly correct. From one `(seed, scale)`
+//! pair it enumerates every interesting crash point for every cache model
+//! — full drains, mid-drain tears at each 4 KB block boundary, boards with
+//! every battery dead, battery deaths one microsecond after the drain, and
+//! crashes pinned just before and just after a flush-tick boundary — and
+//! replays each one under the shadow durability model
+//! ([`nvfs_oracle::Oracle`]). Any byte the durability contract promised
+//! that recovery failed to produce is a [`LostDurable`] verdict; any byte
+//! recovery produced that was never promised is [`Resurrected`]; any byte
+//! replayed twice for one crash incident is a [`DoubleReplay`].
+//!
+//! The server half sweeps torn replay-segment writes: a crash tears the
+//! recovery write at a fraction of its blocks, the segment's summary
+//! checksum fails, [`roll_forward`] truncates it, and the rewrite from
+//! NVRAM must reconverge byte-for-byte with an untorn baseline run.
+//!
+//! Everything is a pure function of `(seed, scale)` and byte-identical at
+//! any `--jobs` count; CI diffs the rendered report against a golden copy.
+//!
+//! [`LostDurable`]: nvfs_oracle::Verdict::LostDurable
+//! [`Resurrected`]: nvfs_oracle::Verdict::Resurrected
+//! [`DoubleReplay`]: nvfs_oracle::Verdict::DoubleReplay
+//! [`roll_forward`]: nvfs_lfs::SegmentWriter::roll_forward
+
+use nvfs_core::{CacheModelKind, ClusterSim, SimConfig};
+use nvfs_faults::{CrashPointKind, FaultError, FaultPlanConfig, FaultSchedule, ServerCrashFault};
+use nvfs_lfs::{run_filesystem_faulted, LfsConfig, SEGMENT_BYTES};
+use nvfs_oracle::OracleSummary;
+use nvfs_report::{Cell, Table};
+use nvfs_types::{SimDuration, SimTime, BLOCK_SIZE};
+
+use crate::env::Env;
+use crate::faults::{batteries_for, model_name, BASE_BYTES, DEFAULT_SEED, MODELS};
+
+/// NVRAM board size for the sweep: four 4 KB blocks, so the mid-drain
+/// sweep `TornDrainBlocks(0..=4)` crosses every interior block boundary of
+/// a full board.
+pub const NVRAM_BLOCKS: u64 = 4;
+
+/// Flush-tick period the pre/post-flush crash points are pinned against
+/// (the cache models' 5-second write-back sweep).
+pub const FLUSH_TICK: SimDuration = SimDuration::from_secs(5);
+
+/// Torn replay-write fractions swept on the server side.
+pub const SERVER_FRACTIONS: [f64; 3] = [0.3, 0.6, 0.9];
+
+/// The crash points swept per cache model, in report order.
+pub fn crash_points() -> Vec<CrashPointKind> {
+    let mut kinds = vec![
+        CrashPointKind::FullDrain,
+        CrashPointKind::DeadBoard,
+        CrashPointKind::BatteryEdgeAlive,
+        CrashPointKind::PreFlush,
+        CrashPointKind::PostFlush,
+    ];
+    for blocks in 0..=NVRAM_BLOCKS {
+        kinds.push(CrashPointKind::TornDrainBlocks(blocks));
+    }
+    kinds
+}
+
+/// One row of the client sweep: a cache model replayed through one crash
+/// point across every trace, judged by the shadow oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPointRow {
+    /// Cache model swept.
+    pub model: CacheModelKind,
+    /// The crash-point dimension pinned for this row.
+    pub kind: CrashPointKind,
+    /// Merged oracle verdicts across the trace set.
+    pub summary: OracleSummary,
+    /// Bytes the reliability accounting says recoveries produced — must
+    /// equal `summary.bytes_observed` or the row counts a violation.
+    pub bytes_recovered: u64,
+}
+
+impl CrashPointRow {
+    /// Oracle violations plus any oracle-vs-accounting disagreement.
+    pub fn violations(&self) -> u64 {
+        let mismatch = u64::from(self.summary.bytes_observed != self.bytes_recovered);
+        self.summary.violations() + mismatch
+    }
+}
+
+/// One row of the server sweep: a write-buffer mode torn at one fraction,
+/// aggregated over workloads and crash-time quartiles, checked for
+/// equivalence with its untorn baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerCheckRow {
+    /// Write-buffer mode name.
+    pub mode: &'static str,
+    /// Torn fraction applied to the replay write.
+    pub fraction: f64,
+    /// Crash cases checked.
+    pub crashes: u64,
+    /// NVRAM bytes replayed across the cases.
+    pub bytes_replayed: u64,
+    /// Bytes rewritten after checksum-detected truncation.
+    pub bytes_rewritten: u64,
+    /// Equivalence checks evaluated.
+    pub checks: u64,
+    /// Checks that failed.
+    pub violations: u64,
+}
+
+/// Output of the crash-point sweep.
+#[derive(Debug, Clone)]
+pub struct VerifyCrash {
+    /// The sweep seed.
+    pub seed: u64,
+    /// Client rows, in `MODELS` × [`crash_points`] order.
+    pub rows: Vec<CrashPointRow>,
+    /// Merged client oracle summary.
+    pub summary: OracleSummary,
+    /// Server rows, in mode × fraction order.
+    pub server_rows: Vec<ServerCheckRow>,
+    /// Client sweep table.
+    pub client_table: Table,
+    /// Server sweep table.
+    pub server_table: Table,
+}
+
+impl VerifyCrash {
+    /// Total violations across both halves of the sweep.
+    pub fn violations(&self) -> u64 {
+        self.rows.iter().map(CrashPointRow::violations).sum::<u64>()
+            + self.server_rows.iter().map(|r| r.violations).sum::<u64>()
+    }
+
+    /// Whether every crash point recovered exactly the durable contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// One-line machine-readable verdict (stable key order), as printed by
+    /// `nvfs verify-crash` and parsed by CI.
+    pub fn verdict_json(&self) -> String {
+        let server_checks: u64 = self.server_rows.iter().map(|r| r.checks).sum();
+        let server_violations: u64 = self.server_rows.iter().map(|r| r.violations).sum();
+        format!(
+            concat!(
+                "{{\"oracle\":\"{}\",\"seed\":{},\"crash_points\":{},\"clean\":{},",
+                "\"lost_durable\":{},\"resurrected\":{},\"double_replay\":{},",
+                "\"server_checks\":{},\"server_violations\":{}}}"
+            ),
+            if self.is_clean() { "clean" } else { "violated" },
+            self.seed,
+            self.summary.crash_points,
+            self.summary.clean,
+            self.summary.lost_durable,
+            self.summary.resurrected,
+            self.summary.double_replay,
+            server_checks,
+            server_violations,
+        )
+    }
+
+    /// Both tables plus the verdict line, as printed by `nvfs verify-crash`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}\n{}\n",
+            self.client_table.render(),
+            self.server_table.render(),
+            self.verdict_json()
+        )
+    }
+}
+
+/// The base fault plan for one trace: crash half the clients, torn drains
+/// on half the crashes, batteries aging on an accelerated clock. Each
+/// crash point then pins one dimension of this plan via
+/// [`FaultSchedule::apply_crash_point`], leaving the rest seeded.
+fn sweep_plan(clients: u32, duration: SimDuration, model: CacheModelKind) -> FaultPlanConfig {
+    let micros = duration.as_micros();
+    FaultPlanConfig::new(clients, duration)
+        .with_client_crashes((clients / 2).max(1).min(clients))
+        .with_batteries(batteries_for(model))
+        .with_battery_mtbf(SimDuration::from_micros(micros.saturating_mul(4).max(1)))
+        .with_torn_probability(0.5)
+}
+
+fn model_config(model: CacheModelKind) -> SimConfig {
+    let nvram = NVRAM_BLOCKS * BLOCK_SIZE;
+    match model {
+        CacheModelKind::Volatile => SimConfig::volatile(BASE_BYTES),
+        CacheModelKind::WriteAside => SimConfig::write_aside(BASE_BYTES, nvram),
+        CacheModelKind::Unified => SimConfig::unified(BASE_BYTES, nvram),
+        CacheModelKind::Hybrid => SimConfig::hybrid(BASE_BYTES, nvram),
+    }
+}
+
+/// Runs the client half: every trace × model × crash point, one verified
+/// run each, merged into per-(model, crash point) rows in sweep order.
+pub fn client_sweep(env: &Env, seed: u64) -> Result<Vec<CrashPointRow>, FaultError> {
+    let kinds = crash_points();
+    let mut jobs = Vec::new();
+    for model in MODELS {
+        for kind in &kinds {
+            for i in 0..env.traces.traces().len() {
+                jobs.push((model, *kind, i));
+            }
+        }
+    }
+    let runs = nvfs_par::par_map(jobs, nvfs_par::jobs(), |(model, kind, i)| {
+        let trace = env.traces.trace(i);
+        let plan = sweep_plan(trace.clients() as u32, trace.duration(), model);
+        let schedule = FaultSchedule::compile(seed ^ trace.number() as u64, &plan)?
+            .apply_crash_point(kind, FLUSH_TICK);
+        let (report, oracle) =
+            ClusterSim::new(model_config(model)).run_with_faults_verified(trace.ops(), &schedule);
+        Ok((
+            model,
+            kind,
+            oracle.summary(),
+            report.reliability.bytes_recovered,
+        ))
+    });
+    // par_map preserves submission order, so folding in run order gives
+    // the same rows at any job count.
+    let mut rows: Vec<CrashPointRow> = Vec::new();
+    for run in runs {
+        let (model, kind, summary, recovered) = run?;
+        match rows.last_mut() {
+            Some(row) if row.model == model && row.kind == kind => {
+                row.summary.merge(&summary);
+                row.bytes_recovered += recovered;
+            }
+            _ => rows.push(CrashPointRow {
+                model,
+                kind,
+                summary,
+                bytes_recovered: recovered,
+            }),
+        }
+    }
+    Ok(rows)
+}
+
+/// Verified replay of the plain `nvfs faults` client schedules: the exact
+/// plans [`crate::faults::model_reliability`] runs, judged by the shadow
+/// oracle. Backs the `nvfs faults --oracle` flag, which must exit nonzero
+/// if the accounted scorecard ever disagrees with the durability contract.
+pub fn faults_oracle_summary(env: &Env, seed: u64) -> Result<OracleSummary, FaultError> {
+    let mut jobs = Vec::new();
+    for model in MODELS {
+        for i in 0..env.traces.traces().len() {
+            jobs.push((model, i));
+        }
+    }
+    let runs = nvfs_par::par_map(jobs, nvfs_par::jobs(), |(model, i)| {
+        let trace = env.traces.trace(i);
+        let plan = crate::faults::client_plan(trace.clients() as u32, trace.duration(), model);
+        let schedule = FaultSchedule::compile(seed ^ trace.number() as u64, &plan)?;
+        let cfg = match model {
+            CacheModelKind::Volatile => SimConfig::volatile(BASE_BYTES),
+            CacheModelKind::WriteAside => {
+                SimConfig::write_aside(BASE_BYTES, crate::faults::NVRAM_BYTES)
+            }
+            CacheModelKind::Unified => SimConfig::unified(BASE_BYTES, crate::faults::NVRAM_BYTES),
+            CacheModelKind::Hybrid => SimConfig::hybrid(BASE_BYTES, crate::faults::NVRAM_BYTES),
+        };
+        let (_, oracle) = ClusterSim::new(cfg).run_with_faults_verified(trace.ops(), &schedule);
+        Ok(oracle.summary())
+    });
+    let mut merged = OracleSummary::default();
+    for run in runs {
+        merged.merge(&run?);
+    }
+    Ok(merged)
+}
+
+/// Server write-buffer modes swept (the volatile `none` mode has nothing
+/// to replay, hence nothing for a torn write to tear).
+fn server_modes() -> Vec<(&'static str, LfsConfig)> {
+    vec![
+        ("fsync-absorb", LfsConfig::with_fsync_buffer(512 << 10)),
+        ("stage-all", LfsConfig::with_staging_buffer(SEGMENT_BYTES)),
+    ]
+}
+
+/// Runs the server half: each write-buffer mode crashed at the quartiles
+/// of every workload, torn at each fraction, and checked for byte-exact
+/// equivalence with the untorn baseline crash.
+pub fn server_sweep(env: &Env) -> Vec<ServerCheckRow> {
+    let duration = env.trace_config.duration().as_micros();
+    let quartiles: Vec<SimTime> = (1..=3)
+        .map(|q| SimTime::from_micros(duration * q / 4))
+        .collect();
+    let mut jobs = Vec::new();
+    for (mode, config) in server_modes() {
+        for &at in &quartiles {
+            for i in 0..env.server.len() {
+                jobs.push((mode, config, at, i));
+            }
+        }
+    }
+    let cases = nvfs_par::par_map(jobs, nvfs_par::jobs(), |(mode, config, at, i)| {
+        let workload = &env.server[i];
+        let untorn = ServerCrashFault {
+            time: at,
+            torn_segment: None,
+        };
+        let (base_report, base_rel) = run_filesystem_faulted(workload, &config, &[untorn]);
+        let mut out = Vec::with_capacity(SERVER_FRACTIONS.len());
+        for &fraction in &SERVER_FRACTIONS {
+            let torn = ServerCrashFault {
+                time: at,
+                torn_segment: Some(fraction),
+            };
+            let (report, rel) = run_filesystem_faulted(workload, &config, &[torn]);
+            // The torn run must reconverge with the untorn baseline: the
+            // tear may cost a rewrite but never change what reaches disk.
+            let checks: [bool; 5] = [
+                report.data_bytes() == base_report.data_bytes(),
+                rel.bytes_replayed == base_rel.bytes_replayed,
+                rel.bytes_lost() == base_rel.bytes_lost(),
+                report.records.iter().all(|r| r.is_valid()),
+                rel.bytes_rewritten_torn % BLOCK_SIZE == 0,
+            ];
+            out.push(ServerCheckRow {
+                mode,
+                fraction,
+                crashes: 1,
+                bytes_replayed: rel.bytes_replayed,
+                bytes_rewritten: rel.bytes_rewritten_torn,
+                checks: checks.len() as u64,
+                violations: checks.iter().filter(|ok| !**ok).count() as u64,
+            });
+        }
+        out
+    });
+    // Aggregate per (mode, fraction), keeping mode × fraction order.
+    let mut rows: Vec<ServerCheckRow> = Vec::new();
+    for case in cases.into_iter().flatten() {
+        match rows
+            .iter_mut()
+            .find(|r| r.mode == case.mode && r.fraction == case.fraction)
+        {
+            Some(row) => {
+                row.crashes += case.crashes;
+                row.bytes_replayed += case.bytes_replayed;
+                row.bytes_rewritten += case.bytes_rewritten;
+                row.checks += case.checks;
+                row.violations += case.violations;
+            }
+            None => rows.push(case),
+        }
+    }
+    rows
+}
+
+/// Renders the client sweep table.
+pub fn client_table(seed: u64, rows: &[CrashPointRow]) -> Table {
+    let mut table = Table::new(
+        &format!("Durability oracle — client crash-point sweep (seed {seed})"),
+        &[
+            "model",
+            "crash point",
+            "crashes",
+            "clean",
+            "lost",
+            "resurrected",
+            "double-replay",
+            "expected KB",
+            "observed KB",
+        ],
+    );
+    let kb = |b: u64| Cell::f1(b as f64 / 1024.0);
+    for row in rows {
+        let s = &row.summary;
+        table.push_row(vec![
+            Cell::from(model_name(row.model)),
+            Cell::Text(row.kind.to_string()),
+            Cell::Int(s.crash_points as i64),
+            Cell::Int(s.clean as i64),
+            Cell::Int(s.lost_durable as i64),
+            Cell::Int(s.resurrected as i64),
+            Cell::Int(s.double_replay as i64),
+            kb(s.bytes_expected),
+            kb(s.bytes_observed),
+        ]);
+    }
+    table
+}
+
+/// Renders the server sweep table.
+pub fn server_table(seed: u64, rows: &[ServerCheckRow]) -> Table {
+    let mut table = Table::new(
+        &format!("Durability oracle — torn replay-write sweep (seed {seed})"),
+        &[
+            "write buffer",
+            "torn fraction",
+            "crashes",
+            "replayed KB",
+            "rewritten KB",
+            "checks",
+            "violations",
+        ],
+    );
+    let kb = |b: u64| Cell::f1(b as f64 / 1024.0);
+    for row in rows {
+        table.push_row(vec![
+            Cell::from(row.mode),
+            Cell::Float {
+                value: row.fraction,
+                precision: 1,
+            },
+            Cell::Int(row.crashes as i64),
+            kb(row.bytes_replayed),
+            kb(row.bytes_rewritten),
+            Cell::Int(row.checks as i64),
+            Cell::Int(row.violations as i64),
+        ]);
+    }
+    table
+}
+
+/// Runs the full sweep under `seed`.
+pub fn run_seeded(env: &Env, seed: u64) -> Result<VerifyCrash, FaultError> {
+    let rows = client_sweep(env, seed)?;
+    let mut summary = OracleSummary::default();
+    for row in &rows {
+        summary.merge(&row.summary);
+    }
+    let server_rows = server_sweep(env);
+    Ok(VerifyCrash {
+        seed,
+        client_table: client_table(seed, &rows),
+        server_table: server_table(seed, &server_rows),
+        rows,
+        summary,
+        server_rows,
+    })
+}
+
+/// Runs the full sweep under the default seed.
+pub fn run(env: &Env) -> Result<VerifyCrash, FaultError> {
+    run_seeded(env, DEFAULT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_is_clean_everywhere() {
+        let out = run(&Env::tiny()).unwrap();
+        assert!(out.is_clean(), "{}", out.render());
+        assert!(out.summary.crash_points > 0);
+        assert_eq!(out.summary.clean, out.summary.crash_points);
+        // Every model × crash point row actually judged something.
+        assert!(out.rows.iter().all(|r| r.summary.crash_points > 0));
+        // The dead-board rows must observe zero bytes.
+        for row in &out.rows {
+            if row.kind == CrashPointKind::DeadBoard {
+                assert_eq!(row.summary.bytes_observed, 0, "{}", row.kind);
+            }
+        }
+        assert!(out.verdict_json().starts_with("{\"oracle\":\"clean\""));
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let env = Env::tiny();
+        let a = run_seeded(&env, 7).unwrap();
+        let b = run_seeded(&env, 7).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.server_rows, b.server_rows);
+    }
+
+    #[test]
+    fn plain_faults_schedules_are_clean_under_the_oracle() {
+        let seed = crate::faults::DEFAULT_SEED;
+        let s = faults_oracle_summary(&Env::tiny(), seed).unwrap();
+        assert_eq!(s.violations(), 0, "{}", s.verdict_json(seed));
+        assert!(s.crash_points > 0);
+        assert!(s
+            .verdict_json(seed)
+            .starts_with("{\"oracle\":\"clean\",\"seed\":42"));
+    }
+
+    #[test]
+    fn server_rows_cover_every_mode_and_fraction() {
+        let out = run(&Env::tiny()).unwrap();
+        assert_eq!(out.server_rows.len(), 2 * SERVER_FRACTIONS.len());
+        assert!(out.server_rows.iter().all(|r| r.violations == 0));
+        assert!(
+            out.server_rows.iter().any(|r| r.bytes_rewritten > 0),
+            "some torn write must actually be detected and rewritten"
+        );
+    }
+}

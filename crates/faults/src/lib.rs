@@ -263,6 +263,11 @@ pub struct ClientCrashFault {
     /// `Some(fraction)` if the recovery drain is torn: only `fraction` of
     /// the board's bytes are applied before the drain is cut short.
     pub torn_drain: Option<f64>,
+    /// `Some(n)` pins the torn drain to an exact budget of `n` 4 KB
+    /// blocks, overriding [`torn_drain`](ClientCrashFault::torn_drain).
+    /// Compiled schedules always leave this `None`; the crash-point sweep
+    /// sets it to enumerate mid-drain cuts block by block.
+    pub torn_drain_blocks: Option<u64>,
 }
 
 impl ClientCrashFault {
@@ -336,6 +341,7 @@ impl FaultSchedule {
                 relocation_delay: delay,
                 battery_failures: Vec::new(),
                 torn_drain: None,
+                torn_drain_blocks: None,
             });
         }
 
@@ -398,6 +404,105 @@ impl FaultSchedule {
             client_crashes,
             server_crashes,
         })
+    }
+}
+
+/// One boundary class the durability-oracle crash-point sweep pins every
+/// scheduled client crash to. From a single compiled `(seed, plan)`
+/// schedule, [`FaultSchedule::apply_crash_point`] derives one variant
+/// schedule per kind, so the sweep explores every interesting recovery
+/// boundary without perturbing crash placement or any other RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPointKind {
+    /// Healthy board, untorn drain: the baseline full recovery.
+    FullDrain,
+    /// The drain is cut after exactly `n` 4 KB blocks — swept over
+    /// `0..=board blocks` to hit every mid-drain boundary.
+    TornDrainBlocks(u64),
+    /// Every battery cell dies before the board is drained: recovery must
+    /// return nothing.
+    DeadBoard,
+    /// Every battery cell dies one microsecond *after* the drain: the
+    /// closest surviving edge of battery death.
+    BatteryEdgeAlive,
+    /// The crash lands one microsecond before the next flush-tick
+    /// boundary, maximising data still dirty in the cache.
+    PreFlush,
+    /// The crash lands one microsecond after the flush-tick boundary.
+    PostFlush,
+}
+
+impl CrashPointKind {
+    /// Short static label for reports and events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashPointKind::FullDrain => "full-drain",
+            CrashPointKind::TornDrainBlocks(_) => "mid-drain",
+            CrashPointKind::DeadBoard => "dead-board",
+            CrashPointKind::BatteryEdgeAlive => "battery-edge",
+            CrashPointKind::PreFlush => "pre-flush",
+            CrashPointKind::PostFlush => "post-flush",
+        }
+    }
+}
+
+impl fmt::Display for CrashPointKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashPointKind::TornDrainBlocks(n) => write!(f, "mid-drain@{n}blk"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// Derives the crash-point variant of this schedule for `kind`: every
+    /// scheduled client crash is pinned to that boundary while everything
+    /// else (crash clients, relocation delays, server crashes) is kept
+    /// verbatim. `flush_tick` is the consumer's flush cadence (e.g. the
+    /// cluster simulator's 5-second cleaner period), used to place the
+    /// pre-/post-flush edges.
+    pub fn apply_crash_point(
+        &self,
+        kind: CrashPointKind,
+        flush_tick: SimDuration,
+    ) -> FaultSchedule {
+        let mut out = self.clone();
+        for crash in &mut out.client_crashes {
+            match kind {
+                CrashPointKind::FullDrain => {
+                    crash.torn_drain = None;
+                    crash.torn_drain_blocks = None;
+                }
+                CrashPointKind::TornDrainBlocks(n) => {
+                    crash.torn_drain = None;
+                    crash.torn_drain_blocks = Some(n);
+                }
+                CrashPointKind::DeadBoard => {
+                    for cell in &mut crash.battery_failures {
+                        *cell = SimTime::ZERO;
+                    }
+                }
+                CrashPointKind::BatteryEdgeAlive => {
+                    let edge = crash
+                        .recovery_time()
+                        .saturating_add(SimDuration::from_micros(1));
+                    for cell in &mut crash.battery_failures {
+                        *cell = edge;
+                    }
+                }
+                CrashPointKind::PreFlush | CrashPointKind::PostFlush => {
+                    let tick = flush_tick.as_micros().max(1);
+                    let next = (crash.time.as_micros() / tick + 1) * tick;
+                    crash.time = match kind {
+                        CrashPointKind::PreFlush => SimTime::from_micros(next.saturating_sub(1)),
+                        _ => SimTime::from_micros(next.saturating_add(1)),
+                    };
+                }
+            }
+        }
+        out.client_crashes.sort_by_key(|c| (c.time, c.client.0));
+        out
     }
 }
 
@@ -616,6 +721,130 @@ mod tests {
         assert_eq!(a.bytes_lost(), 90);
         assert_eq!(a.loss_pct(), 60.0);
         assert_eq!(ReliabilityStats::default().loss_pct(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_compiles_when_nothing_is_scheduled() {
+        // A zero-length trace with no crash events is a valid (empty)
+        // plan; the same duration with any crash is a typed error, and
+        // neither case may panic.
+        let empty = FaultPlanConfig::new(4, SimDuration::ZERO);
+        let s = FaultSchedule::compile(3, &empty).unwrap();
+        assert!(s.client_crashes.is_empty());
+        assert!(s.server_crashes.is_empty());
+        assert_eq!(
+            FaultSchedule::compile(3, &empty.clone().with_server_crashes(1)),
+            Err(FaultError::ZeroDuration)
+        );
+    }
+
+    #[test]
+    fn zero_clients_supports_server_only_plans() {
+        // `clients == 0` is how the LFS server study runs: client crashes
+        // are impossible, server crashes are fine.
+        let plan = FaultPlanConfig::new(0, SimDuration::from_secs(100)).with_server_crashes(3);
+        let s = FaultSchedule::compile(5, &plan).unwrap();
+        assert!(s.client_crashes.is_empty());
+        assert_eq!(s.server_crashes.len(), 3);
+    }
+
+    #[test]
+    fn torn_probability_one_tears_every_fault() {
+        let plan = FaultPlanConfig::new(8, SimDuration::from_secs(3600))
+            .with_client_crashes(8)
+            .with_server_crashes(4)
+            .with_torn_probability(1.0);
+        let s = FaultSchedule::compile(13, &plan).unwrap();
+        assert!(s.client_crashes.iter().all(|c| c.torn_drain.is_some()));
+        assert!(s.server_crashes.iter().all(|c| c.torn_segment.is_some()));
+        for c in &s.client_crashes {
+            let f = c.torn_drain.unwrap();
+            assert!((0.1..0.9).contains(&f), "fraction {f} outside draw range");
+            assert_eq!(c.torn_drain_blocks, None, "compile never pins blocks");
+        }
+        // …and probability zero tears nothing, with no panic at either edge.
+        let s = FaultSchedule::compile(13, &plan.with_torn_probability(0.0)).unwrap();
+        assert!(s.client_crashes.iter().all(|c| c.torn_drain.is_none()));
+        assert!(s.server_crashes.iter().all(|c| c.torn_segment.is_none()));
+    }
+
+    #[test]
+    fn single_battery_boards_compile_with_full_sample() {
+        let plan = FaultPlanConfig::new(4, SimDuration::from_secs(3600))
+            .with_client_crashes(2)
+            .with_batteries(1);
+        let s = FaultSchedule::compile(21, &plan).unwrap();
+        for c in &s.client_crashes {
+            // The sample is always MAX_BOARD_BATTERIES wide; redundancy is
+            // a view, so a 1-battery board sees only the earliest death.
+            assert_eq!(c.battery_failures.len(), MAX_BOARD_BATTERIES as usize);
+            assert_eq!(c.battery_clock(1), &c.battery_failures[..1]);
+        }
+        assert_eq!(
+            FaultSchedule::compile(
+                21,
+                &FaultPlanConfig::new(4, SimDuration::from_secs(1))
+                    .with_battery_mtbf(SimDuration::ZERO)
+            ),
+            Err(FaultError::ZeroMtbf)
+        );
+    }
+
+    #[test]
+    fn crash_points_pin_only_their_own_dimension() {
+        let base = FaultSchedule::compile(42, &plan()).unwrap();
+        let tick = SimDuration::from_secs(5);
+
+        let full = base.apply_crash_point(CrashPointKind::FullDrain, tick);
+        assert!(full
+            .client_crashes
+            .iter()
+            .all(|c| c.torn_drain.is_none() && c.torn_drain_blocks.is_none()));
+
+        let torn = base.apply_crash_point(CrashPointKind::TornDrainBlocks(2), tick);
+        assert!(torn
+            .client_crashes
+            .iter()
+            .all(|c| c.torn_drain_blocks == Some(2) && c.torn_drain.is_none()));
+        // Crash placement is untouched.
+        for (a, b) in base.client_crashes.iter().zip(&torn.client_crashes) {
+            assert_eq!((a.time, a.client), (b.time, b.client));
+        }
+
+        let dead = base.apply_crash_point(CrashPointKind::DeadBoard, tick);
+        assert!(dead
+            .client_crashes
+            .iter()
+            .all(|c| c.battery_failures.iter().all(|&t| t == SimTime::ZERO)));
+
+        let alive = base.apply_crash_point(CrashPointKind::BatteryEdgeAlive, tick);
+        for c in &alive.client_crashes {
+            let edge = c
+                .recovery_time()
+                .saturating_add(SimDuration::from_micros(1));
+            assert!(c.battery_failures.iter().all(|&t| t == edge));
+        }
+
+        for kind in [CrashPointKind::PreFlush, CrashPointKind::PostFlush] {
+            let nudged = base.apply_crash_point(kind, tick);
+            for c in &nudged.client_crashes {
+                let off = c.time.as_micros() % tick.as_micros();
+                let expect = match kind {
+                    CrashPointKind::PreFlush => tick.as_micros() - 1,
+                    _ => 1,
+                };
+                assert_eq!(off, expect, "{kind}: crash not on the flush edge");
+            }
+            assert!(nudged
+                .client_crashes
+                .windows(2)
+                .all(|w| (w[0].time, w[0].client.0) <= (w[1].time, w[1].client.0)));
+        }
+        assert_eq!(
+            CrashPointKind::TornDrainBlocks(3).to_string(),
+            "mid-drain@3blk"
+        );
+        assert_eq!(CrashPointKind::DeadBoard.label(), "dead-board");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! segments ever reach the disk.
 
 use nvfs_faults::{ReliabilityStats, ServerCrashFault};
-use nvfs_types::{ByteRange, FileId, RangeSet, SimDuration, SimTime};
+use nvfs_types::{FileId, RangeSet, SimDuration, SimTime};
 
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOpKind};
 
@@ -329,8 +329,10 @@ pub fn run_filesystem_faulted(
     };
 
     // The server dies: the in-memory partial-segment buffer is lost, the
-    // NVRAM staging buffer survives and is replayed on restart. A torn
-    // replay write is written again from NVRAM (wasted access, no loss).
+    // NVRAM staging buffer survives and is replayed on restart. A replay
+    // write torn by the crash fails its summary checksum; roll-forward
+    // truncates it and the segment is written again from NVRAM (wasted
+    // access, no loss).
     macro_rules! server_crash {
         ($fault:expr) => {{
             let fault: &ServerCrashFault = $fault;
@@ -341,20 +343,32 @@ pub fn run_filesystem_faulted(
                 let staged = std::mem::take(&mut nvram);
                 reliability.bytes_replayed += nvram_bytes;
                 if let Some(fraction) = fault.torn_segment {
-                    let torn = (nvram_bytes as f64 * fraction) as u64;
-                    let prefix = chunk_prefix(&staged, torn);
-                    if !prefix.is_empty() {
-                        writer.write_all(fault.time, &prefix, SegmentCause::Recovery, true);
-                        reliability.bytes_rewritten_torn += torn;
+                    let tail = writer.write_all_torn(
+                        fault.time,
+                        &staged,
+                        SegmentCause::Recovery,
+                        fraction,
+                    );
+                    let rolled = writer.roll_forward(fault.time);
+                    reliability.bytes_rewritten_torn += rolled.truncated_data_bytes;
+                    if !tail.is_empty() {
+                        write_out(
+                            &mut writer,
+                            &mut cleaner,
+                            fault.time,
+                            &tail,
+                            SegmentCause::Recovery,
+                        );
                     }
+                } else {
+                    write_out(
+                        &mut writer,
+                        &mut cleaner,
+                        fault.time,
+                        &staged,
+                        SegmentCause::Recovery,
+                    );
                 }
-                write_out(
-                    &mut writer,
-                    &mut cleaner,
-                    fault.time,
-                    &staged,
-                    SegmentCause::Recovery,
-                );
                 nvram_bytes = 0;
             }
         }};
@@ -527,31 +541,6 @@ pub fn run_filesystem_faulted(
         },
         reliability,
     )
-}
-
-/// The first `limit` bytes of `chunks`, in chunk order — the prefix a torn
-/// segment write managed to put on disk before it was cut.
-fn chunk_prefix(chunks: &Chunks, limit: u64) -> Chunks {
-    let mut out: Chunks = Vec::new();
-    let mut budget = limit;
-    for (file, ranges) in chunks {
-        if budget == 0 {
-            break;
-        }
-        let mut kept = RangeSet::new();
-        for r in ranges.iter() {
-            if budget == 0 {
-                break;
-            }
-            let take = r.len().min(budget);
-            kept.insert(ByteRange::at(r.start, take));
-            budget -= take;
-        }
-        if !kept.is_empty() {
-            out.push((*file, kept));
-        }
-    }
-    out
 }
 
 /// Writes full segments out of the NVRAM staging buffer; forces a flush if
@@ -865,11 +854,14 @@ mod tests {
             torn_segment: Some(0.5),
         };
         let (r, rel) = run_filesystem_faulted(&w, &cfg, &[torn]);
-        assert_eq!(rel.bytes_rewritten_torn, 4096);
+        // The torn segment fails its checksum; roll-forward truncates the
+        // whole intended segment, and it is rewritten from NVRAM in full.
+        assert_eq!(rel.bytes_rewritten_torn, 8192);
         assert_eq!(rel.bytes_replayed, 8192);
         assert_eq!(rel.bytes_lost(), 0, "NVRAM lets the replay retry");
-        // The torn attempt costs an extra Recovery segment write.
-        assert_eq!(r.count(SegmentCause::Recovery), 2);
+        // The truncated attempt leaves the log; only the rewrite remains.
+        assert_eq!(r.count(SegmentCause::Recovery), 1);
+        assert!(r.records.iter().all(|rec| rec.is_valid()));
     }
 
     #[test]

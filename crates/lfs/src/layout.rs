@@ -71,13 +71,30 @@ pub struct SegmentRecord {
     pub time: SimTime,
     /// Why it was written.
     pub cause: SegmentCause,
-    /// File data bytes (whole 4 KB blocks).
+    /// File data bytes (whole 4 KB blocks) the write *intended* to put on
+    /// disk. For a torn segment this exceeds what actually landed.
     pub data_bytes: u64,
     /// Distinct files with blocks in the segment.
     pub file_count: usize,
+    /// The FNV-1a checksum the 512-byte summary block stores, computed
+    /// over the segment's intended (file, block) content list before the
+    /// write started.
+    pub stored_checksum: u64,
+    /// The checksum of the content actually on disk. A torn write leaves
+    /// this different from [`stored_checksum`](SegmentRecord::stored_checksum),
+    /// which is exactly how roll-forward recovery detects the tear.
+    pub content_checksum: u64,
 }
 
 impl SegmentRecord {
+    /// Whether the on-disk content matches the summary checksum. Recovery
+    /// replays the log only up to the last valid segment; anything after
+    /// fails this check and is truncated
+    /// ([`SegmentWriter::roll_forward`](crate::log::SegmentWriter::roll_forward)).
+    pub fn is_valid(&self) -> bool {
+        self.stored_checksum == self.content_checksum
+    }
+
     /// Metadata bytes: one 4 KB block per file, at least one.
     pub fn metadata_bytes(&self) -> u64 {
         (self.file_count.max(1) as u64) * METADATA_BLOCK_BYTES
@@ -118,6 +135,8 @@ mod tests {
             cause,
             data_bytes: data_blocks * 4096,
             file_count: files,
+            stored_checksum: 0,
+            content_checksum: 0,
         }
     }
 
@@ -150,6 +169,8 @@ mod tests {
             cause: SegmentCause::Full,
             data_bytes: data,
             file_count: 1,
+            stored_checksum: 0,
+            content_checksum: 0,
         };
         assert!(!r.is_partial());
         assert!(r.overhead_fraction() < 0.01);

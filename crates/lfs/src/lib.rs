@@ -50,6 +50,6 @@ pub use fs::{
     FsReport, LfsConfig, WriteBufferMode,
 };
 pub use layout::{SegmentCause, SegmentRecord, SEGMENT_BYTES};
-pub use log::{SegmentUsage, SegmentWriter};
+pub use log::{Chunks, RollForward, SegmentUsage, SegmentWriter};
 pub use read_latency::ReadLatencyModel;
 pub use sampling::{sample_counters, CounterSample};

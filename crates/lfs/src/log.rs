@@ -251,12 +251,15 @@ impl SegmentWriter {
         for b in &seg.blocks {
             self.usage.place(*b, id);
         }
+        let checksum = segment_checksum(&seg.blocks);
         let record = SegmentRecord {
             id,
             time: t,
             cause,
             data_bytes: seg.data_bytes(),
             file_count: seg.files.len(),
+            stored_checksum: checksum,
+            content_checksum: checksum,
         };
         nvfs_obs::counter_add("lfs.segments_written", 1);
         nvfs_obs::counter_add("lfs.data_bytes", record.data_bytes);
@@ -276,6 +279,133 @@ impl SegmentWriter {
             .emit();
         self.records.push(record);
     }
+
+    /// Like [`write_all`](SegmentWriter::write_all), but the **final**
+    /// segment write is torn after `fraction` of its blocks: its summary
+    /// checksum no longer matches the on-disk content, its blocks are not
+    /// placed in the usage table, and the segment's intended chunks are
+    /// returned so the caller can rewrite them after
+    /// [`roll_forward`](SegmentWriter::roll_forward) truncates the tear.
+    ///
+    /// Naturally full prefix segments are written (and checksummed) intact.
+    /// A fraction of 1.0 or more tears nothing: the write completes
+    /// normally and an empty chunk list is returned.
+    pub fn write_all_torn(
+        &mut self,
+        t: SimTime,
+        chunks: &Chunks,
+        cause: SegmentCause,
+        fraction: f64,
+    ) -> Chunks {
+        let (_, tail) = self.write_full_only(t, chunks);
+        if tail.is_empty() {
+            return Chunks::new();
+        }
+        // Rebuild the final segment exactly as `pack` would have.
+        let mut per_file: BTreeMap<FileId, BTreeSet<u64>> = BTreeMap::new();
+        for (file, ranges) in &tail {
+            let set = per_file.entry(*file).or_default();
+            for r in ranges.iter() {
+                for b in blocks_of_range(*file, r) {
+                    set.insert(b.index);
+                }
+            }
+        }
+        let mut seg = OpenSegment::default();
+        for (file, blocks) in &per_file {
+            for &idx in blocks {
+                seg.blocks.push(BlockId::new(*file, idx));
+                seg.files.insert(*file);
+            }
+        }
+        let intended = seg.blocks.len();
+        let written = (intended as f64 * fraction) as usize;
+        if written >= intended {
+            self.write_all(t, &tail, cause, false);
+            return Chunks::new();
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        let record = SegmentRecord {
+            id,
+            time: t,
+            cause,
+            data_bytes: seg.data_bytes(),
+            file_count: seg.files.len(),
+            stored_checksum: segment_checksum(&seg.blocks),
+            content_checksum: segment_checksum(&seg.blocks[..written]),
+        };
+        debug_assert!(!record.is_valid(), "a torn segment must fail its checksum");
+        nvfs_obs::counter_add("lfs.segments_torn", 1);
+        nvfs_obs::event("seg_write", t.as_micros())
+            .str("cause", cause.label())
+            .u64("seg", id)
+            .u64("data_bytes", record.data_bytes)
+            .u64("files", record.file_count as u64)
+            .u64("partial", record.is_partial() as u64)
+            .u64("torn", 1)
+            .emit();
+        self.records.push(record);
+        tail
+    }
+
+    /// Roll-forward recovery over the log tail: scans back from the end,
+    /// truncating every segment whose on-disk content fails its summary
+    /// checksum, and stops at the first valid segment. Torn tails become
+    /// *detected* truncations instead of silently replayed garbage.
+    ///
+    /// Idempotent: a second call finds a valid tail and truncates nothing,
+    /// which is what makes replay-after-recovery safe to repeat.
+    pub fn roll_forward(&mut self, t: SimTime) -> RollForward {
+        let mut out = RollForward::default();
+        while let Some(last) = self.records.last() {
+            out.scanned += 1;
+            if last.is_valid() {
+                break;
+            }
+            let torn = self.records.pop().expect("just peeked");
+            // Torn segments never placed blocks, but evacuate defensively
+            // so the usage table cannot reference a truncated segment.
+            self.usage.evacuate(torn.id);
+            out.truncated_segments += 1;
+            out.truncated_data_bytes += torn.data_bytes;
+        }
+        if out.truncated_segments > 0 {
+            nvfs_obs::counter_add("lfs.segments_truncated", out.truncated_segments as u64);
+            nvfs_obs::counter_add("lfs.bytes_truncated", out.truncated_data_bytes);
+            nvfs_obs::event("roll_forward", t.as_micros())
+                .u64("scanned", out.scanned as u64)
+                .u64("truncated_segments", out.truncated_segments as u64)
+                .u64("truncated_bytes", out.truncated_data_bytes)
+                .emit();
+        }
+        out
+    }
+}
+
+/// What one [`SegmentWriter::roll_forward`] pass found and truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RollForward {
+    /// Trailing segments examined (truncated ones plus the first valid).
+    pub scanned: usize,
+    /// Checksum-invalid segments removed from the log tail.
+    pub truncated_segments: usize,
+    /// Intended data bytes of the truncated segments — exactly the bytes
+    /// that must be written again from NVRAM.
+    pub truncated_data_bytes: u64,
+}
+
+/// The summary-block checksum: 64-bit FNV-1a over the segment's (file,
+/// block-index) content list, in segment order. The simulation carries no
+/// payload bytes, so the block list *is* the content identity; any torn
+/// prefix of it hashes differently, which is all a checksum must provide.
+fn segment_checksum(blocks: &[BlockId]) -> u64 {
+    let mut d = nvfs_obs::digest::Digest::new();
+    for b in blocks {
+        d.update(&format!("{}:{};", b.file.0, b.index));
+    }
+    d.value()
 }
 
 #[cfg(test)]
@@ -423,5 +553,97 @@ mod tests {
             true,
         );
         assert!(w.records().iter().all(|r| r.cause == SegmentCause::Cleaner));
+    }
+
+    #[test]
+    fn normal_segments_pass_their_checksum() {
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 1 << 20)],
+            SegmentCause::Timeout,
+            false,
+        );
+        assert!(w.records().iter().all(|r| r.is_valid()));
+        assert_ne!(w.records()[0].stored_checksum, 0);
+    }
+
+    #[test]
+    fn torn_write_fails_checksum_and_places_no_blocks() {
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        let tail = w.write_all_torn(
+            SimTime::ZERO,
+            &vec![chunk(0, 16384)],
+            SegmentCause::Recovery,
+            0.5,
+        );
+        assert_eq!(tail, vec![chunk(0, 16384)]);
+        let r = w.records()[0];
+        assert!(!r.is_valid());
+        assert_eq!(r.data_bytes, 16384);
+        // Torn segments never enter the usage table.
+        assert_eq!(w.usage().total_live_bytes(), 0);
+    }
+
+    #[test]
+    fn torn_write_keeps_full_prefix_segments_intact() {
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        // ~1.2 MB -> 2 full (valid) + 1 torn partial.
+        let tail = w.write_all_torn(
+            SimTime::ZERO,
+            &vec![chunk(0, 1_200_000)],
+            SegmentCause::Recovery,
+            0.3,
+        );
+        assert!(!tail.is_empty());
+        let records = w.records();
+        assert_eq!(records.len(), 3);
+        assert!(records[0].is_valid());
+        assert!(records[1].is_valid());
+        assert!(!records[2].is_valid());
+        let tail_bytes: u64 = tail.iter().map(|(_, s)| s.len_bytes()).sum();
+        assert_eq!(records[2].data_bytes, tail_bytes);
+    }
+
+    #[test]
+    fn fraction_one_is_not_torn() {
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        let tail = w.write_all_torn(
+            SimTime::ZERO,
+            &vec![chunk(0, 8192)],
+            SegmentCause::Recovery,
+            1.0,
+        );
+        assert!(tail.is_empty());
+        assert!(w.records()[0].is_valid());
+        assert_eq!(w.usage().total_live_bytes(), 8192);
+    }
+
+    #[test]
+    fn roll_forward_truncates_only_the_torn_tail() {
+        let mut w = SegmentWriter::new(SEGMENT_BYTES);
+        w.write_all(
+            SimTime::ZERO,
+            &vec![chunk(0, 8192)],
+            SegmentCause::Fsync,
+            false,
+        );
+        w.write_all_torn(
+            SimTime::from_secs(1),
+            &vec![chunk(1, 12288)],
+            SegmentCause::Recovery,
+            0.5,
+        );
+        let rolled = w.roll_forward(SimTime::from_secs(2));
+        assert_eq!(rolled.truncated_segments, 1);
+        assert_eq!(rolled.truncated_data_bytes, 12288);
+        assert_eq!(rolled.scanned, 2);
+        assert_eq!(w.records().len(), 1);
+        assert!(w.records()[0].is_valid());
+        // Idempotent: a second pass finds a valid tail and does nothing.
+        let again = w.roll_forward(SimTime::from_secs(3));
+        assert_eq!(again.truncated_segments, 0);
+        assert_eq!(again.truncated_data_bytes, 0);
+        assert_eq!(w.records().len(), 1);
     }
 }

@@ -106,6 +106,8 @@ mod tests {
             cause,
             data_bytes: kb * 1024,
             file_count: 1,
+            stored_checksum: 0,
+            content_checksum: 0,
         }
     }
 

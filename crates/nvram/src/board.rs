@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use nvfs_types::{ByteRange, ClientId, FileId, RangeSet};
+use nvfs_types::{ByteRange, ClientId, FileId, RangeSet, BLOCK_SIZE};
 
 use crate::battery::BatteryBank;
 
@@ -139,6 +139,14 @@ impl NvramBoard {
     /// truncated drain does not leave a retryable remainder, it is exactly
     /// the partial-application failure §4's recovery flow has to report.
     ///
+    /// The cut is made **at 4 KB block boundaries**, never mid-block: a
+    /// range is either taken whole (when the remaining budget covers it) or
+    /// cut at the largest block-grid offset the budget reaches — so
+    /// `recovered + lost` never splits a single write record's accounting
+    /// and the drain prefix is exactly what the durability oracle predicts.
+    /// Once a range cannot be taken whole the drain stops: a torn drain is
+    /// a prefix, not a sieve.
+    ///
     /// Dead batteries lose everything, as with [`drain`](NvramBoard::drain).
     pub fn drain_up_to(&mut self, max_bytes: u64) -> (RecoveredData, u64) {
         let held = self.dirty_bytes();
@@ -148,18 +156,24 @@ impl NvramBoard {
         }
         let mut recovered = RecoveredData::new();
         let mut budget = max_bytes;
-        for (file, set) in std::mem::take(&mut self.contents) {
+        'files: for (file, set) in std::mem::take(&mut self.contents) {
             if budget == 0 {
                 continue;
             }
             let mut kept = RangeSet::new();
             for range in set.iter() {
-                if budget == 0 {
-                    break;
+                let take = block_aligned_take(range, budget);
+                if take > 0 {
+                    kept.insert(ByteRange::at(range.start, take));
+                    budget -= take;
                 }
-                let take = range.len().min(budget);
-                kept.insert(ByteRange::at(range.start, take));
-                budget -= take;
+                if take < range.len() {
+                    // The budget ran out mid-range: the cut ends the drain.
+                    if !kept.is_empty() {
+                        recovered.insert(file, kept);
+                    }
+                    break 'files;
+                }
             }
             if !kept.is_empty() {
                 recovered.insert(file, kept);
@@ -168,6 +182,19 @@ impl NvramBoard {
         let out: u64 = recovered.values().map(RangeSet::len_bytes).sum();
         (recovered, held - out)
     }
+}
+
+/// How many bytes of `range` a torn drain with `budget` bytes left may
+/// take: the whole range when the budget covers it, otherwise everything
+/// up to the largest 4 KB block-grid offset the budget reaches (possibly
+/// zero). Cutting on the grid keeps each write record's bytes together in
+/// either the recovered or the lost column, never split across both.
+fn block_aligned_take(range: ByteRange, budget: u64) -> u64 {
+    if budget >= range.len() {
+        return range.len();
+    }
+    let cut = ((range.start + budget) / BLOCK_SIZE) * BLOCK_SIZE;
+    cut.saturating_sub(range.start)
 }
 
 #[cfg(test)]
@@ -214,11 +241,38 @@ mod tests {
         let mut b = NvramBoard::new(ClientId(0), 1 << 20);
         b.store(FileId(1), ByteRange::new(0, 4096));
         b.store(FileId(2), ByteRange::new(0, 4096));
+        // A 6000-byte budget covers file 1 whole but cannot cover any full
+        // block of file 2: the cut lands on the block boundary, never
+        // mid-block, so exactly one 4 KB record survives.
         let (recovered, lost) = b.drain_up_to(6000);
         let out: u64 = recovered.values().map(RangeSet::len_bytes).sum();
-        assert_eq!(out, 6000);
-        assert_eq!(lost, 2192);
+        assert_eq!(out, 4096);
+        assert_eq!(lost, 4096);
         assert_eq!(b.dirty_bytes(), 0, "a torn drain leaves nothing behind");
+    }
+
+    #[test]
+    fn truncated_drain_cuts_within_a_range_on_the_block_grid() {
+        let mut b = NvramBoard::new(ClientId(0), 1 << 20);
+        b.store(FileId(1), ByteRange::new(0, 3 * 4096));
+        let (recovered, lost) = b.drain_up_to(2 * 4096 + 17);
+        assert_eq!(recovered[&FileId(1)].len_bytes(), 2 * 4096);
+        assert_eq!(lost, 4096);
+    }
+
+    #[test]
+    fn truncated_drain_is_a_prefix_not_a_sieve() {
+        let mut b = NvramBoard::new(ClientId(0), 1 << 20);
+        // An unaligned first range the budget cannot finish must stop the
+        // drain entirely: later files never leak past a torn cut.
+        b.store(FileId(1), ByteRange::new(100, 100 + 2 * 4096));
+        b.store(FileId(2), ByteRange::new(0, 4096));
+        let (recovered, lost) = b.drain_up_to(4096 + 50);
+        // Cut lands at offset 4096 on the block grid: 4096 - 100 bytes of
+        // file 1 survive, nothing of file 2.
+        assert_eq!(recovered[&FileId(1)].len_bytes(), 4096 - 100);
+        assert!(!recovered.contains_key(&FileId(2)));
+        assert_eq!(lost, (2 * 4096 + 4096) - (4096 - 100));
     }
 
     #[test]

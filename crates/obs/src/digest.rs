@@ -51,6 +51,12 @@ impl Digest {
     pub fn hex(&self) -> String {
         format!("{:016x}", self.state)
     }
+
+    /// The raw 64-bit digest value — e.g. the checksum an LFS segment
+    /// summary block stores. `hex()` is this value formatted.
+    pub fn value(&self) -> u64 {
+        self.state
+    }
 }
 
 impl Default for Digest {

@@ -102,6 +102,7 @@ fn main() -> ExitCode {
         "lifetime" => cmd_lifetime(args),
         "lfs" => cmd_lfs(args),
         "faults" => cmd_faults(args),
+        "verify-crash" => cmd_verify_crash(args),
         "experiments" => cmd_experiments(args),
         "scorecard" => cmd_scorecard(args),
         "export-csv" => cmd_export_csv(args),
@@ -155,9 +156,16 @@ commands:
   lifetime     <FILE>
   lfs          [--scale S] [--buffer-kb N]
   faults       [--scale S] [--seed N] [--model volatile|write-aside|hybrid|unified]
+               [--oracle]
                reliability scorecard: bytes lost per cache model under one
                seeded fault schedule (client crashes, battery death, torn
-               writes, server crashes)
+               writes, server crashes); --oracle re-judges every recovery
+               against the shadow durability model and fails on violations
+  verify-crash [--scale S] [--seed N]
+               durability oracle: deterministic crash-point sweep (full,
+               mid-drain per block, dead board, battery edge, pre/post
+               flush) plus torn replay-write checks; prints a one-line
+               JSON verdict and exits nonzero on any violation
   experiments  [--scale S] [tab1 fig2 tab2 fig3 fig4 fig5 fig6 tab3 tab4
                 write-buffer disk-sort bus-nvram presto pipeline ablations
                 consistency nvram-speed faults ...]
@@ -180,6 +188,16 @@ observability (global, any command):
                        and the full metric snapshot. The `run` section is
                        deterministic; `meta` (wall clock, git rev, jobs)
                        is volatile. Compare with `nvfs obs diff`.";
+
+/// Removes a value-less `--flag`, returning whether it was present.
+fn take_switch(args: &mut VecDeque<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
 
 /// Pulls `--flag VALUE` out of the argument list, if present.
 fn take_flag(args: &mut VecDeque<String>, flag: &str) -> Result<Option<String>, String> {
@@ -477,6 +495,7 @@ fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --seed")?;
     let model = take_flag(&mut args, "--model")?;
+    let oracle = take_switch(&mut args, "--oracle");
     nvfs::obs::manifest::set_seed(seed);
     note_config(&[
         ("command", "faults"),
@@ -511,6 +530,47 @@ fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
                 );
             }
         }
+    }
+    if oracle {
+        // Re-judge the same schedules under the shadow durability model:
+        // any recovery that lost a promised byte, resurrected an
+        // unpromised one, or replayed a byte twice fails the run.
+        let summary = catching("faults --oracle", || {
+            exp::verify_crash::faults_oracle_summary(&env, seed).map_err(|e| e.to_string())
+        })?;
+        outln!("{}", summary.verdict_json(seed));
+        if summary.violations() > 0 {
+            return Err(format!(
+                "durability oracle found {} violation(s)",
+                summary.violations()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verify_crash(mut args: VecDeque<String>) -> Result<(), String> {
+    let (env, scale) = parse_env(&mut args)?;
+    let seed: u64 = take_flag(&mut args, "--seed")?
+        .unwrap_or_else(|| exp::faults::DEFAULT_SEED.to_string())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    nvfs::obs::manifest::set_seed(seed);
+    note_config(&[
+        ("command", "verify-crash"),
+        ("scale", scale),
+        ("seed", &seed.to_string()),
+    ]);
+    eprintln!("[verify-crash] jobs = {}", nvfs::par::jobs());
+    let out = catching("verify-crash", || {
+        exp::verify_crash::run_seeded(&env, seed).map_err(|e| e.to_string())
+    })?;
+    outln!("{}", out.render());
+    if !out.is_clean() {
+        return Err(format!(
+            "durability oracle found {} violation(s)",
+            out.violations()
+        ));
     }
     Ok(())
 }

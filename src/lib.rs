@@ -26,6 +26,11 @@
 //! * [`faults`] — deterministic fault-injection schedules (client/server
 //!   crashes, battery aging, torn writes) and end-to-end reliability
 //!   accounting for the §2.3/§4 crash studies.
+//! * [`oracle`] — the crash-consistency durability oracle: a shadow model
+//!   of each cache model's durability contract, diffed against recovered
+//!   state after every injected crash to yield typed verdicts (`Clean`,
+//!   `LostDurable`, `Resurrected`, `DoubleReplay`) and prove replay
+//!   idempotent.
 //! * [`rng`] — the self-contained xoshiro256++ PRNG every simulation seeds
 //!   from (no external dependencies, stable streams).
 //! * [`par`] — deterministic parallel fan-out ([`par::par_map`]) and the
@@ -57,6 +62,7 @@ pub use nvfs_faults as faults;
 pub use nvfs_lfs as lfs;
 pub use nvfs_nvram as nvram;
 pub use nvfs_obs as obs;
+pub use nvfs_oracle as oracle;
 pub use nvfs_par as par;
 pub use nvfs_report as report;
 pub use nvfs_rng as rng;
