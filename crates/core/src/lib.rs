@@ -12,7 +12,10 @@
 //! * [`consistency`] — Sprite's server-side consistency protocol
 //!   (last-writer recall, concurrent write-sharing);
 //! * [`policy`] / [`omniscient`] — LRU, random, and omniscient replacement;
-//! * [`sim`] — the multi-client [`ClusterSim`] driver and its
+//! * [`session`] — the composable engine: [`SimSession`] drives a
+//!   [`SimEngine`] under a caller-assembled [`RunHook`] stack;
+//! * [`sim`] — the multi-client [`ClusterSim`] facade whose `run_*`
+//!   methods assemble the canonical hook stacks, and its
 //!   [`TrafficStats`];
 //! * [`lifetime`] — the infinite-cache byte-lifetime pass (Figure 2,
 //!   Table 2);
@@ -45,6 +48,7 @@ pub mod metrics;
 pub mod omniscient;
 pub mod policy;
 pub mod recovery;
+pub mod session;
 pub mod sim;
 
 pub use client::{ClientCache, FlushCause};
@@ -55,4 +59,8 @@ pub use metrics::TrafficStats;
 pub use omniscient::OmniscientSchedule;
 pub use policy::Policy;
 pub use recovery::{recover, recover_up_to, snapshot_nvram, RecoveryError, RecoveryOutcome};
+pub use session::{
+    warmup_cut, CrashEvent, DrainEvent, FaultInjector, FlushEvent, ObsRecorder, OpAction,
+    OracleJudge, RunHook, SessionOutput, SimEngine, SimSession, WarmupReset, WriteLogCapture,
+};
 pub use sim::{ClusterSim, FaultRunReport};

@@ -1,27 +1,28 @@
 //! The trace-driven cluster simulator (§2.2).
 //!
 //! [`ClusterSim`] replays a canonical [`OpStream`] against one
-//! [`ClientCache`] per client plus the server-side
-//! [`ConsistencyServer`], producing the [`TrafficStats`] from which
-//! Figures 3–6 are derived. The volatile model's 30-second delayed
-//! write-back is driven by a 5-second cleaner tick, exactly as in Sprite.
+//! [`ClientCache`](crate::client::ClientCache) per client plus the
+//! server-side [`ConsistencyServer`](crate::consistency::ConsistencyServer),
+//! producing the [`TrafficStats`] from which Figures 3–6 are derived.
+//! The volatile model's 30-second delayed write-back is driven by a
+//! 5-second cleaner tick, exactly as in Sprite.
+//!
+//! Every `run_*` entry point is a thin wrapper over the composable
+//! engine in [`session`](crate::session): it assembles the canonical
+//! [`RunHook`](crate::session::RunHook) stack for that concern and
+//! drives one [`SimSession`]. Custom compositions (warmup + faults +
+//! oracle, say) are assembled the same way by callers.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use nvfs_faults::{FaultSchedule, ReliabilityStats};
+use nvfs_oracle::Oracle;
+use nvfs_trace::op::OpStream;
 
-use nvfs_faults::{ClientCrashFault, FaultSchedule, ReliabilityStats};
-use nvfs_nvram::NvramBoard;
-use nvfs_oracle::{DrainExpectation, DurableMap, DurablePromise, Oracle};
-use nvfs_trace::op::{OpKind, OpStream};
-use nvfs_types::{ClientId, SimTime, BLOCK_SIZE};
-
-use crate::client::{ClientCache, FlushCause, ServerWrite};
-use crate::config::{CacheModelKind, ConsistencyMode, PolicyKind, SimConfig};
-use crate::consistency::ConsistencyServer;
+use crate::client::ServerWrite;
+use crate::config::SimConfig;
 use crate::metrics::TrafficStats;
-use crate::omniscient::OmniscientSchedule;
-use crate::policy::Policy;
-use crate::recovery::{recover_up_to, snapshot_nvram, RecoveryError};
+use crate::session::{
+    FaultInjector, ObsRecorder, OracleJudge, SimSession, WarmupReset, WriteLogCapture,
+};
 
 /// A configured cluster simulation, ready to run over op streams.
 ///
@@ -70,12 +71,16 @@ impl ClusterSim {
     /// The omniscient policy builds its schedule from this same stream (the
     /// paper's third pass).
     pub fn run(&self, ops: &OpStream) -> TrafficStats {
-        self.run_detailed(ops).0
+        let mut obs = ObsRecorder::new();
+        SimSession::new(&self.config)
+            .run(ops, &mut [&mut obs])
+            .stats
     }
 
     /// Runs with a warm-up prefix: the first `warmup` fraction of the
     /// stream populates the caches, then every counter is reset, so the
-    /// returned statistics describe steady state only.
+    /// returned statistics describe steady state only. The cut index is
+    /// `floor(len * warmup)` — see [`warmup_cut`](crate::session::warmup_cut).
     ///
     /// The paper notes its own simulations "started with empty caches,
     /// thereby misclassifying some writes as new data rather than
@@ -85,16 +90,20 @@ impl ClusterSim {
     ///
     /// Panics unless `0.0 <= warmup < 1.0`.
     pub fn run_with_warmup(&self, ops: &OpStream, warmup: f64) -> TrafficStats {
-        assert!((0.0..1.0).contains(&warmup), "warmup must be in [0, 1)");
-        let cut = (ops.len() as f64 * warmup) as usize;
-        self.run_detailed_until(ops, usize::MAX, Some(cut)).0
+        let mut warm = WarmupReset::fraction(ops.len(), warmup);
+        let mut obs = ObsRecorder::new();
+        SimSession::new(&self.config)
+            .run(ops, &mut [&mut warm, &mut obs])
+            .stats
     }
 
     /// Like [`ClusterSim::run`], but also returns the time-ordered log of
     /// every write the clients sent to the server — the input for a
     /// server-side (LFS) simulation downstream.
     pub fn run_detailed(&self, ops: &OpStream) -> (TrafficStats, Vec<ServerWrite>) {
-        self.run_detailed_until(ops, usize::MAX, None)
+        let (mut obs, mut log) = (ObsRecorder::new(), WriteLogCapture::new());
+        let out = SimSession::new(&self.config).run(ops, &mut [&mut obs, &mut log]);
+        (out.stats, log.take())
     }
 
     /// Replays `ops` under an injected [`FaultSchedule`]: each scheduled
@@ -108,12 +117,16 @@ impl ClusterSim {
     /// Deterministic: the same `(schedule, ops, config)` triple produces
     /// byte-identical results at any worker-thread count.
     pub fn run_with_faults(&self, ops: &OpStream, schedule: &FaultSchedule) -> FaultRunReport {
-        let (stats, writes, reliability) =
-            self.run_core(ops, usize::MAX, None, Some(schedule), None);
+        let (mut faults, mut obs, mut log) = (
+            FaultInjector::new(schedule),
+            ObsRecorder::new(),
+            WriteLogCapture::new(),
+        );
+        let out = SimSession::new(&self.config).run(ops, &mut [&mut faults, &mut obs, &mut log]);
         FaultRunReport {
-            stats,
-            reliability,
-            writes,
+            stats: out.stats,
+            reliability: out.reliability,
+            writes: log.take(),
         }
     }
 
@@ -128,380 +141,34 @@ impl ClusterSim {
         ops: &OpStream,
         schedule: &FaultSchedule,
     ) -> (FaultRunReport, Oracle) {
-        let mut oracle = Oracle::new();
-        let (stats, writes, reliability) =
-            self.run_core(ops, usize::MAX, None, Some(schedule), Some(&mut oracle));
+        let (mut faults, mut obs, mut judge, mut log) = (
+            FaultInjector::new(schedule),
+            ObsRecorder::new(),
+            OracleJudge::new(),
+            WriteLogCapture::new(),
+        );
+        let out = SimSession::new(&self.config)
+            .run(ops, &mut [&mut faults, &mut obs, &mut judge, &mut log]);
         (
             FaultRunReport {
-                stats,
-                reliability,
-                writes,
+                stats: out.stats,
+                reliability: out.reliability,
+                writes: log.take(),
             },
-            oracle,
+            judge.into_oracle(),
         )
-    }
-
-    /// Fault-free driver (the historical entry point).
-    fn run_detailed_until(
-        &self,
-        ops: &OpStream,
-        stop: usize,
-        reset_at: Option<usize>,
-    ) -> (TrafficStats, Vec<ServerWrite>) {
-        let (stats, writes, _) = self.run_core(ops, stop, reset_at, None, None);
-        (stats, writes)
-    }
-
-    /// Core driver: replays ops up to index `stop` (exclusive); if
-    /// `reset_at` is given, every counter is zeroed after that op index so
-    /// the result reflects only the steady-state suffix; if `faults` is
-    /// given, its client crashes and board recoveries are interleaved with
-    /// the op stream.
-    fn run_core(
-        &self,
-        ops: &OpStream,
-        stop: usize,
-        reset_at: Option<usize>,
-        faults: Option<&FaultSchedule>,
-        mut oracle: Option<&mut Oracle>,
-    ) -> (TrafficStats, Vec<ServerWrite>, ReliabilityStats) {
-        let schedule = match self.config.policy {
-            PolicyKind::Omniscient => Some(Arc::new(OmniscientSchedule::build(ops))),
-            _ => None,
-        };
-        let mut clients: BTreeMap<ClientId, ClientCache> = BTreeMap::new();
-        let mut server = ConsistencyServer::with_mode(self.config.consistency);
-        let mut stats = TrafficStats::default();
-        let mut next_tick = SimTime::ZERO + self.config.cleaner_period;
-        let run_cleaner = matches!(
-            self.config.model,
-            CacheModelKind::Volatile | CacheModelKind::Hybrid
-        );
-
-        // Fault-injection state: the crash feed (sorted by time), clients
-        // whose traces have been cut, and boards in transit to a healthy
-        // host awaiting their recovery drain.
-        let mut reliability = ReliabilityStats::default();
-        let crash_feed: &[ClientCrashFault] = faults.map_or(&[], |s| &s.client_crashes);
-        let board_batteries = faults.map_or(3, |s| s.plan.board_batteries);
-        let mut next_crash = 0usize;
-        let mut crashed: BTreeSet<ClientId> = BTreeSet::new();
-        let mut in_transit: Vec<(NvramBoard, &ClientCrashFault, Option<DurablePromise>)> =
-            Vec::new();
-        let mut recovery_writes: Vec<ServerWrite> = Vec::new();
-
-        macro_rules! client {
-            ($id:expr) => {
-                clients.entry($id).or_insert_with(|| {
-                    ClientCache::new(
-                        &self.config,
-                        Policy::from_kind(self.config.policy, schedule.clone()),
-                        $id,
-                    )
-                })
-            };
-        }
-
-        // Cuts `fault.client`'s trace: everything still dirty is at risk,
-        // whatever the model kept in NVRAM is snapshotted onto a board,
-        // and the board goes into transit towards a healthy host. The
-        // client's pre-crash server writes and device counters are folded
-        // in here since its cache is dropped.
-        macro_rules! crash_client {
-            ($fault:expr) => {{
-                let fault: &ClientCrashFault = $fault;
-                crashed.insert(fault.client);
-                reliability.client_crashes += 1;
-                nvfs_obs::event("fault_fired", fault.time.as_micros())
-                    .str("fault", "client-crash")
-                    .u64("client", fault.client.0 as u64)
-                    .emit();
-                if let Some(mut cache) = clients.remove(&fault.client) {
-                    let at_risk = cache.remaining_dirty_bytes();
-                    // The durable promise is captured straight from the
-                    // cache, *before* the snapshot path runs — a broken
-                    // snapshot must show up as LostDurable, not be trusted.
-                    let promise = oracle.as_ref().map(|_| {
-                        DurablePromise::capture(
-                            fault.client,
-                            fault.time,
-                            cache.nvram_dirty_contents(),
-                        )
-                    });
-                    let board = snapshot_nvram(&cache, fault.client, self.config.nvram_bytes)
-                        .with_batteries(board_batteries);
-                    reliability.bytes_at_risk += at_risk;
-                    reliability.bytes_in_nvram += board.dirty_bytes();
-                    reliability.bytes_lost_window += at_risk - board.dirty_bytes();
-                    let d = cache.device();
-                    stats.nvram_reads += d.reads();
-                    stats.nvram_writes += d.writes();
-                    stats.nvram_bytes += d.bytes_transferred();
-                    recovery_writes.append(&mut cache.take_server_writes());
-                    in_transit.push((board, fault, promise));
-                }
-            }};
-        }
-
-        // Drains every board whose relocation completed by `$now`, in
-        // (recovery time, client) order so the result is deterministic.
-        // Batteries age on the schedule's failure clock while the board is
-        // without bus power; dead boards and torn drains become reported
-        // losses, never panics.
-        macro_rules! recover_due {
-            ($now:expr) => {
-                loop {
-                    let due = in_transit
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, (_, f, _))| f.recovery_time() <= $now)
-                        .min_by_key(|(_, (_, f, _))| (f.recovery_time(), f.client.0))
-                        .map(|(i, _)| i);
-                    let Some(idx) = due else { break };
-                    let (mut board, fault, promise) = in_transit.remove(idx);
-                    let at = fault.recovery_time();
-                    board
-                        .batteries_mut()
-                        .age_to(at, fault.battery_clock(board_batteries));
-                    let cap = match (fault.torn_drain_blocks, fault.torn_drain) {
-                        (Some(blocks), _) => blocks * BLOCK_SIZE,
-                        (None, Some(fraction)) => (board.dirty_bytes() as f64 * fraction) as u64,
-                        (None, None) => u64::MAX,
-                    };
-                    match recover_up_to(&mut board, at, cap) {
-                        Ok(outcome) => {
-                            reliability.boards_recovered += 1;
-                            reliability.bytes_recovered += outcome.bytes;
-                            reliability.bytes_lost_torn += outcome.bytes_lost;
-                            nvfs_obs::event("recovery_drain", at.as_micros())
-                                .u64("client", fault.client.0 as u64)
-                                .u64("bytes", outcome.bytes)
-                                .u64("lost_bytes", outcome.bytes_lost)
-                                .emit();
-                            stats.server_write_bytes += outcome.bytes;
-                            stats.recovery_bytes += outcome.bytes;
-                            for w in &outcome.writes {
-                                server.note_flush(w.file, w.client);
-                            }
-                            if let (Some(o), Some(p)) = (oracle.as_deref_mut(), &promise) {
-                                let expect = DrainExpectation {
-                                    board_dead: false,
-                                    max_bytes: cap,
-                                };
-                                o.judge(p, expect, &outcome.recovered);
-                            }
-                            recovery_writes.extend(outcome.writes);
-                        }
-                        Err(RecoveryError::DeadBoard { bytes_lost, .. }) => {
-                            reliability.boards_dead += 1;
-                            reliability.bytes_lost_battery += bytes_lost;
-                            nvfs_obs::event("recovery_drain", at.as_micros())
-                                .u64("client", fault.client.0 as u64)
-                                .u64("bytes", 0)
-                                .u64("lost_bytes", bytes_lost)
-                                .emit();
-                            if let (Some(o), Some(p)) = (oracle.as_deref_mut(), &promise) {
-                                o.judge(p, DrainExpectation::dead(), &DurableMap::new());
-                            }
-                        }
-                    }
-                }
-            };
-        }
-
-        let mut ops_replayed: u64 = 0;
-        let mut sim_end = SimTime::ZERO;
-        for (op_index, op) in ops.iter().enumerate() {
-            if op_index >= stop {
-                break;
-            }
-            ops_replayed += 1;
-            sim_end = op.time;
-            if reset_at == Some(op_index) {
-                stats = TrafficStats::default();
-                for cache in clients.values_mut() {
-                    cache.reset_counters();
-                }
-            }
-            // Fault hooks: fire crashes and recovery drains due by now.
-            if faults.is_some() {
-                while next_crash < crash_feed.len() && crash_feed[next_crash].time <= op.time {
-                    crash_client!(&crash_feed[next_crash]);
-                    next_crash += 1;
-                }
-                recover_due!(op.time);
-            }
-            // Advance the 5-second block cleaner up to this op's time.
-            if run_cleaner {
-                while next_tick <= op.time {
-                    if next_tick >= SimTime::ZERO + self.config.write_back_delay {
-                        let cutoff = next_tick - self.config.write_back_delay;
-                        for (&cid, cache) in clients.iter_mut() {
-                            for file in cache.writeback_older_than(cutoff, next_tick, &mut stats) {
-                                server.note_flush(file, cid);
-                            }
-                        }
-                    }
-                    next_tick += self.config.cleaner_period;
-                }
-            }
-            // A crashed workstation issues no further ops: its trace is
-            // cut at the fault time.
-            if crashed.contains(&op.client) {
-                continue;
-            }
-
-            match &op.kind {
-                OpKind::Open { file, mode } => {
-                    let outcome = server.on_open(*file, op.client, *mode);
-                    if let Some(w) = outcome.recall_from {
-                        if let Some(cache) = clients.get_mut(&w) {
-                            cache.flush_file(*file, FlushCause::Callback, op.time, &mut stats);
-                        }
-                        // After the recall the writer holds nothing dirty,
-                        // whether or not any bytes moved.
-                        server.note_flush(*file, w);
-                    }
-                    if outcome.invalidate_opener {
-                        // Stale copies from a previous open are discarded.
-                        client!(op.client).invalidate_file(
-                            *file,
-                            FlushCause::Callback,
-                            op.time,
-                            &mut stats,
-                        );
-                    }
-                    if outcome.disable_caching {
-                        for cache in clients.values_mut() {
-                            cache.invalidate_file(*file, FlushCause::Callback, op.time, &mut stats);
-                        }
-                    }
-                }
-                OpKind::Close { file } => {
-                    server.on_close(*file, op.client);
-                }
-                OpKind::Read { file, range } => {
-                    stats.app_read_bytes += range.len();
-                    if server.is_disabled(*file) {
-                        stats.concurrent_read_bytes += range.len();
-                    } else {
-                        // Block-on-demand consistency: recall only the dirty
-                        // blocks this read actually touches (§2.3, [21]).
-                        if self.config.consistency == ConsistencyMode::BlockOnDemand {
-                            if let Some(w) = server.last_writer(*file) {
-                                if w != op.client {
-                                    let mut recalled = 0;
-                                    if let Some(writer) = clients.get_mut(&w) {
-                                        recalled = writer.flush_range(
-                                            *file,
-                                            *range,
-                                            FlushCause::Callback,
-                                            op.time,
-                                            &mut stats,
-                                        );
-                                    }
-                                    if recalled > 0 {
-                                        // The reader's copies of those
-                                        // blocks are stale.
-                                        client!(op.client).invalidate_range(
-                                            *file,
-                                            *range,
-                                            FlushCause::Callback,
-                                            op.time,
-                                            &mut stats,
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                        client!(op.client).read(*file, *range, op.time, &mut stats);
-                    }
-                }
-                OpKind::Write { file, range } => {
-                    stats.app_write_bytes += range.len();
-                    if server.is_disabled(*file) {
-                        stats.concurrent_write_bytes += range.len();
-                    } else {
-                        client!(op.client).write(*file, *range, op.time, &mut stats);
-                        server.note_write(*file, op.client);
-                    }
-                }
-                OpKind::Truncate { file, new_len } => {
-                    for cache in clients.values_mut() {
-                        cache.truncate_file(*file, *new_len, &mut stats);
-                    }
-                }
-                OpKind::Delete { file } => {
-                    for cache in clients.values_mut() {
-                        cache.delete_file(*file, &mut stats);
-                    }
-                    server.on_delete(*file);
-                }
-                OpKind::Fsync { file } => {
-                    if let Some(cache) = clients.get_mut(&op.client) {
-                        // Only the volatile model actually sends the data
-                        // to the server; the NVRAM models keep it dirty
-                        // locally, so the last-writer record must survive.
-                        if cache.fsync(*file, op.time, &mut stats) {
-                            server.note_flush(*file, op.client);
-                        }
-                    }
-                }
-                OpKind::Migrate { files, .. } => {
-                    if let Some(cache) = clients.get_mut(&op.client) {
-                        for file in files {
-                            cache.flush_file(*file, FlushCause::Migration, op.time, &mut stats);
-                            server.note_flush(*file, op.client);
-                        }
-                    }
-                }
-            }
-        }
-
-        // Faults scheduled past the end of the recorded trace still fire:
-        // the plan's duration may exceed the op stream's.
-        if faults.is_some() {
-            while next_crash < crash_feed.len() {
-                crash_client!(&crash_feed[next_crash]);
-                next_crash += 1;
-            }
-            recover_due!(SimTime::MAX);
-        }
-
-        // End of trace: dirty bytes still cached count as eventual traffic.
-        for cache in clients.values() {
-            stats.remaining_dirty_bytes += cache.remaining_dirty_bytes();
-            debug_assert!(cache.check_invariants());
-        }
-        // Fold NVRAM device counters into the stats and merge the logs.
-        let mut writes: Vec<ServerWrite> = Vec::new();
-        for cache in clients.values_mut() {
-            let d = cache.device();
-            stats.nvram_reads += d.reads();
-            stats.nvram_writes += d.writes();
-            stats.nvram_bytes += d.bytes_transferred();
-            writes.append(&mut cache.take_server_writes());
-        }
-        writes.append(&mut recovery_writes);
-        writes.sort_by_key(|w| w.time);
-        // Fold this run's totals into the observability registry in one
-        // pass (never per op) and note the simulated span covered.
-        nvfs_obs::counter_add("core.runs", 1);
-        nvfs_obs::counter_add("core.ops_replayed", ops_replayed);
-        nvfs_obs::gauge_set("core.sim_end_us", sim_end.as_micros());
-        nvfs_obs::timing::set_span_sim_us(sim_end.as_micros());
-        stats.fold_into_obs();
-        reliability.fold_into_obs();
-        (stats, writes, reliability)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::FlushCause;
+    use crate::config::PolicyKind;
+    use crate::session::warmup_cut;
     use nvfs_trace::event::OpenMode;
-    use nvfs_trace::op::Op;
-    use nvfs_types::{ByteRange, FileId, BLOCK_SIZE};
+    use nvfs_trace::op::{Op, OpKind};
+    use nvfs_types::{ByteRange, ClientId, FileId, SimTime, BLOCK_SIZE};
 
     fn op(t: u64, client: u32, kind: OpKind) -> Op {
         Op {
@@ -803,7 +470,7 @@ mod tests {
         let warm = sim.run_with_warmup(ops, 0.3);
         // The clean comparison: the same steady-state suffix replayed from
         // empty caches.
-        let cut = (ops.len() as f64 * 0.3) as usize;
+        let cut = warmup_cut(ops.len(), 0.3);
         let suffix: OpStream = ops.as_slice()[cut..].iter().cloned().collect();
         let cold_suffix = sim.run(&suffix);
         assert_eq!(warm.app_write_bytes, cold_suffix.app_write_bytes);
@@ -824,6 +491,42 @@ mod tests {
     fn warmup_rejects_full_fraction() {
         let sim = ClusterSim::new(SimConfig::volatile(1 << 20));
         let _ = sim.run_with_warmup(&OpStream::new(), 1.0);
+    }
+
+    #[test]
+    fn warmup_cut_rounds_down_and_handles_boundaries() {
+        // floor semantics: the warm-up prefix is rounded down.
+        assert_eq!(warmup_cut(10, 0.3), 3);
+        assert_eq!(warmup_cut(7, 0.5), 3);
+        assert_eq!(warmup_cut(10, 0.0), 0);
+        // Just below 1.0: the measured suffix keeps at least one op.
+        let cut = warmup_cut(10, 1.0 - 1e-9);
+        assert_eq!(cut, 9, "cut must stay below len");
+        // The empty stream cuts at 0 for every legal fraction.
+        assert_eq!(warmup_cut(0, 0.0), 0);
+        assert_eq!(warmup_cut(0, 0.999), 0);
+    }
+
+    #[test]
+    fn warmup_just_below_one_measures_only_the_tail() {
+        use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let ops = traces.trace(6).ops();
+        let sim = ClusterSim::new(SimConfig::unified(2 << 20, 512 << 10));
+        // A warm-up fraction just below 1.0 resets before the very last
+        // op: the run must not panic, and the counters can only describe
+        // that one-op tail.
+        let tail = sim.run_with_warmup(ops, 1.0 - f64::EPSILON);
+        let full = sim.run(ops);
+        assert!(tail.app_write_bytes <= full.app_write_bytes);
+        assert!(tail.app_read_bytes <= full.app_read_bytes);
+    }
+
+    #[test]
+    fn warmup_on_empty_stream_is_a_no_op() {
+        let sim = ClusterSim::new(SimConfig::unified(1 << 20, 512 << 10));
+        let stats = sim.run_with_warmup(&OpStream::new(), 0.5);
+        assert_eq!(stats, TrafficStats::default());
     }
 
     #[test]

@@ -1,10 +1,86 @@
 //! Shared workload environment for experiment runners.
 //!
 //! Generating the synthetic trace set is the most expensive step of most
-//! experiments, so runners share one [`Env`].
+//! experiments, so runners share one [`Env`]. The [`Scale`] enum is the
+//! single source of truth for the three workload sizes (`tiny`, `small`,
+//! `paper`) — the CLI parses `--scale` straight into it via [`FromStr`]
+//! and every consumer derives its trace/server configuration from the
+//! same value.
+
+use std::fmt;
+use std::str::FromStr;
 
 use nvfs_trace::synth::lfs_workload::{sprite_server_workloads, FsWorkload, ServerWorkloadConfig};
 use nvfs_trace::synth::{SpriteTraceSet, TraceSetConfig};
+
+/// Workload scale: one name selecting both the client-trace and
+/// server-workload configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Scale {
+    /// Minimal workloads for unit tests.
+    Tiny,
+    /// Reduced-scale workloads preserving all shapes; the CLI default.
+    #[default]
+    Small,
+    /// Full paper-scale workloads (24-hour traces; slow).
+    Paper,
+}
+
+impl Scale {
+    /// Every scale, smallest first.
+    pub const ALL: [Scale; 3] = [Scale::Tiny, Scale::Small, Scale::Paper];
+
+    /// The canonical lowercase name (`"tiny"`, `"small"`, `"paper"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Client-trace configuration at this scale.
+    pub fn trace_config(self) -> TraceSetConfig {
+        match self {
+            Scale::Tiny => TraceSetConfig::tiny(),
+            Scale::Small => TraceSetConfig::small(),
+            Scale::Paper => TraceSetConfig::paper(),
+        }
+    }
+
+    /// Server LFS-workload configuration at this scale.
+    pub fn server_config(self) -> ServerWorkloadConfig {
+        match self {
+            Scale::Tiny => ServerWorkloadConfig::tiny(),
+            Scale::Small => ServerWorkloadConfig::small(),
+            Scale::Paper => ServerWorkloadConfig::paper(),
+        }
+    }
+
+    /// Generates the full workload environment at this scale.
+    pub fn env(self) -> Env {
+        Env::new(self.trace_config(), self.server_config())
+    }
+}
+
+impl FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Pre-generated workloads at a chosen scale.
 #[derive(Debug, Clone)]
@@ -30,18 +106,18 @@ impl Env {
     /// Paper-scale environment (24-hour traces; slow — intended for the
     /// final benchmark runs).
     pub fn paper() -> Self {
-        Env::new(TraceSetConfig::paper(), ServerWorkloadConfig::paper())
+        Scale::Paper.env()
     }
 
     /// Reduced-scale environment preserving all workload shapes; the
     /// default for examples and integration tests.
     pub fn small() -> Self {
-        Env::new(TraceSetConfig::small(), ServerWorkloadConfig::small())
+        Scale::Small.env()
     }
 
     /// Minimal environment for unit tests.
     pub fn tiny() -> Self {
-        Env::new(TraceSetConfig::tiny(), ServerWorkloadConfig::tiny())
+        Scale::Tiny.env()
     }
 
     /// The paper's "typical" trace 7 (zero-based index 6), used by
@@ -61,5 +137,20 @@ mod tests {
         assert_eq!(env.traces.traces().len(), 8);
         assert_eq!(env.server.len(), 8);
         assert_eq!(env.trace7().number(), 7);
+    }
+
+    #[test]
+    fn scale_round_trips_through_name() {
+        for scale in Scale::ALL {
+            assert_eq!(scale.name().parse::<Scale>(), Ok(scale));
+            assert_eq!(scale.to_string(), scale.name());
+        }
+        assert_eq!(Scale::default(), Scale::Small);
+    }
+
+    #[test]
+    fn scale_rejects_unknown_names_with_the_valid_set() {
+        let err = "huge".parse::<Scale>().unwrap_err();
+        assert_eq!(err, "unknown scale \"huge\" (tiny|small|paper)");
     }
 }

@@ -35,7 +35,9 @@
 //! | [`scorecard`] | every claim above evaluated programmatically with PASS/FAIL verdicts |
 //!
 //! All runners share an [`env::Env`] so the synthetic workloads are only
-//! generated once.
+//! generated once, and every CLI-visible artifact above is also a row in
+//! the [`registry`] — the single dispatch table behind `nvfs
+//! experiments`, `export-csv`, and the scorecard.
 //!
 //! # Examples
 //!
@@ -68,6 +70,7 @@ pub mod nvram_speed;
 pub mod pipeline;
 pub mod presto;
 pub mod read_latency;
+pub mod registry;
 pub mod scorecard;
 pub mod server_cache;
 pub mod tab1;
@@ -78,4 +81,4 @@ pub mod verify_crash;
 pub mod warmup;
 pub mod write_buffer;
 
-pub use env::Env;
+pub use env::{Env, Scale};

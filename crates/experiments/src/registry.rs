@@ -1,0 +1,647 @@
+//! The unified experiment registry: every paper artifact behind one table.
+//!
+//! Each CLI-visible experiment is an [`Entry`] — a name, the paper
+//! artifact it reproduces, the scales it supports, whether it belongs to
+//! the default `nvfs experiments` run, the CSV files it exports, and a
+//! run function producing [`Artifacts`]. The `nvfs` binary routes
+//! `experiments`, `export-csv`, the scorecard, and its usage text through
+//! this one registry, so adding an experiment is a single new row here —
+//! no per-module match arms anywhere else.
+//!
+//! Ordering is part of the contract: [`all`] yields entries in the
+//! canonical output order, the default-run subset preserves the historic
+//! `nvfs experiments` order, and the CSV-bearing subset preserves the
+//! historic `export-csv` file order. Every run function is deterministic
+//! for a given [`Env`], so rendered artifacts are byte-identical at any
+//! `--jobs` count.
+
+use nvfs_report::{render_plot, Figure, PlotOptions};
+
+use crate::env::{Env, Scale};
+
+/// Everything one experiment run produces: the rendered text artifact,
+/// zero or more named CSV exports, and an optional failure verdict (an
+/// experiment can render successfully yet still fail its acceptance
+/// check — the scorecard does exactly that).
+#[derive(Debug, Clone, Default)]
+pub struct Artifacts {
+    /// Rendered tables/figures, printed verbatim to stdout.
+    pub text: String,
+    /// `(file name, CSV body)` pairs exported by `nvfs export-csv`.
+    pub csv: Vec<(&'static str, String)>,
+    /// `Some(reason)` when the experiment ran but its verdict is a fail.
+    pub failure: Option<String>,
+}
+
+impl Artifacts {
+    /// Text-only artifacts.
+    pub fn new(text: String) -> Self {
+        Artifacts {
+            text,
+            ..Artifacts::default()
+        }
+    }
+
+    /// Attaches one named CSV export.
+    pub fn with_csv(mut self, name: &'static str, body: String) -> Self {
+        self.csv.push((name, body));
+        self
+    }
+}
+
+/// A runnable, registered experiment. [`Entry`] is the one implementor in
+/// this crate; the trait exists so harnesses can wrap or mock entries.
+pub trait Experiment {
+    /// The CLI id (e.g. `"fig3"`).
+    fn name(&self) -> &'static str;
+    /// One-line description of the paper artifact reproduced.
+    fn artifact(&self) -> &'static str;
+    /// Scales this experiment supports.
+    fn scales(&self) -> &'static [Scale] {
+        &Scale::ALL
+    }
+    /// Whether a bare `nvfs experiments` includes this entry.
+    fn default_run(&self) -> bool;
+    /// Runs the experiment against a pre-generated environment.
+    fn run(&self, env: &Env) -> Result<Artifacts, String>;
+}
+
+/// One registry row: static metadata plus the run function.
+pub struct Entry {
+    name: &'static str,
+    artifact: &'static str,
+    default_run: bool,
+    csv: &'static [&'static str],
+    run_fn: fn(&Env) -> Result<Artifacts, String>,
+}
+
+impl Entry {
+    const fn new(
+        name: &'static str,
+        artifact: &'static str,
+        default_run: bool,
+        csv: &'static [&'static str],
+        run_fn: fn(&Env) -> Result<Artifacts, String>,
+    ) -> Self {
+        Entry {
+            name,
+            artifact,
+            default_run,
+            csv,
+            run_fn,
+        }
+    }
+
+    /// The CLI id (e.g. `"fig3"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of the paper artifact reproduced.
+    pub fn artifact(&self) -> &'static str {
+        self.artifact
+    }
+
+    /// Scales this experiment supports (currently every entry runs at
+    /// every scale; the registry records it so callers don't assume).
+    pub fn scales(&self) -> &'static [Scale] {
+        &Scale::ALL
+    }
+
+    /// Whether a bare `nvfs experiments` includes this entry.
+    pub fn default_run(&self) -> bool {
+        self.default_run
+    }
+
+    /// CSV file names this entry exports, in output order.
+    pub fn csv_names(&self) -> &'static [&'static str] {
+        self.csv
+    }
+
+    /// Runs the experiment against a pre-generated environment.
+    pub fn run(&self, env: &Env) -> Result<Artifacts, String> {
+        (self.run_fn)(env)
+    }
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("name", &self.name)
+            .field("artifact", &self.artifact)
+            .field("default_run", &self.default_run)
+            .field("csv", &self.csv)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Experiment for Entry {
+    fn name(&self) -> &'static str {
+        Entry::name(self)
+    }
+    fn artifact(&self) -> &'static str {
+        Entry::artifact(self)
+    }
+    fn scales(&self) -> &'static [Scale] {
+        Entry::scales(self)
+    }
+    fn default_run(&self) -> bool {
+        Entry::default_run(self)
+    }
+    fn run(&self, env: &Env) -> Result<Artifacts, String> {
+        Entry::run(self, env)
+    }
+}
+
+/// The registry, in canonical output order: the default-run artifacts
+/// first (the historic `nvfs experiments` order), then the opt-in
+/// entries (`nvram-speed`, `faults`, `scorecard`).
+static REGISTRY: [Entry; 24] = [
+    Entry::new(
+        "tab1",
+        "Table 1 — NVRAM costs",
+        true,
+        &["tab1_costs.csv"],
+        run_tab1,
+    ),
+    Entry::new(
+        "fig2",
+        "Figure 2 — byte lifetimes",
+        true,
+        &["fig2_byte_lifetimes.csv"],
+        run_fig2,
+    ),
+    Entry::new(
+        "tab2",
+        "Table 2 — fate of written bytes",
+        true,
+        &["tab2_write_fates.csv"],
+        run_tab2,
+    ),
+    Entry::new(
+        "fig3",
+        "Figure 3 — omniscient policy vs NVRAM size",
+        true,
+        &["fig3_omniscient.csv"],
+        run_fig3,
+    ),
+    Entry::new(
+        "fig4",
+        "Figure 4 — replacement policies",
+        true,
+        &["fig4_policies.csv"],
+        run_fig4,
+    ),
+    Entry::new(
+        "fig5",
+        "Figure 5 — cache models, total traffic",
+        true,
+        &["fig5_models.csv"],
+        run_fig5,
+    ),
+    Entry::new(
+        "fig6",
+        "Figure 6 — NVRAM vs volatile cost-effectiveness",
+        true,
+        &["fig6_cost_effectiveness.csv"],
+        run_fig6,
+    ),
+    Entry::new(
+        "tab3",
+        "Table 3 — forced partial segments",
+        true,
+        &["tab3_partial_segments.csv"],
+        run_tab3,
+    ),
+    Entry::new(
+        "tab4",
+        "Table 4 — partial segment sizes & space cost",
+        true,
+        &["tab4_partial_sizes.csv"],
+        run_tab4,
+    ),
+    Entry::new(
+        "write-buffer",
+        "§3 — ½ MB write buffer reductions",
+        true,
+        &["write_buffer.csv"],
+        run_write_buffer,
+    ),
+    Entry::new(
+        "disk-sort",
+        "§3 — random vs sorted disk writes",
+        true,
+        &["disk_sort.csv"],
+        run_disk_sort,
+    ),
+    Entry::new(
+        "bus-nvram",
+        "§2.6 — bus traffic & NVRAM access counts",
+        true,
+        &["bus_nvram.csv"],
+        run_bus_nvram,
+    ),
+    Entry::new(
+        "presto",
+        "§3 — NFS synchronous writes vs server NVRAM",
+        true,
+        &["presto.csv"],
+        run_presto,
+    ),
+    Entry::new(
+        "pipeline",
+        "extension — client NVRAM's effect on the server's LFS",
+        true,
+        &["pipeline.csv"],
+        run_pipeline,
+    ),
+    Entry::new(
+        "ablations",
+        "extensions — §2.6 hybrid model, dirty-block preference",
+        true,
+        &[],
+        run_ablations,
+    ),
+    Entry::new(
+        "consistency",
+        "extension — block-by-block consistency",
+        true,
+        &[],
+        run_consistency,
+    ),
+    Entry::new(
+        "read-latency",
+        "§3 closing analysis — optimal write size, read penalty",
+        true,
+        &[],
+        run_read_latency,
+    ),
+    Entry::new(
+        "lfs-vs-ffs",
+        "§3 framing — LFS amortization vs update-in-place",
+        true,
+        &[],
+        run_lfs_vs_ffs,
+    ),
+    Entry::new(
+        "server-cache",
+        "§3 opening — server NVRAM cache absorbs client writes",
+        true,
+        &[],
+        run_server_cache,
+    ),
+    Entry::new(
+        "diagrams",
+        "Figures 1 and 7 rendered from live simulator state",
+        true,
+        &[],
+        run_diagrams,
+    ),
+    Entry::new(
+        "warmup",
+        "methodology — quantifying the cold-start caveat",
+        true,
+        &[],
+        run_warmup,
+    ),
+    Entry::new(
+        "nvram-speed",
+        "extension — §2.6 NVRAM access-time sensitivity",
+        false,
+        &["nvram_speed.csv"],
+        run_nvram_speed,
+    ),
+    Entry::new(
+        "faults",
+        "§2.3/§4 — bytes lost under a seeded fault schedule",
+        false,
+        &[],
+        run_faults,
+    ),
+    Entry::new(
+        "scorecard",
+        "every paper claim evaluated with PASS/FAIL verdicts",
+        false,
+        &[],
+        run_scorecard,
+    ),
+];
+
+/// Every registered experiment, in canonical output order.
+pub fn all() -> &'static [Entry] {
+    &REGISTRY
+}
+
+/// Looks up an entry by CLI id.
+pub fn find(name: &str) -> Option<&'static Entry> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// Looks up an entry by CLI id, failing with a message that lists every
+/// valid id (so a typo at the command line is self-correcting).
+pub fn find_or_suggest(name: &str) -> Result<&'static Entry, String> {
+    find(name).ok_or_else(|| {
+        let valid: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
+        format!(
+            "unknown experiment {name:?}; valid ids: {}",
+            valid.join(", ")
+        )
+    })
+}
+
+/// The entries a bare `nvfs experiments` runs, in output order.
+pub fn default_entries() -> impl Iterator<Item = &'static Entry> {
+    REGISTRY.iter().filter(|e| e.default_run)
+}
+
+/// The entries `nvfs export-csv` runs (those exporting at least one CSV
+/// file), in output order.
+pub fn csv_entries() -> impl Iterator<Item = &'static Entry> {
+    REGISTRY.iter().filter(|e| !e.csv.is_empty())
+}
+
+/// One line per entry — `id  artifact` — for `nvfs experiments --list`
+/// and the CI drift check against `nvfs help`.
+pub fn list_text() -> String {
+    let mut s = String::new();
+    for e in &REGISTRY {
+        s.push_str(&format!("{:<13} {}\n", e.name, e.artifact));
+    }
+    s
+}
+
+/// The README experiment table, regenerated from the registry (a test
+/// asserts the README embeds this verbatim).
+pub fn readme_table() -> String {
+    let mut s =
+        String::from("| id | paper artifact | default run | CSV export |\n|---|---|---|---|\n");
+    for e in &REGISTRY {
+        s.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            e.name,
+            e.artifact,
+            if e.default_run { "yes" } else { "—" },
+            if e.csv.is_empty() {
+                "—".to_string()
+            } else {
+                e.csv.join(", ")
+            },
+        ));
+    }
+    s
+}
+
+/// Point list plus an ASCII plot for a figure artifact.
+fn fig_text(figure: &Figure, log_x: bool) -> String {
+    format!(
+        "{}{}",
+        figure.render(),
+        render_plot(
+            figure,
+            PlotOptions {
+                log_x,
+                ..PlotOptions::default()
+            }
+        )
+    )
+}
+
+fn run_tab1(_env: &Env) -> Result<Artifacts, String> {
+    let table = crate::tab1::run().table;
+    Ok(Artifacts::new(table.render()).with_csv("tab1_costs.csv", table.to_csv()))
+}
+
+fn run_fig2(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::fig2::run(env);
+    Ok(Artifacts::new(fig_text(&out.figure, true))
+        .with_csv("fig2_byte_lifetimes.csv", out.figure.to_csv()))
+}
+
+fn run_tab2(env: &Env) -> Result<Artifacts, String> {
+    let table = crate::tab2::run(env).table;
+    Ok(Artifacts::new(table.render()).with_csv("tab2_write_fates.csv", table.to_csv()))
+}
+
+fn run_fig3(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::fig3::run(env);
+    Ok(Artifacts::new(fig_text(&out.figure, true))
+        .with_csv("fig3_omniscient.csv", out.figure.to_csv()))
+}
+
+fn run_fig4(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::fig4::run(env);
+    Ok(Artifacts::new(fig_text(&out.figure, true))
+        .with_csv("fig4_policies.csv", out.figure.to_csv()))
+}
+
+fn run_fig5(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::fig5::run(env);
+    Ok(Artifacts::new(fig_text(&out.figure, false))
+        .with_csv("fig5_models.csv", out.figure.to_csv()))
+}
+
+fn run_fig6(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::fig6::run(env);
+    Ok(Artifacts::new(fig_text(&out.figure, false))
+        .with_csv("fig6_cost_effectiveness.csv", out.figure.to_csv()))
+}
+
+fn run_tab3(env: &Env) -> Result<Artifacts, String> {
+    let table = crate::tab3::run(env).table;
+    Ok(Artifacts::new(table.render()).with_csv("tab3_partial_segments.csv", table.to_csv()))
+}
+
+fn run_tab4(env: &Env) -> Result<Artifacts, String> {
+    let table = crate::tab4::run(env).table;
+    Ok(Artifacts::new(table.render()).with_csv("tab4_partial_sizes.csv", table.to_csv()))
+}
+
+fn run_write_buffer(env: &Env) -> Result<Artifacts, String> {
+    let table = crate::write_buffer::run(env).table;
+    Ok(Artifacts::new(table.render()).with_csv("write_buffer.csv", table.to_csv()))
+}
+
+fn run_disk_sort(_env: &Env) -> Result<Artifacts, String> {
+    let table = crate::disk_sort::run().table;
+    Ok(Artifacts::new(table.render()).with_csv("disk_sort.csv", table.to_csv()))
+}
+
+fn run_bus_nvram(env: &Env) -> Result<Artifacts, String> {
+    let table = crate::bus_nvram::run(env).table;
+    Ok(Artifacts::new(table.render()).with_csv("bus_nvram.csv", table.to_csv()))
+}
+
+fn run_presto(_env: &Env) -> Result<Artifacts, String> {
+    let table = crate::presto::run().table;
+    Ok(Artifacts::new(table.render()).with_csv("presto.csv", table.to_csv()))
+}
+
+fn run_pipeline(env: &Env) -> Result<Artifacts, String> {
+    let table = crate::pipeline::run(env).table;
+    Ok(Artifacts::new(table.render()).with_csv("pipeline.csv", table.to_csv()))
+}
+
+fn run_ablations(env: &Env) -> Result<Artifacts, String> {
+    let h = crate::ablations::hybrid(env);
+    let d = crate::ablations::dirty_preference(env);
+    Ok(Artifacts::new(format!(
+        "{}{}",
+        h.figure.render(),
+        d.table.render()
+    )))
+}
+
+fn run_consistency(env: &Env) -> Result<Artifacts, String> {
+    Ok(Artifacts::new(
+        crate::consistency_protocol::run(env).table.render(),
+    ))
+}
+
+fn run_read_latency(_env: &Env) -> Result<Artifacts, String> {
+    let out = crate::read_latency::run();
+    Ok(Artifacts::new(format!(
+        "{}{}",
+        out.table.render(),
+        fig_text(&out.figure, false)
+    )))
+}
+
+fn run_lfs_vs_ffs(env: &Env) -> Result<Artifacts, String> {
+    Ok(Artifacts::new(crate::lfs_vs_ffs::run(env).table.render()))
+}
+
+fn run_server_cache(env: &Env) -> Result<Artifacts, String> {
+    Ok(Artifacts::new(crate::server_cache::run(env).table.render()))
+}
+
+fn run_diagrams(_env: &Env) -> Result<Artifacts, String> {
+    Ok(Artifacts::new(format!(
+        "{}\n{}",
+        crate::diagrams::figure1(),
+        crate::diagrams::figure7()
+    )))
+}
+
+fn run_warmup(env: &Env) -> Result<Artifacts, String> {
+    Ok(Artifacts::new(crate::warmup::run(env).table.render()))
+}
+
+fn run_nvram_speed(env: &Env) -> Result<Artifacts, String> {
+    let table = crate::nvram_speed::run(env).table;
+    Ok(Artifacts::new(table.render()).with_csv("nvram_speed.csv", table.to_csv()))
+}
+
+fn run_faults(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::faults::run(env).map_err(|e| e.to_string())?;
+    Ok(Artifacts::new(out.render()))
+}
+
+fn run_scorecard(env: &Env) -> Result<Artifacts, String> {
+    let card = crate::scorecard::run(env);
+    let text = format!(
+        "{}\n{} of {} checks passed\n",
+        card.table.render(),
+        card.passed(),
+        card.checks.len()
+    );
+    let failure = (!card.all_passed()).then(|| "scorecard has failures".to_string());
+    Ok(Artifacts {
+        text,
+        csv: Vec::new(),
+        failure,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in all() {
+            assert!(seen.insert(e.name()), "duplicate id {}", e.name());
+            assert!(std::ptr::eq(find(e.name()).unwrap(), e));
+            assert!(!e.artifact().is_empty());
+            assert_eq!(e.scales(), &Scale::ALL);
+        }
+    }
+
+    #[test]
+    fn default_entries_preserve_the_historic_experiments_order() {
+        let ids: Vec<&str> = default_entries().map(Entry::name).collect();
+        assert_eq!(
+            ids,
+            [
+                "tab1",
+                "fig2",
+                "tab2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "tab3",
+                "tab4",
+                "write-buffer",
+                "disk-sort",
+                "bus-nvram",
+                "presto",
+                "pipeline",
+                "ablations",
+                "consistency",
+                "read-latency",
+                "lfs-vs-ffs",
+                "server-cache",
+                "diagrams",
+                "warmup",
+            ]
+        );
+    }
+
+    #[test]
+    fn csv_entries_preserve_the_historic_export_order() {
+        let names: Vec<&str> = csv_entries().flat_map(Entry::csv_names).copied().collect();
+        assert_eq!(
+            names,
+            [
+                "tab1_costs.csv",
+                "fig2_byte_lifetimes.csv",
+                "tab2_write_fates.csv",
+                "fig3_omniscient.csv",
+                "fig4_policies.csv",
+                "fig5_models.csv",
+                "fig6_cost_effectiveness.csv",
+                "tab3_partial_segments.csv",
+                "tab4_partial_sizes.csv",
+                "write_buffer.csv",
+                "disk_sort.csv",
+                "bus_nvram.csv",
+                "presto.csv",
+                "pipeline.csv",
+                "nvram_speed.csv",
+            ]
+        );
+    }
+
+    #[test]
+    fn typo_error_lists_every_valid_id() {
+        let err = find_or_suggest("fig9").unwrap_err();
+        assert!(err.starts_with("unknown experiment \"fig9\""));
+        for e in all() {
+            assert!(err.contains(e.name()), "error omits {}", e.name());
+        }
+    }
+
+    #[test]
+    fn entries_export_exactly_their_declared_csvs() {
+        let env = Env::tiny();
+        for id in ["tab1", "disk-sort", "diagrams"] {
+            let e = find(id).unwrap();
+            let art = e.run(&env).unwrap();
+            let names: Vec<&str> = art.csv.iter().map(|(n, _)| *n).collect();
+            assert_eq!(names, e.csv_names(), "{id}");
+            assert!(!art.text.is_empty(), "{id}");
+            assert!(art.failure.is_none(), "{id}");
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! empty caches (the paper's method) and once with caches warmed by the
 //! prefix — and measures how much absorption the cold start under-reports.
 
-use nvfs_core::{ClusterSim, SimConfig, TrafficStats};
+use nvfs_core::{warmup_cut, ClusterSim, SimConfig, TrafficStats};
 use nvfs_report::{Cell, Table};
 use nvfs_trace::op::OpStream;
 
@@ -49,7 +49,9 @@ pub fn run(env: &Env) -> Warmup {
     let ops = env.trace7().ops();
     let cfg = SimConfig::unified(8 << 20, 1 << 20);
     let warm = ClusterSim::new(cfg.clone()).run_with_warmup(ops, 0.3);
-    let cut = (ops.len() as f64 * 0.3) as usize;
+    // The same rounding rule `run_with_warmup` uses, so the cold suffix is
+    // exactly the ops the warm run measures.
+    let cut = warmup_cut(ops.len(), 0.3);
     let suffix: OpStream = ops.as_slice()[cut..].iter().cloned().collect();
     let cold = ClusterSim::new(cfg).run(&suffix);
 

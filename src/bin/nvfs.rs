@@ -8,7 +8,7 @@
 //! nvfs lifetime     <FILE>                           byte-lifetime fates + delay sweep
 //! nvfs lfs          [--scale S] [--buffer-kb N]      Tables 3-4 + write-buffer study
 //! nvfs faults       [--scale S] [--seed N] [--model M]  reliability under injected faults
-//! nvfs experiments  [--scale S] [ID...]              regenerate paper artifacts
+//! nvfs experiments  [--scale S] [--list] [--only ID] [ID...]  regenerate paper artifacts
 //! nvfs export-csv   [--scale S] --out DIR            write every artifact as CSV
 //! nvfs bench        [--scale S] [--out FILE]         time sequential vs parallel
 //! ```
@@ -46,10 +46,11 @@ use nvfs::core::lifetime::LifetimeLog;
 use nvfs::core::{ClusterSim, ConsistencyMode, PolicyKind, SimConfig};
 use nvfs::experiments as exp;
 use nvfs::experiments::env::Env;
-use nvfs::report::{render_plot, PlotOptions};
+use nvfs::experiments::registry;
+use nvfs::experiments::Scale;
 use nvfs::trace::serialize::{parse_ops, render_ops};
 use nvfs::trace::stats::TraceStats;
-use nvfs::trace::synth::{SpriteTraceSet, TraceSetConfig};
+use nvfs::trace::synth::SpriteTraceSet;
 use nvfs::trace::validate::validate_ignoring_leaks;
 use nvfs::trace::OpStream;
 use nvfs::types::SimDuration;
@@ -90,7 +91,7 @@ fn main() -> ExitCode {
         nvfs::obs::set_trace_enabled(true);
     }
     let Some(command) = args.pop_front() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
     // The whole command runs inside a root span, so every manifest has at
@@ -109,10 +110,10 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(args),
         "obs" => cmd_obs(args),
         "help" | "--help" | "-h" => {
-            outln!("{USAGE}");
+            outln!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
     });
     let result = result.and_then(|()| write_obs_outputs(&command, trace_out, manifest_out));
     match result {
@@ -145,8 +146,28 @@ fn write_obs_outputs(
     Ok(())
 }
 
-const USAGE: &str =
-    "usage: nvfs [--jobs N] [--trace-out FILE] [--manifest-out FILE] <command> [options]
+/// Wraps the registry's experiment ids into indented usage-text lines, so
+/// the `nvfs help` id list can never drift from the registry.
+fn experiment_id_lines() -> String {
+    let mut lines = String::new();
+    let mut line = String::from("               ids:");
+    for entry in registry::all() {
+        if line.len() + 1 + entry.name().len() > 78 {
+            lines.push_str(&line);
+            lines.push('\n');
+            line = String::from("                   ");
+        }
+        line.push(' ');
+        line.push_str(entry.name());
+    }
+    lines.push_str(&line);
+    lines
+}
+
+/// Builds the usage text (the experiment id list comes from the registry).
+fn usage() -> String {
+    format!(
+        "usage: nvfs [--jobs N] [--trace-out FILE] [--manifest-out FILE] <command> [options]
 commands:
   gen-traces   [--scale tiny|small|paper] [--out DIR]
   trace-stats  <FILE>
@@ -166,9 +187,10 @@ commands:
                mid-drain per block, dead board, battery edge, pre/post
                flush) plus torn replay-write checks; prints a one-line
                JSON verdict and exits nonzero on any violation
-  experiments  [--scale S] [tab1 fig2 tab2 fig3 fig4 fig5 fig6 tab3 tab4
-                write-buffer disk-sort bus-nvram presto pipeline ablations
-                consistency nvram-speed faults ...]
+  experiments  [--scale S] [--list] [--only ID] [ID...]
+{ids}
+               --list prints every registered id with its paper artifact;
+               --only ID runs a single experiment by registry lookup
   scorecard    [--scale S]
   export-csv   [--scale S] --out DIR
   bench        [--scale S] [--out FILE]   time sequential vs parallel passes
@@ -187,7 +209,10 @@ observability (global, any command):
   --manifest-out FILE  write a run manifest: seed, config digest, phases,
                        and the full metric snapshot. The `run` section is
                        deterministic; `meta` (wall clock, git rev, jobs)
-                       is volatile. Compare with `nvfs obs diff`.";
+                       is volatile. Compare with `nvfs obs diff`.",
+        ids = experiment_id_lines()
+    )
+}
 
 /// Removes a value-less `--flag`, returning whether it was present.
 fn take_switch(args: &mut VecDeque<String>, flag: &str) -> bool {
@@ -214,35 +239,15 @@ fn take_flag(args: &mut VecDeque<String>, flag: &str) -> Result<Option<String>, 
     }
 }
 
-/// Resolves the `--scale` flag to its canonical name, noting it in the
-/// run-manifest context.
-fn parse_scale_name(args: &mut VecDeque<String>) -> Result<&'static str, String> {
-    let name = match take_flag(args, "--scale")?.as_deref() {
-        None | Some("small") => "small",
-        Some("tiny") => "tiny",
-        Some("paper") => "paper",
-        Some(other) => return Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+/// Resolves the `--scale` flag to a [`Scale`], noting its canonical name
+/// in the run-manifest context.
+fn parse_scale(args: &mut VecDeque<String>) -> Result<Scale, String> {
+    let scale = match take_flag(args, "--scale")? {
+        Some(value) => value.parse()?,
+        None => Scale::default(),
     };
-    nvfs::obs::manifest::set_scale(name);
-    Ok(name)
-}
-
-fn parse_scale(args: &mut VecDeque<String>) -> Result<TraceSetConfig, String> {
-    Ok(match parse_scale_name(args)? {
-        "tiny" => TraceSetConfig::tiny(),
-        "paper" => TraceSetConfig::paper(),
-        _ => TraceSetConfig::small(),
-    })
-}
-
-fn parse_env(args: &mut VecDeque<String>) -> Result<(Env, &'static str), String> {
-    let scale = parse_scale_name(args)?;
-    let env = match scale {
-        "tiny" => Env::tiny(),
-        "paper" => Env::paper(),
-        _ => Env::small(),
-    };
-    Ok((env, scale))
+    nvfs::obs::manifest::set_scale(scale.name());
+    Ok(scale)
 }
 
 /// Fingerprints a command's resolved configuration into the run-manifest
@@ -264,7 +269,7 @@ fn load_ops(path: &str) -> Result<OpStream, String> {
 }
 
 fn cmd_gen_traces(mut args: VecDeque<String>) -> Result<(), String> {
-    let cfg = parse_scale(&mut args)?;
+    let cfg = parse_scale(&mut args)?.trace_config();
     let out = PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "traces".into()));
     fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     eprintln!("[gen-traces] jobs = {}", nvfs::par::jobs());
@@ -452,14 +457,15 @@ fn cmd_lifetime(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 fn cmd_lfs(mut args: VecDeque<String>) -> Result<(), String> {
-    let (env, scale) = parse_env(&mut args)?;
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
     let buffer_kb: u64 = take_flag(&mut args, "--buffer-kb")?
         .unwrap_or_else(|| "512".into())
         .parse()
         .map_err(|_| "bad --buffer-kb")?;
     note_config(&[
         ("command", "lfs"),
-        ("scale", scale),
+        ("scale", scale.name()),
         ("buffer_kb", &buffer_kb.to_string()),
     ]);
     eprintln!("[lfs] jobs = {}", nvfs::par::jobs());
@@ -489,7 +495,8 @@ fn catching<T>(label: &str, f: impl FnOnce() -> Result<T, String>) -> Result<T, 
 }
 
 fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
-    let (env, scale) = parse_env(&mut args)?;
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
     let seed: u64 = take_flag(&mut args, "--seed")?
         .unwrap_or_else(|| exp::faults::DEFAULT_SEED.to_string())
         .parse()
@@ -499,7 +506,7 @@ fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
     nvfs::obs::manifest::set_seed(seed);
     note_config(&[
         ("command", "faults"),
-        ("scale", scale),
+        ("scale", scale.name()),
         ("seed", &seed.to_string()),
         ("model", model.as_deref().unwrap_or("all")),
     ]);
@@ -550,7 +557,8 @@ fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 fn cmd_verify_crash(mut args: VecDeque<String>) -> Result<(), String> {
-    let (env, scale) = parse_env(&mut args)?;
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
     let seed: u64 = take_flag(&mut args, "--seed")?
         .unwrap_or_else(|| exp::faults::DEFAULT_SEED.to_string())
         .parse()
@@ -558,7 +566,7 @@ fn cmd_verify_crash(mut args: VecDeque<String>) -> Result<(), String> {
     nvfs::obs::manifest::set_seed(seed);
     note_config(&[
         ("command", "verify-crash"),
-        ("scale", scale),
+        ("scale", scale.name()),
         ("seed", &seed.to_string()),
     ]);
     eprintln!("[verify-crash] jobs = {}", nvfs::par::jobs());
@@ -576,15 +584,31 @@ fn cmd_verify_crash(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
-    let (env, scale) = parse_env(&mut args)?;
-    let ids: Vec<String> = if args.is_empty() {
-        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
-    } else {
-        args.into_iter().collect()
+    // `--list` prints the registry and exits before any workload is
+    // generated; CI diffs this output against the ids in `nvfs help`.
+    if take_switch(&mut args, "--list") {
+        let mut stdout = std::io::stdout().lock();
+        let _ = write!(stdout, "{}", registry::list_text());
+        return Ok(());
+    }
+    // `--only NAME` resolves before the (possibly expensive) environment
+    // is built, so a typo fails fast with the full list of valid ids.
+    let only = match take_flag(&mut args, "--only")? {
+        Some(name) => Some(registry::find_or_suggest(&name)?),
+        None => None,
+    };
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
+    let ids: Vec<String> = match only {
+        Some(entry) => vec![entry.name().to_string()],
+        None if args.is_empty() => registry::default_entries()
+            .map(|e| e.name().to_string())
+            .collect(),
+        None => args.into_iter().collect(),
     };
     note_config(&[
         ("command", "experiments"),
-        ("scale", scale),
+        ("scale", scale.name()),
         ("ids", &ids.join(",")),
     ]);
     let jobs = nvfs::par::jobs();
@@ -603,157 +627,52 @@ fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
     Ok(())
 }
 
-const ALL_EXPERIMENTS: [&str; 21] = [
-    "tab1",
-    "fig2",
-    "tab2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "tab3",
-    "tab4",
-    "write-buffer",
-    "disk-sort",
-    "bus-nvram",
-    "presto",
-    "pipeline",
-    "ablations",
-    "consistency",
-    "read-latency",
-    "lfs-vs-ffs",
-    "server-cache",
-    "diagrams",
-    "warmup",
-];
-
+/// Runs one registered experiment, mapping a failed verdict to an error.
 fn run_experiment(env: &Env, id: &str) -> Result<String, String> {
-    catching(id, || run_experiment_inner(env, id))
-}
-
-fn run_experiment_inner(env: &Env, id: &str) -> Result<String, String> {
-    Ok(match id {
-        "tab1" => exp::tab1::run().table.render(),
-        "fig2" => fig_text(&exp::fig2::run(env).figure, true),
-        "tab2" => exp::tab2::run(env).table.render(),
-        "fig3" => fig_text(&exp::fig3::run(env).figure, true),
-        "fig4" => fig_text(&exp::fig4::run(env).figure, true),
-        "fig5" => fig_text(&exp::fig5::run(env).figure, false),
-        "fig6" => fig_text(&exp::fig6::run(env).figure, false),
-        "tab3" => exp::tab3::run(env).table.render(),
-        "tab4" => exp::tab4::run(env).table.render(),
-        "write-buffer" => exp::write_buffer::run(env).table.render(),
-        "disk-sort" => exp::disk_sort::run().table.render(),
-        "bus-nvram" => exp::bus_nvram::run(env).table.render(),
-        "presto" => exp::presto::run().table.render(),
-        "pipeline" => exp::pipeline::run(env).table.render(),
-        "ablations" => {
-            let h = exp::ablations::hybrid(env);
-            let d = exp::ablations::dirty_preference(env);
-            format!("{}{}", h.figure.render(), d.table.render())
+    catching(id, || {
+        let artifacts = registry::find_or_suggest(id)?.run(env)?;
+        match artifacts.failure {
+            Some(reason) => Err(reason),
+            None => Ok(artifacts.text),
         }
-        "consistency" => exp::consistency_protocol::run(env).table.render(),
-        "lfs-vs-ffs" => exp::lfs_vs_ffs::run(env).table.render(),
-        "diagrams" => format!("{}\n{}", exp::diagrams::figure1(), exp::diagrams::figure7()),
-        "server-cache" => exp::server_cache::run(env).table.render(),
-        "warmup" => exp::warmup::run(env).table.render(),
-        "read-latency" => {
-            let out = exp::read_latency::run();
-            format!("{}{}", out.table.render(), fig_text(&out.figure, false))
-        }
-        "nvram-speed" => exp::nvram_speed::run(env).table.render(),
-        "faults" => exp::faults::run(env).map_err(|e| e.to_string())?.render(),
-        other => return Err(format!("unknown experiment {other:?}")),
     })
 }
 
-/// Point list plus an ASCII plot for a figure artifact.
-fn fig_text(figure: &nvfs::report::Figure, log_x: bool) -> String {
-    format!(
-        "{}{}",
-        figure.render(),
-        render_plot(
-            figure,
-            PlotOptions {
-                log_x,
-                ..PlotOptions::default()
-            }
-        )
-    )
-}
-
 fn cmd_scorecard(mut args: VecDeque<String>) -> Result<(), String> {
-    let (env, scale) = parse_env(&mut args)?;
-    note_config(&[("command", "scorecard"), ("scale", scale)]);
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
+    note_config(&[("command", "scorecard"), ("scale", scale.name())]);
     eprintln!("[scorecard] jobs = {}", nvfs::par::jobs());
-    let card = catching("scorecard", || Ok(exp::scorecard::run(&env)))?;
-    outln!("{}", card.table.render());
-    outln!("{} of {} checks passed", card.passed(), card.checks.len());
-    if card.all_passed() {
-        Ok(())
-    } else {
-        Err("scorecard has failures".to_string())
+    let artifacts = catching("scorecard", || {
+        registry::find_or_suggest("scorecard")?.run(&env)
+    })?;
+    {
+        let mut stdout = std::io::stdout().lock();
+        let _ = write!(stdout, "{}", artifacts.text);
     }
-}
-
-/// CSV artifact names exported by `nvfs export-csv`, in output order.
-const CSV_ARTIFACTS: [&str; 15] = [
-    "tab1_costs.csv",
-    "fig2_byte_lifetimes.csv",
-    "tab2_write_fates.csv",
-    "fig3_omniscient.csv",
-    "fig4_policies.csv",
-    "fig5_models.csv",
-    "fig6_cost_effectiveness.csv",
-    "tab3_partial_segments.csv",
-    "tab4_partial_sizes.csv",
-    "write_buffer.csv",
-    "disk_sort.csv",
-    "bus_nvram.csv",
-    "presto.csv",
-    "pipeline.csv",
-    "nvram_speed.csv",
-];
-
-fn csv_artifact(env: &Env, name: &str) -> String {
-    match name {
-        "tab1_costs.csv" => exp::tab1::run().table.to_csv(),
-        "fig2_byte_lifetimes.csv" => exp::fig2::run(env).figure.to_csv(),
-        "tab2_write_fates.csv" => exp::tab2::run(env).table.to_csv(),
-        "fig3_omniscient.csv" => exp::fig3::run(env).figure.to_csv(),
-        "fig4_policies.csv" => exp::fig4::run(env).figure.to_csv(),
-        "fig5_models.csv" => exp::fig5::run(env).figure.to_csv(),
-        "fig6_cost_effectiveness.csv" => exp::fig6::run(env).figure.to_csv(),
-        "tab3_partial_segments.csv" => exp::tab3::run(env).table.to_csv(),
-        "tab4_partial_sizes.csv" => exp::tab4::run(env).table.to_csv(),
-        "write_buffer.csv" => exp::write_buffer::run(env).table.to_csv(),
-        "disk_sort.csv" => exp::disk_sort::run().table.to_csv(),
-        "bus_nvram.csv" => exp::bus_nvram::run(env).table.to_csv(),
-        "presto.csv" => exp::presto::run().table.to_csv(),
-        "pipeline.csv" => exp::pipeline::run(env).table.to_csv(),
-        "nvram_speed.csv" => exp::nvram_speed::run(env).table.to_csv(),
-        other => unreachable!("unknown CSV artifact {other:?}"),
-    }
+    artifacts.failure.map_or(Ok(()), Err)
 }
 
 fn cmd_export_csv(mut args: VecDeque<String>) -> Result<(), String> {
-    let (env, scale) = parse_env(&mut args)?;
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
     let out = PathBuf::from(take_flag(&mut args, "--out")?.ok_or("export-csv requires --out DIR")?);
-    note_config(&[("command", "export-csv"), ("scale", scale)]);
+    note_config(&[("command", "export-csv"), ("scale", scale.name())]);
     fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
 
     let jobs = nvfs::par::jobs();
     eprintln!("[export-csv] jobs = {jobs}");
-    // Artifacts are independent; compute all in parallel, then write in the
-    // fixed order so both the files and the log lines match a sequential
-    // run byte for byte.
-    let rendered = nvfs::par::par_map(CSV_ARTIFACTS.to_vec(), jobs, |name| {
-        (name, csv_artifact(&env, name))
-    });
-    for (name, csv) in rendered {
-        let path: &Path = &out.join(name);
-        fs::write(path, csv).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-        outln!("wrote {}", path.display());
+    // CSV-bearing entries are independent; compute all in parallel, then
+    // write in the registry's fixed order so both the files and the log
+    // lines match a sequential run byte for byte.
+    let entries: Vec<&registry::Entry> = registry::csv_entries().collect();
+    let rendered = nvfs::par::par_map(entries, jobs, |entry| entry.run(&env).map(|a| a.csv));
+    for result in rendered {
+        for (name, csv) in result? {
+            let path: &Path = &out.join(name);
+            fs::write(path, csv).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            outln!("wrote {}", path.display());
+        }
     }
     Ok(())
 }
@@ -763,17 +682,13 @@ const BENCH_STAGES: [&str; 5] = ["gen-traces", "fig2", "fig3", "tab3", "scorecar
 
 fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     use nvfs::par::bench;
-    use nvfs::trace::synth::lfs_workload::{sprite_server_workloads, ServerWorkloadConfig};
+    use nvfs::trace::synth::lfs_workload::sprite_server_workloads;
 
-    let scale = parse_scale_name(&mut args)?;
-    let (cfg, server_cfg) = match scale {
-        "tiny" => (TraceSetConfig::tiny(), ServerWorkloadConfig::tiny()),
-        "paper" => (TraceSetConfig::paper(), ServerWorkloadConfig::paper()),
-        _ => (TraceSetConfig::small(), ServerWorkloadConfig::small()),
-    };
+    let scale = parse_scale(&mut args)?;
+    let (cfg, server_cfg) = (scale.trace_config(), scale.server_config());
     let out =
         PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr1.json".into()));
-    note_config(&[("command", "bench"), ("scale", scale)]);
+    note_config(&[("command", "bench"), ("scale", scale.name())]);
 
     let parallel = nvfs::par::jobs();
     let passes: &[usize] = if parallel == 1 { &[1] } else { &[1, parallel] };

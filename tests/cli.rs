@@ -28,6 +28,68 @@ fn help_lists_commands() {
     }
 }
 
+/// `nvfs help` must name every registered experiment — the in-process
+/// twin of CI's drift check between `help` and `experiments --list`.
+#[test]
+fn help_lists_every_registered_experiment() {
+    let out = nvfs(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for entry in nvfs::experiments::registry::all() {
+        assert!(text.contains(entry.name()), "help missing {}", entry.name());
+    }
+}
+
+/// `experiments --list` is exactly the registry listing.
+#[test]
+fn experiments_list_matches_registry() {
+    let out = nvfs(&["experiments", "--list"]);
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        nvfs::experiments::registry::list_text()
+    );
+}
+
+/// The README experiment table is regenerated from the registry; this
+/// fails when a registry edit isn't mirrored into the README.
+#[test]
+fn readme_embeds_the_registry_table() {
+    let readme = include_str!("../README.md");
+    let table = nvfs::experiments::registry::readme_table();
+    assert!(
+        readme.contains(&table),
+        "README experiment table drifted from registry::readme_table();\n\
+         regenerate it:\n{table}"
+    );
+}
+
+#[test]
+fn experiments_only_runs_a_single_experiment() {
+    let out = nvfs(&["experiments", "--scale", "tiny", "--only", "disk-sort"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Disk bandwidth"));
+    assert!(!text.contains("Table 1"), "--only must run one experiment");
+}
+
+/// A typo'd `--only` fails fast (before workload generation) with the
+/// full list of valid ids.
+#[test]
+fn experiments_only_typo_lists_valid_ids() {
+    let out = nvfs(&["experiments", "--only", "disk-sortt"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment \"disk-sortt\""), "{err}");
+    for id in ["disk-sort", "tab1", "scorecard"] {
+        assert!(err.contains(id), "error omits valid id {id}: {err}");
+    }
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = nvfs(&["frobnicate"]);
