@@ -293,10 +293,20 @@ impl BlockStore {
     /// Blocks whose dirty data is older than `cutoff` (i.e. became dirty at
     /// or before it), oldest first.
     pub fn dirty_older_than(&self, cutoff: SimTime) -> Vec<BlockId> {
-        self.dirty_age
-            .range(..=(cutoff, BlockId::new(FileId(u32::MAX), u64::MAX)))
-            .map(|(&(_, id), ())| id)
-            .collect()
+        let mut out = Vec::new();
+        self.dirty_older_than_into(cutoff, &mut out);
+        out
+    }
+
+    /// [`Self::dirty_older_than`] into a caller-owned buffer (cleared
+    /// first), so tick-frequency callers can reuse one allocation.
+    pub fn dirty_older_than_into(&self, cutoff: SimTime, out: &mut Vec<BlockId>) {
+        out.clear();
+        out.extend(
+            self.dirty_age
+                .range(..=(cutoff, BlockId::new(FileId(u32::MAX), u64::MAX)))
+                .map(|(&(_, id), ())| id),
+        );
     }
 
     /// Iterates over `(BlockId, &BlockEntry)` in block order.

@@ -85,6 +85,8 @@ pub struct ClientCache {
     policy: Policy,
     device: NvramDevice,
     log: Vec<ServerWrite>,
+    /// Reused buffer for per-tick dirty-block scans (cleaner hot path).
+    scratch_blocks: Vec<BlockId>,
 }
 
 impl ClientCache {
@@ -100,6 +102,7 @@ impl ClientCache {
             device: NvramDevice::new(config.nvram_bytes)
                 .with_access_ratio(config.nvram_access_ratio),
             log: Vec::new(),
+            scratch_blocks: Vec::new(),
         }
     }
 
@@ -300,7 +303,9 @@ impl ClientCache {
     /// volatile cache into the NVRAM (becoming permanent with no server
     /// traffic) instead of being flushed to the server.
     fn age_into_nvram(&mut self, cutoff: SimTime, t: SimTime, stats: &mut TrafficStats) {
-        for b in self.volatile.dirty_older_than(cutoff) {
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        self.volatile.dirty_older_than_into(cutoff, &mut blocks);
+        for &b in &blocks {
             let entry = self.volatile.remove(b).expect("dirty block is cached");
             stats.aged_into_nvram_bytes += entry.dirty_bytes();
             self.ensure_nvram_space(t, stats);
@@ -314,6 +319,7 @@ impl ClientCache {
             self.device.record_write(BLOCK_SIZE);
             stats.bus_bytes += BLOCK_SIZE;
         }
+        self.scratch_blocks = blocks;
     }
 
     /// Makes sure `block` is resident in the volatile cache, fetching it
@@ -765,21 +771,50 @@ impl ClientCache {
         now: SimTime,
         stats: &mut TrafficStats,
     ) -> Vec<FileId> {
+        let mut files = Vec::new();
+        self.writeback_older_than_into(cutoff, now, stats, &mut files);
+        files
+    }
+
+    /// [`Self::writeback_older_than`] into a caller-owned buffer, so the
+    /// per-tick cleaner loop allocates nothing. `files` is cleared first
+    /// and left holding the flushed file ids, deduplicated.
+    pub fn writeback_older_than_into(
+        &mut self,
+        cutoff: SimTime,
+        now: SimTime,
+        stats: &mut TrafficStats,
+        files: &mut Vec<FileId>,
+    ) {
+        files.clear();
         if self.model == CacheModelKind::Hybrid {
             self.age_into_nvram(cutoff, now, stats);
-            return Vec::new();
+            return;
         }
         if self.model != CacheModelKind::Volatile {
-            return Vec::new();
+            return;
         }
-        let mut files = Vec::new();
-        for b in self.volatile.dirty_older_than(cutoff) {
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        self.volatile.dirty_older_than_into(cutoff, &mut blocks);
+        for &b in &blocks {
             let bytes = self.volatile.clean(b);
             self.flush_bytes(b.file, bytes, FlushCause::WriteBack, now, stats);
             files.push(b.file);
         }
+        self.scratch_blocks = blocks;
         files.dedup();
-        files
+    }
+
+    /// Whether the next cleaner tick could possibly do work: only the
+    /// models with a volatile dirty set (volatile write-back, hybrid
+    /// aging) ever act on a tick, and only when dirty blocks exist. The
+    /// drive loops use this to fast-forward tick arithmetic over idle
+    /// gaps instead of iterating empty ticks.
+    pub fn cleaner_pending(&self) -> bool {
+        matches!(
+            self.model,
+            CacheModelKind::Volatile | CacheModelKind::Hybrid
+        ) && self.volatile.dirty_block_count() > 0
     }
 
     fn flush_bytes(

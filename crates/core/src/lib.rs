@@ -49,6 +49,7 @@ pub mod omniscient;
 pub mod policy;
 pub mod recovery;
 pub mod session;
+pub(crate) mod shard;
 pub mod sim;
 
 pub use client::{ClientCache, FlushCause};

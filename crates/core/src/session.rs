@@ -137,7 +137,7 @@ pub struct FlushEvent {
 
 /// A queued engine event awaiting broadcast to the hook stack.
 #[derive(Debug, Clone)]
-enum SessionEvent {
+pub(crate) enum SessionEvent {
     Crash(CrashEvent),
     Drain(DrainEvent),
     Flush(FlushEvent),
@@ -186,6 +186,31 @@ pub trait RunHook {
     fn collect(&mut self, engine: &mut SimEngine<'_>) {
         let _ = engine;
     }
+
+    /// Opt-in to intra-run sharding: the op indices (if any) at which
+    /// this hook needs the whole cluster synchronized and its
+    /// `before_op` called with the full engine — every other `before_op`
+    /// must be a no-op returning [`OpAction::Apply`], and the hook must
+    /// not rely on per-op [`FlushEvent`]s.
+    ///
+    /// The default, `None`, declares the hook incompatible with sharding
+    /// (it observes per-op engine state), which forces the serial drive
+    /// loop — always correct, never faster. Hooks that are pure
+    /// bystanders between ops return `Some(vec![])`; [`WarmupReset`]
+    /// returns its single reset index.
+    fn shard_barriers(&self, n_ops: usize) -> Option<Vec<usize>> {
+        let _ = n_ops;
+        None
+    }
+
+    /// Whether this hook consumes [`FlushEvent`]s. Defaults to `true`
+    /// so third-party `on_flush` implementors keep working; the
+    /// built-in hooks override it to `false`, which lets the engine
+    /// skip queueing/broadcasting a flush event per flushed file on the
+    /// hot path (and is a precondition for intra-run sharding).
+    fn wants_flush_events(&self) -> bool {
+        true
+    }
 }
 
 /// What a session hands back once the hook stack has run to completion.
@@ -203,18 +228,23 @@ pub struct SessionOutput {
 /// callback.
 #[derive(Debug)]
 pub struct SimEngine<'cfg> {
-    config: &'cfg SimConfig,
-    policy_schedule: Option<Arc<OmniscientSchedule>>,
-    clients: BTreeMap<ClientId, ClientCache>,
-    server: ConsistencyServer,
-    stats: TrafficStats,
+    pub(crate) config: &'cfg SimConfig,
+    pub(crate) policy_schedule: Option<Arc<OmniscientSchedule>>,
+    pub(crate) clients: BTreeMap<ClientId, ClientCache>,
+    pub(crate) server: ConsistencyServer,
+    pub(crate) stats: TrafficStats,
     reliability: ReliabilityStats,
-    next_tick: SimTime,
-    run_cleaner: bool,
+    pub(crate) next_tick: SimTime,
+    pub(crate) run_cleaner: bool,
     recovery_writes: Vec<ServerWrite>,
-    pending: Vec<SessionEvent>,
-    ops_replayed: u64,
-    sim_end: SimTime,
+    pub(crate) pending: Vec<SessionEvent>,
+    pub(crate) ops_replayed: u64,
+    pub(crate) sim_end: SimTime,
+    /// Whether any hook in the current stack consumes flush events; when
+    /// false the engine skips queueing them entirely (hot-path win).
+    pub(crate) flush_events: bool,
+    /// Reused buffer for per-tick written-back file ids.
+    writeback_scratch: Vec<FileId>,
 }
 
 impl<'cfg> SimEngine<'cfg> {
@@ -239,6 +269,8 @@ impl<'cfg> SimEngine<'cfg> {
             pending: Vec::new(),
             ops_replayed: 0,
             sim_end: SimTime::ZERO,
+            flush_events: true,
+            writeback_scratch: Vec::new(),
         }
     }
 
@@ -392,6 +424,21 @@ impl<'cfg> SimEngine<'cfg> {
             return;
         }
         while self.next_tick <= now {
+            // Idle fast-forward: once no cache holds anything the cleaner
+            // could ever flush, every remaining tick in the gap is a
+            // no-op, so jump the cursor arithmetically. The cursor stays
+            // on the same `epoch + k·period` lattice, so this is
+            // bit-exact with ticking through the gap one period at a
+            // time. Caches only shed data inside this loop, never gain
+            // it, so the check cannot flip back to pending.
+            if self.clients.values().all(|c| !c.cleaner_pending()) {
+                let gap = now.as_micros() - self.next_tick.as_micros();
+                let steps = gap / self.config.cleaner_period.as_micros() + 1;
+                self.next_tick = SimTime::from_micros(
+                    self.next_tick.as_micros() + steps * self.config.cleaner_period.as_micros(),
+                );
+                return;
+            }
             let tick = self.next_tick;
             if tick >= SimTime::ZERO + self.config.write_back_delay {
                 let cutoff = tick - self.config.write_back_delay;
@@ -400,17 +447,22 @@ impl<'cfg> SimEngine<'cfg> {
                     server,
                     stats,
                     pending,
+                    flush_events,
+                    writeback_scratch,
                     ..
                 } = self;
                 for (&cid, cache) in clients.iter_mut() {
-                    for file in cache.writeback_older_than(cutoff, tick, stats) {
+                    cache.writeback_older_than_into(cutoff, tick, stats, writeback_scratch);
+                    for &file in writeback_scratch.iter() {
                         server.note_flush(file, cid);
-                        pending.push(SessionEvent::Flush(FlushEvent {
-                            at: tick,
-                            client: cid,
-                            file,
-                            cause: FlushCause::WriteBack,
-                        }));
+                        if *flush_events {
+                            pending.push(SessionEvent::Flush(FlushEvent {
+                                at: tick,
+                                client: cid,
+                                file,
+                                cause: FlushCause::WriteBack,
+                            }));
+                        }
                     }
                 }
             }
@@ -419,7 +471,7 @@ impl<'cfg> SimEngine<'cfg> {
     }
 
     /// Replays one op against the caches and the consistency server.
-    fn apply_op(&mut self, op: &Op) {
+    pub(crate) fn apply_op(&mut self, op: &Op) {
         let SimEngine {
             config,
             policy_schedule,
@@ -427,9 +479,39 @@ impl<'cfg> SimEngine<'cfg> {
             server,
             stats,
             pending,
+            flush_events,
             ..
         } = self;
+        SimEngine::apply_op_parts(
+            config,
+            policy_schedule,
+            clients,
+            server,
+            stats,
+            pending,
+            *flush_events,
+            op,
+        );
+    }
 
+    /// Replays one op against a set of caches and a consistency server —
+    /// the body of [`SimEngine::apply_op`], split from `self` so the
+    /// intra-run shard driver ([`crate::shard`]) can apply ops against
+    /// per-shard state (one client's cache + its replica server).
+    ///
+    /// With `emit_flush_events` false, flush [`SessionEvent`]s are not
+    /// queued, so flush-producing ops leave `pending` untouched.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn apply_op_parts(
+        config: &SimConfig,
+        policy_schedule: &Option<Arc<OmniscientSchedule>>,
+        clients: &mut BTreeMap<ClientId, ClientCache>,
+        server: &mut ConsistencyServer,
+        stats: &mut TrafficStats,
+        pending: &mut Vec<SessionEvent>,
+        emit_flush_events: bool,
+        op: &Op,
+    ) {
         macro_rules! client {
             ($id:expr) => {
                 clients.entry($id).or_insert_with(|| {
@@ -443,12 +525,14 @@ impl<'cfg> SimEngine<'cfg> {
         }
         macro_rules! flush_event {
             ($client:expr, $file:expr, $cause:expr) => {
-                pending.push(SessionEvent::Flush(FlushEvent {
-                    at: op.time,
-                    client: $client,
-                    file: $file,
-                    cause: $cause,
-                }))
+                if emit_flush_events {
+                    pending.push(SessionEvent::Flush(FlushEvent {
+                        at: op.time,
+                        client: $client,
+                        file: $file,
+                        cause: $cause,
+                    }))
+                }
             };
         }
 
@@ -577,7 +661,7 @@ impl<'cfg> SimEngine<'cfg> {
 /// Broadcasts every queued engine event to every hook in stack order.
 /// Loops because a hook's handler may itself drive mechanics that
 /// queue further events.
-fn dispatch(engine: &mut SimEngine<'_>, hooks: &mut [&mut dyn RunHook]) {
+pub(crate) fn dispatch(engine: &mut SimEngine<'_>, hooks: &mut [&mut dyn RunHook]) {
     while !engine.pending.is_empty() {
         let batch = std::mem::take(&mut engine.pending);
         for event in &batch {
@@ -642,23 +726,23 @@ impl<'a> SimSession<'a> {
     /// kept ownership and harvests them afterwards.
     pub fn run(&self, ops: &OpStream, hooks: &mut [&mut dyn RunHook]) -> SessionOutput {
         let mut engine = SimEngine::new(self.config, ops);
-        for (index, op) in ops.iter().enumerate() {
-            engine.ops_replayed += 1;
-            engine.sim_end = op.time;
-            let mut action = OpAction::Apply;
-            for hook in hooks.iter_mut() {
-                if hook.before_op(&mut engine, index, op) == OpAction::Skip {
-                    action = OpAction::Skip;
-                }
+        engine.flush_events = hooks.iter().any(|h| h.wants_flush_events());
+
+        // Sharded drive loop: eligible when every hook opts in via
+        // `shard_barriers`, none consumes flush events, and event
+        // tracing is off (per-op obs events must interleave in global
+        // op order, which shards cannot reproduce). Output is
+        // byte-identical to the serial loop — see crate::shard.
+        let barriers = crate::shard::collect_barriers(hooks, ops.len());
+        match barriers {
+            Some(barriers)
+                if !ops.is_empty() && !engine.flush_events && !nvfs_obs::trace_enabled() =>
+            {
+                crate::shard::run_sharded(&mut engine, ops, hooks, &barriers);
             }
-            dispatch(&mut engine, hooks);
-            engine.advance_cleaner(op.time);
-            dispatch(&mut engine, hooks);
-            if action == OpAction::Apply {
-                engine.apply_op(op);
-            }
-            dispatch(&mut engine, hooks);
+            _ => self.run_serial(&mut engine, ops, hooks),
         }
+
         for i in 0..hooks.len() {
             hooks[i].finish(&mut engine);
             dispatch(&mut engine, hooks);
@@ -670,6 +754,34 @@ impl<'a> SimSession<'a> {
         SessionOutput {
             stats: engine.stats,
             reliability: engine.reliability,
+        }
+    }
+
+    /// The reference drive loop: one op at a time against the full
+    /// cluster. Always correct for any hook stack; the sharded loop in
+    /// [`crate::shard`] must match it byte for byte.
+    fn run_serial(
+        &self,
+        engine: &mut SimEngine<'_>,
+        ops: &OpStream,
+        hooks: &mut [&mut dyn RunHook],
+    ) {
+        for (index, op) in ops.iter().enumerate() {
+            engine.ops_replayed += 1;
+            engine.sim_end = op.time;
+            let mut action = OpAction::Apply;
+            for hook in hooks.iter_mut() {
+                if hook.before_op(engine, index, op) == OpAction::Skip {
+                    action = OpAction::Skip;
+                }
+            }
+            dispatch(engine, hooks);
+            engine.advance_cleaner(op.time);
+            dispatch(engine, hooks);
+            if action == OpAction::Apply {
+                engine.apply_op(op);
+            }
+            dispatch(engine, hooks);
         }
     }
 }
@@ -709,6 +821,15 @@ impl RunHook for WarmupReset {
         }
         OpAction::Apply
     }
+
+    /// The reset is the hook's only interposition: one barrier there.
+    fn shard_barriers(&self, _n_ops: usize) -> Option<Vec<usize>> {
+        Some(vec![self.reset_at])
+    }
+
+    fn wants_flush_events(&self) -> bool {
+        false
+    }
 }
 
 /// Hook: harvests the time-ordered server-write log — the input for a
@@ -733,6 +854,15 @@ impl WriteLogCapture {
 impl RunHook for WriteLogCapture {
     fn collect(&mut self, engine: &mut SimEngine<'_>) {
         self.writes = engine.take_write_log();
+    }
+
+    /// Pure end-of-run harvest: no per-op interposition at all.
+    fn shard_barriers(&self, _n_ops: usize) -> Option<Vec<usize>> {
+        Some(Vec::new())
+    }
+
+    fn wants_flush_events(&self) -> bool {
+        false
     }
 }
 
@@ -805,6 +935,13 @@ impl<'s> FaultInjector<'s> {
 }
 
 impl RunHook for FaultInjector<'_> {
+    // Keeps the default `shard_barriers` (None): fault injection cuts
+    // client traces mid-run and observes every op's time, which is
+    // exactly the per-op interposition sharding cannot offer.
+    fn wants_flush_events(&self) -> bool {
+        false
+    }
+
     fn before_op(&mut self, engine: &mut SimEngine<'_>, _index: usize, op: &Op) -> OpAction {
         self.advance(engine, op.time);
         // A crashed workstation issues no further ops: its trace is
@@ -846,6 +983,13 @@ impl OracleJudge {
 }
 
 impl RunHook for OracleJudge {
+    // Keeps the default `shard_barriers` (None): the judge consumes
+    // crash/drain events, which only exist on fault-injected runs —
+    // those are serial anyway (FaultInjector is shard-incompatible).
+    fn wants_flush_events(&self) -> bool {
+        false
+    }
+
     fn on_crash(&mut self, _engine: &mut SimEngine<'_>, event: &CrashEvent) {
         if let Some(promise) = &event.promise {
             self.promises
@@ -891,6 +1035,16 @@ impl ObsRecorder {
 }
 
 impl RunHook for ObsRecorder {
+    /// One-pass fold at the end; the per-event emitters only fire on
+    /// fault-injected (serial) runs, so no barriers are needed.
+    fn shard_barriers(&self, _n_ops: usize) -> Option<Vec<usize>> {
+        Some(Vec::new())
+    }
+
+    fn wants_flush_events(&self) -> bool {
+        false
+    }
+
     fn on_crash(&mut self, _engine: &mut SimEngine<'_>, event: &CrashEvent) {
         nvfs_obs::event("fault_fired", event.time.as_micros())
             .str("fault", "client-crash")

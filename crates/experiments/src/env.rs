@@ -24,11 +24,14 @@ pub enum Scale {
     Small,
     /// Full paper-scale workloads (24-hour traces; slow).
     Paper,
+    /// Cluster-scale workloads: 256 mostly-idle clients over two days —
+    /// the width stress for the sharded drive loop.
+    Mega,
 }
 
 impl Scale {
     /// Every scale, smallest first.
-    pub const ALL: [Scale; 3] = [Scale::Tiny, Scale::Small, Scale::Paper];
+    pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Paper, Scale::Mega];
 
     /// The canonical lowercase name (`"tiny"`, `"small"`, `"paper"`).
     pub fn name(self) -> &'static str {
@@ -36,6 +39,7 @@ impl Scale {
             Scale::Tiny => "tiny",
             Scale::Small => "small",
             Scale::Paper => "paper",
+            Scale::Mega => "mega",
         }
     }
 
@@ -45,6 +49,7 @@ impl Scale {
             Scale::Tiny => TraceSetConfig::tiny(),
             Scale::Small => TraceSetConfig::small(),
             Scale::Paper => TraceSetConfig::paper(),
+            Scale::Mega => TraceSetConfig::mega(),
         }
     }
 
@@ -54,6 +59,7 @@ impl Scale {
             Scale::Tiny => ServerWorkloadConfig::tiny(),
             Scale::Small => ServerWorkloadConfig::small(),
             Scale::Paper => ServerWorkloadConfig::paper(),
+            Scale::Mega => ServerWorkloadConfig::mega(),
         }
     }
 
@@ -71,7 +77,8 @@ impl FromStr for Scale {
             "tiny" => Ok(Scale::Tiny),
             "small" => Ok(Scale::Small),
             "paper" => Ok(Scale::Paper),
-            other => Err(format!("unknown scale {other:?} (tiny|small|paper)")),
+            "mega" => Ok(Scale::Mega),
+            other => Err(format!("unknown scale {other:?} (tiny|small|paper|mega)")),
         }
     }
 }
@@ -151,6 +158,6 @@ mod tests {
     #[test]
     fn scale_rejects_unknown_names_with_the_valid_set() {
         let err = "huge".parse::<Scale>().unwrap_err();
-        assert_eq!(err, "unknown scale \"huge\" (tiny|small|paper)");
+        assert_eq!(err, "unknown scale \"huge\" (tiny|small|paper|mega)");
     }
 }

@@ -80,36 +80,43 @@ fn gather(
     presto::Presto,
     read_latency::ReadLatency,
 ) {
+    // Each sub-experiment runs in its own submission-indexed obs task
+    // frame (the same contract `par_map` gives its items) so the metric
+    // shards it records land in the global registry with a deterministic
+    // path — on worker threads the frame is also what flushes them at
+    // all; a bare `scope.spawn` would drop its thread-locals on exit.
+    let base = nvfs_obs::task_path();
     if nvfs_par::jobs() <= 1 {
         return (
-            tab1::run(),
-            fig2::run(env),
-            fig3::run(env),
-            fig4::run(env),
-            fig5::run(env),
-            tab3::run(env),
-            write_buffer::run(env),
-            disk_sort::run(),
-            bus_nvram::run(env),
-            presto::run(),
-            read_latency::run(),
+            nvfs_obs::task_frame(&base, 0, tab1::run),
+            nvfs_obs::task_frame(&base, 1, || fig2::run(env)),
+            nvfs_obs::task_frame(&base, 2, || fig3::run(env)),
+            nvfs_obs::task_frame(&base, 3, || fig4::run(env)),
+            nvfs_obs::task_frame(&base, 4, || fig5::run(env)),
+            nvfs_obs::task_frame(&base, 5, || tab3::run(env)),
+            nvfs_obs::task_frame(&base, 6, || write_buffer::run(env)),
+            nvfs_obs::task_frame(&base, 7, disk_sort::run),
+            nvfs_obs::task_frame(&base, 8, || bus_nvram::run(env)),
+            nvfs_obs::task_frame(&base, 9, presto::run),
+            nvfs_obs::task_frame(&base, 10, read_latency::run),
         );
     }
     // The sub-experiments return heterogeneous types, so fan out with
     // scoped spawns rather than par_map; joins happen in a fixed order and
     // every run seeds its own RNGs, so the results match a sequential run.
     std::thread::scope(|s| {
-        let t1 = s.spawn(tab1::run);
-        let f2 = s.spawn(|| fig2::run(env));
-        let f3 = s.spawn(|| fig3::run(env));
-        let f4 = s.spawn(|| fig4::run(env));
-        let f5 = s.spawn(|| fig5::run(env));
-        let t3 = s.spawn(|| tab3::run(env));
-        let wb = s.spawn(|| write_buffer::run(env));
-        let ds = s.spawn(disk_sort::run);
-        let bn = s.spawn(|| bus_nvram::run(env));
-        let p = s.spawn(presto::run);
-        let rl = s.spawn(read_latency::run);
+        let base = &base;
+        let t1 = s.spawn(move || nvfs_obs::task_frame(base, 0, tab1::run));
+        let f2 = s.spawn(move || nvfs_obs::task_frame(base, 1, || fig2::run(env)));
+        let f3 = s.spawn(move || nvfs_obs::task_frame(base, 2, || fig3::run(env)));
+        let f4 = s.spawn(move || nvfs_obs::task_frame(base, 3, || fig4::run(env)));
+        let f5 = s.spawn(move || nvfs_obs::task_frame(base, 4, || fig5::run(env)));
+        let t3 = s.spawn(move || nvfs_obs::task_frame(base, 5, || tab3::run(env)));
+        let wb = s.spawn(move || nvfs_obs::task_frame(base, 6, || write_buffer::run(env)));
+        let ds = s.spawn(move || nvfs_obs::task_frame(base, 7, disk_sort::run));
+        let bn = s.spawn(move || nvfs_obs::task_frame(base, 8, || bus_nvram::run(env)));
+        let p = s.spawn(move || nvfs_obs::task_frame(base, 9, presto::run));
+        let rl = s.spawn(move || nvfs_obs::task_frame(base, 10, read_latency::run));
         (
             t1.join().expect("tab1 panicked"),
             f2.join().expect("fig2 panicked"),

@@ -9,8 +9,8 @@
 use std::fmt::Write as _;
 
 /// One timed run: an experiment name, its wall-clock milliseconds
-/// (inclusive and exclusive of nested stages), and the job count it ran
-/// with.
+/// (inclusive and exclusive of nested stages), the job count it ran with,
+/// and the run provenance (workload scale, git revision, iteration).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Experiment or stage name (e.g. `"gen-traces"`, `"fig3"`).
@@ -22,10 +22,19 @@ pub struct BenchRecord {
     pub excl_ms: f64,
     /// Job count the stage ran with.
     pub jobs: usize,
+    /// Workload scale name the stage ran at (e.g. `"tiny"`); empty until
+    /// [`annotate`]d.
+    pub scale: String,
+    /// Git revision of the working tree, or `"unknown"`; empty until
+    /// [`annotate`]d.
+    pub rev: String,
+    /// 1-based repetition this record belongs to (`--iters`).
+    pub iter: usize,
 }
 
 /// Times `f` as an observability span and appends a [`BenchRecord`] for
-/// it to `records`.
+/// it to `records`. Provenance fields start blank (iteration 1); callers
+/// that know the scale/revision/iteration stamp them with [`annotate`].
 pub fn timed<R>(
     records: &mut Vec<BenchRecord>,
     name: &str,
@@ -38,12 +47,25 @@ pub fn timed<R>(
         wall_ms: span.wall_ms,
         excl_ms: span.excl_ms,
         jobs,
+        scale: String::new(),
+        rev: String::new(),
+        iter: 1,
     });
     out
 }
 
-/// Serializes records as a JSON array of `{name, wall_ms, excl_ms, jobs}`
-/// rows.
+/// Stamps run provenance onto `records`: the workload scale, the git
+/// revision, and which repetition the records belong to.
+pub fn annotate(records: &mut [BenchRecord], scale: &str, rev: &str, iter: usize) {
+    for r in records {
+        r.scale = scale.to_string();
+        r.rev = rev.to_string();
+        r.iter = iter;
+    }
+}
+
+/// Serializes records as a JSON array of
+/// `{name, wall_ms, excl_ms, jobs, scale, rev, iter}` rows.
 ///
 /// Hand-rolled (the workspace builds offline, without serde); names are
 /// plain ASCII experiment identifiers, escaped defensively anyway.
@@ -53,11 +75,15 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         let sep = if i + 1 == records.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"excl_ms\": {:.3}, \"jobs\": {}}}{sep}",
+            "  {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"excl_ms\": {:.3}, \"jobs\": {}, \
+             \"scale\": \"{}\", \"rev\": \"{}\", \"iter\": {}}}{sep}",
             nvfs_obs::json::escape(&r.name),
             r.wall_ms,
             r.excl_ms,
-            r.jobs
+            r.jobs,
+            nvfs_obs::json::escape(&r.scale),
+            nvfs_obs::json::escape(&r.rev),
+            r.iter
         );
     }
     out.push_str("]\n");
@@ -101,6 +127,19 @@ mod tests {
     }
 
     #[test]
+    fn annotate_stamps_provenance_on_every_record() {
+        let mut records = Vec::new();
+        timed(&mut records, "first", 1, || ());
+        timed(&mut records, "second", 2, || ());
+        annotate(&mut records, "tiny", "abc123", 3);
+        for r in &records {
+            assert_eq!(r.scale, "tiny");
+            assert_eq!(r.rev, "abc123");
+            assert_eq!(r.iter, 3);
+        }
+    }
+
+    #[test]
     fn json_shape_is_stable() {
         let records = vec![
             BenchRecord {
@@ -108,22 +147,30 @@ mod tests {
                 wall_ms: 12.5,
                 excl_ms: 12.5,
                 jobs: 1,
+                scale: "tiny".into(),
+                rev: "abc123".into(),
+                iter: 1,
             },
             BenchRecord {
                 name: "fig3".into(),
                 wall_ms: 0.25,
                 excl_ms: 0.25,
                 jobs: 4,
+                scale: "mega".into(),
+                rev: "abc123".into(),
+                iter: 2,
             },
         ];
         let json = to_json(&records);
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with("]\n"));
         assert!(json.contains(
-            "{\"name\": \"gen-traces\", \"wall_ms\": 12.500, \"excl_ms\": 12.500, \"jobs\": 1},"
+            "{\"name\": \"gen-traces\", \"wall_ms\": 12.500, \"excl_ms\": 12.500, \"jobs\": 1, \
+             \"scale\": \"tiny\", \"rev\": \"abc123\", \"iter\": 1},"
         ));
         assert!(json.contains(
-            "{\"name\": \"fig3\", \"wall_ms\": 0.250, \"excl_ms\": 0.250, \"jobs\": 4}\n"
+            "{\"name\": \"fig3\", \"wall_ms\": 0.250, \"excl_ms\": 0.250, \"jobs\": 4, \
+             \"scale\": \"mega\", \"rev\": \"abc123\", \"iter\": 2}\n"
         ));
     }
 
@@ -134,6 +181,9 @@ mod tests {
             wall_ms: 1.0,
             excl_ms: 1.0,
             jobs: 1,
+            scale: String::new(),
+            rev: String::new(),
+            iter: 1,
         }];
         let json = to_json(&records);
         assert!(json.contains("a\\\"b\\\\c\\u000ad"));

@@ -74,7 +74,12 @@ where
     // threads have empty thread-local paths, and nested par_map tasks must
     // record under `outer_index/inner_index` for deterministic merging.
     let base = nvfs_obs::task_path();
-    if jobs <= 1 || n <= 1 {
+    let permits = if jobs <= 1 || n <= 1 {
+        WorkerPermits(0)
+    } else {
+        acquire_extra_workers(jobs.min(n) - 1)
+    };
+    if permits.0 == 0 {
         return items
             .into_iter()
             .enumerate()
@@ -84,20 +89,25 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i].lock().expect("input slot poisoned").take();
-                let item = item.expect("each index is claimed exactly once");
-                let out = run_task(&base, i as u32, || f(item));
-                *results[i].lock().expect("result slot poisoned") = Some(out);
-            });
+    let work = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
+        let item = slots[i].lock().expect("input slot poisoned").take();
+        let item = item.expect("each index is claimed exactly once");
+        let out = run_task(&base, i as u32, || f(item));
+        *results[i].lock().expect("result slot poisoned") = Some(out);
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..permits.0 {
+            scope.spawn(work);
+        }
+        // The calling thread is a worker too: `permits.0` extra threads
+        // plus this one, never more than `jobs.min(n)` in total.
+        work();
     });
+    drop(permits);
     results
         .into_iter()
         .map(|slot| {
@@ -106,6 +116,44 @@ where
                 .expect("worker stored every claimed slot")
         })
         .collect()
+}
+
+/// Extra worker threads currently alive across *all* in-flight `par_map`
+/// calls in the process. The calling thread of each `par_map` is free, so
+/// with `jobs = J` at most `J - 1` extras may exist at once.
+static EXTRA_WORKERS_IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+/// Leased extra-worker slots; returned to the pool on drop (including
+/// unwinds, so a panicking task cannot leak capacity).
+struct WorkerPermits(usize);
+
+impl Drop for WorkerPermits {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            EXTRA_WORKERS_IN_USE.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Tries to lease up to `want` extra worker threads against the global
+/// `jobs() - 1` cap. Grants whatever is available (possibly zero): a
+/// nested `par_map` whose outer fan-out already holds every slot simply
+/// runs sequentially on its calling thread, so nesting never multiplies
+/// threads — the process-wide worker count stays bounded by `jobs()`.
+///
+/// Results are unaffected either way: `par_map` output is byte-identical
+/// at any worker count, so an under-granted lease only changes timing.
+fn acquire_extra_workers(want: usize) -> WorkerPermits {
+    let cap = jobs().saturating_sub(1);
+    if want == 0 || cap == 0 {
+        return WorkerPermits(0);
+    }
+    let mut granted = 0;
+    let _ = EXTRA_WORKERS_IN_USE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |in_use| {
+        granted = want.min(cap.saturating_sub(in_use));
+        (granted > 0).then_some(in_use + granted)
+    });
+    WorkerPermits(granted)
 }
 
 /// Runs one `par_map` item inside its observability task frame (shared by
@@ -228,5 +276,31 @@ mod tests {
     #[test]
     fn jobs_is_at_least_one() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn nested_par_map_stays_within_worker_cap() {
+        // With the permit system, an outer fan-out holding every extra
+        // worker forces inner par_map calls onto their calling threads:
+        // concurrent task bodies never exceed the process-wide job count.
+        set_jobs(3);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let body = |x: u64| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            x
+        };
+        let out = par_map((0..4u64).collect(), 4, |outer| {
+            par_map((0..4u64).collect(), 4, |inner| body(outer * 10 + inner))
+        });
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {} exceeded the jobs=3 cap",
+            peak.load(Ordering::SeqCst)
+        );
     }
 }

@@ -159,6 +159,37 @@ impl RangeSet {
         if r.is_empty() {
             return 0;
         }
+        // Fast path for the overwhelmingly common shapes in trace replay:
+        // sequential writes append at or extend the tail range. Handling
+        // them with at most two tree probes avoids the general path's
+        // overlap scan and its `to_remove` allocation.
+        match self.ranges.last_key_value() {
+            None => {
+                self.ranges.insert(r.start, r.end);
+                self.total += r.len();
+                return r.len();
+            }
+            Some((_, &tail_end)) if r.start > tail_end => {
+                // Strictly past the tail with a gap: a fresh trailing range.
+                self.ranges.insert(r.start, r.end);
+                self.total += r.len();
+                return r.len();
+            }
+            Some((&tail_start, &tail_end)) if r.start >= tail_start => {
+                // Overlaps or abuts the tail range: covered or extend-in-place.
+                if r.end <= tail_end {
+                    return 0;
+                }
+                *self
+                    .ranges
+                    .get_mut(&tail_start)
+                    .expect("tail key just observed") = r.end;
+                let added = r.end - tail_end;
+                self.total += added;
+                return added;
+            }
+            Some(_) => {} // starts before the tail range: general path
+        }
         let mut new_start = r.start;
         let mut new_end = r.end;
         let mut absorbed: u64 = 0;
@@ -198,6 +229,13 @@ impl RangeSet {
     /// Removes `r` from the set. Returns the number of bytes actually removed.
     pub fn remove(&mut self, r: ByteRange) -> u64 {
         if r.is_empty() || self.ranges.is_empty() {
+            return 0;
+        }
+        // Fast path: `r` lies entirely outside the covered span, so nothing
+        // can intersect it (common for truncates past EOF and re-deletes).
+        let span_start = *self.ranges.first_key_value().expect("non-empty").0;
+        let span_end = *self.ranges.last_key_value().expect("non-empty").1;
+        if r.end <= span_start || r.start >= span_end {
             return 0;
         }
         let mut removed: u64 = 0;
@@ -285,11 +323,32 @@ impl RangeSet {
 
     /// Adds every byte of `other` into `self`; returns bytes newly added.
     pub fn union_with(&mut self, other: &RangeSet) -> u64 {
+        if other.ranges.is_empty() {
+            return 0;
+        }
+        if self.ranges.is_empty() {
+            // Fast path: adopt the other set's canonical representation
+            // wholesale instead of re-inserting range by range.
+            self.ranges = other.ranges.clone();
+            self.total = other.total;
+            return self.total;
+        }
         other.iter().map(|r| self.insert(r)).sum()
     }
 
     /// Removes every byte of `other` from `self`; returns bytes removed.
     pub fn subtract(&mut self, other: &RangeSet) -> u64 {
+        if self.ranges.is_empty() || other.ranges.is_empty() {
+            return 0;
+        }
+        // Fast path: disjoint covered spans cannot share a byte.
+        let self_start = *self.ranges.first_key_value().expect("non-empty").0;
+        let self_end = *self.ranges.last_key_value().expect("non-empty").1;
+        let other_start = *other.ranges.first_key_value().expect("non-empty").0;
+        let other_end = *other.ranges.last_key_value().expect("non-empty").1;
+        if other_end <= self_start || other_start >= self_end {
+            return 0;
+        }
         other.iter().map(|r| self.remove(r)).sum()
     }
 

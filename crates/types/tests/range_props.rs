@@ -133,6 +133,116 @@ fn insert_is_idempotent() {
     }
 }
 
+/// Reference implementation of `insert` that always takes the general
+/// overlap-scan path: rebuild the set from scratch out of the existing
+/// pieces plus `r` (piecewise single-byte inserts can never hit the tail
+/// fast path mid-set), and count added bytes with the naive model.
+fn slow_insert(s: &RangeSet, r: ByteRange) -> (RangeSet, u64) {
+    let mut model: BTreeSet<u64> = s.iter().flat_map(model_bytes).collect();
+    let before = model.len();
+    model.extend(model_bytes(r));
+    let added = (model.len() - before) as u64;
+    let rebuilt: RangeSet = model
+        .iter()
+        .map(|&b| ByteRange::new(b, b + 1))
+        .rev() // descending single bytes defeat the append fast path
+        .collect();
+    (rebuilt, added)
+}
+
+/// The tail fast paths in `insert` (append past the tail, extend/abut the
+/// tail, fully-covered-by-tail) must agree exactly with the general path.
+/// The workload is append-biased so the fast paths are actually taken.
+#[test]
+fn insert_fast_paths_match_slow_path() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0005);
+    for _case in 0..300 {
+        let mut s = RangeSet::new();
+        let mut cursor = 0u64;
+        for _ in 0..rng.gen_range(1..30usize) {
+            let r = match rng.gen_range(0..5u32) {
+                // Sequential append directly at the tail (abutting).
+                0 => ByteRange::at(cursor, rng.gen_range(1..16)),
+                // Append with a gap.
+                1 => ByteRange::at(cursor + rng.gen_range(1..8), rng.gen_range(1..16)),
+                // Extend the tail from inside it.
+                2 if cursor > 0 => {
+                    let start = rng.gen_range(0..cursor);
+                    ByteRange::new(start, cursor + rng.gen_range(0..16))
+                }
+                // Re-dirty bytes already covered (returns 0 on the fast path).
+                3 if cursor > 1 => {
+                    let start = rng.gen_range(0..cursor - 1);
+                    ByteRange::new(start, rng.gen_range(start + 1..=cursor))
+                }
+                // Occasional arbitrary range to force the general path too.
+                _ => rand_range(&mut rng),
+            };
+            let (expected_set, expected_added) = slow_insert(&s, r);
+            let added = s.insert(r);
+            assert_eq!(added, expected_added, "insert {r} into {s}");
+            assert_eq!(s, expected_set, "insert {r}");
+            assert!(s.check_invariants(), "insert {r}");
+            cursor = cursor.max(r.end);
+        }
+    }
+}
+
+/// `union_with` into an empty set (the clone fast path) and `subtract` of
+/// span-disjoint sets (the early-out) must match the range-by-range path.
+#[test]
+fn union_subtract_fast_paths_match_slow_path() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0006);
+    for _case in 0..300 {
+        let n = rng.gen_range(0..8usize);
+        let ranges: Vec<ByteRange> = (0..n).map(|_| rand_range(&mut rng)).collect();
+        let other: RangeSet = ranges.iter().copied().collect();
+
+        // Union into empty == clone of other, and reports every byte added.
+        let mut empty = RangeSet::new();
+        let added = empty.union_with(&other);
+        assert_eq!(empty, other, "{ranges:?}");
+        assert_eq!(added, other.len_bytes(), "{ranges:?}");
+
+        // Subtract with a span guaranteed past the other's coverage: the
+        // early-out must leave the set untouched, same as removing
+        // range-by-range would.
+        let mut high = RangeSet::from_range(ByteRange::at(UNIVERSE + 10, 64));
+        let snapshot = high.clone();
+        assert_eq!(high.subtract(&other), 0, "{ranges:?}");
+        assert_eq!(high, snapshot, "{ranges:?}");
+
+        // And a genuinely overlapping subtract agrees with the naive model.
+        let mut real = RangeSet::from_range(ByteRange::new(0, UNIVERSE));
+        let removed = real.subtract(&other);
+        assert_eq!(removed, other.len_bytes(), "{ranges:?}");
+        assert_eq!(real.len_bytes(), UNIVERSE - other.len_bytes(), "{ranges:?}");
+    }
+}
+
+/// Adjacency edge cases around the tail fast path: abutting ranges must
+/// coalesce into one canonical range exactly like the general path.
+#[test]
+fn tail_append_adjacency_coalesces() {
+    let mut s = RangeSet::new();
+    assert_eq!(s.insert(ByteRange::new(0, 10)), 10);
+    // Abuts the tail exactly: must extend in place, not create a fragment.
+    assert_eq!(s.insert(ByteRange::new(10, 20)), 10);
+    assert_eq!(s.fragment_count(), 1);
+    // Gap of one byte: must stay separate.
+    assert_eq!(s.insert(ByteRange::new(21, 30)), 9);
+    assert_eq!(s.fragment_count(), 2);
+    // Fully covered by the tail: zero added, set unchanged.
+    let snap = s.clone();
+    assert_eq!(s.insert(ByteRange::new(22, 29)), 0);
+    assert_eq!(s, snap);
+    // Starts inside the tail, extends past it.
+    assert_eq!(s.insert(ByteRange::new(25, 40)), 10);
+    assert_eq!(s.fragment_count(), 2);
+    assert_eq!(s.len_bytes(), 39);
+    assert!(s.check_invariants());
+}
+
 #[test]
 fn union_subtract_round_trip() {
     let mut rng = StdRng::seed_from_u64(0x5EED_0004);

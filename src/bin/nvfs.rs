@@ -10,10 +10,11 @@
 //! nvfs faults       [--scale S] [--seed N] [--model M]  reliability under injected faults
 //! nvfs experiments  [--scale S] [--list] [--only ID] [ID...]  regenerate paper artifacts
 //! nvfs export-csv   [--scale S] --out DIR            write every artifact as CSV
-//! nvfs bench        [--scale S] [--out FILE]         time sequential vs parallel
+//! nvfs bench        [--scale S] [--out FILE] [--iters N] [--profile]
+//!                                                    time sequential vs parallel
 //! ```
 //!
-//! Scales: `tiny`, `small` (default), `paper`.
+//! Scales: `tiny`, `small` (default), `paper`, `mega`.
 //!
 //! A global `--jobs N` flag (or the `NVFS_JOBS` environment variable)
 //! bounds the worker threads used for trace generation, sweeps, and
@@ -26,6 +27,7 @@
 //! volatile `meta` section. `nvfs obs show|diff` reads them back.
 
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -169,7 +171,7 @@ fn usage() -> String {
     format!(
         "usage: nvfs [--jobs N] [--trace-out FILE] [--manifest-out FILE] <command> [options]
 commands:
-  gen-traces   [--scale tiny|small|paper] [--out DIR]
+  gen-traces   [--scale tiny|small|paper|mega] [--out DIR]
   trace-stats  <FILE>
   client-sim   <FILE> [--model volatile|write-aside|unified|hybrid]
                [--volatile-mb N] [--nvram-mb N]
@@ -193,7 +195,10 @@ commands:
                --only ID runs a single experiment by registry lookup
   scorecard    [--scale S]
   export-csv   [--scale S] --out DIR
-  bench        [--scale S] [--out FILE]   time sequential vs parallel passes
+  bench        [--scale S] [--out FILE] [--iters N] [--profile]
+               time sequential vs parallel passes; --iters repeats the
+               whole matrix, --profile prints a per-phase exclusive-time
+               table aggregated from the observability timing spans
   obs          show FILE | diff A B       pretty-print or compare run manifests
 
 parallelism:
@@ -687,47 +692,68 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     let scale = parse_scale(&mut args)?;
     let (cfg, server_cfg) = (scale.trace_config(), scale.server_config());
     let out =
-        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr1.json".into()));
+        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr6.json".into()));
+    let iters: usize = match take_flag(&mut args, "--iters")? {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("--iters {v:?}: {e}"))
+            .and_then(|n: usize| {
+                if n == 0 {
+                    Err("--iters must be at least 1".to_string())
+                } else {
+                    Ok(n)
+                }
+            })?,
+        None => 1,
+    };
+    let profile = take_switch(&mut args, "--profile");
     note_config(&[("command", "bench"), ("scale", scale.name())]);
 
     let parallel = nvfs::par::jobs();
     let passes: &[usize] = if parallel == 1 { &[1] } else { &[1, parallel] };
+    let rev = nvfs::obs::manifest::git_rev();
     let mut records = Vec::new();
     let mut reference: Option<String> = None;
-    for &jobs in passes {
-        nvfs::par::set_jobs(jobs);
-        eprintln!("[bench] pass with jobs = {jobs}");
-        let traces = bench::timed(&mut records, BENCH_STAGES[0], jobs, || {
-            SpriteTraceSet::generate(&cfg)
-        });
-        let env = Env {
-            traces,
-            server: sprite_server_workloads(&server_cfg),
-            trace_config: cfg.clone(),
-        };
-        let f2 = bench::timed(&mut records, BENCH_STAGES[1], jobs, || exp::fig2::run(&env));
-        let f3 = bench::timed(&mut records, BENCH_STAGES[2], jobs, || exp::fig3::run(&env));
-        let t3 = bench::timed(&mut records, BENCH_STAGES[3], jobs, || exp::tab3::run(&env));
-        let card = bench::timed(&mut records, BENCH_STAGES[4], jobs, || {
-            exp::scorecard::run(&env)
-        });
-        // Determinism gate: the rendered artifacts (traces included) must be
-        // byte-identical across job counts. Streamed through the workspace's
-        // canonical digest instead of holding concatenated renders.
-        let mut digest = nvfs::obs::digest::Digest::new();
-        digest.update(&render_ops(env.traces.trace(0).ops()));
-        digest.update(&f2.figure.render());
-        digest.update(&f3.figure.render());
-        digest.update(&t3.table.render());
-        digest.update(&card.table.render());
-        let digest = digest.hex();
-        match &reference {
-            None => reference = Some(digest),
-            Some(first) if *first == digest => {}
-            Some(_) => {
-                return Err(format!(
-                    "jobs={jobs} produced different artifacts than jobs=1"
-                ));
+    for iter in 1..=iters {
+        for &jobs in passes {
+            nvfs::par::set_jobs(jobs);
+            eprintln!("[bench] pass with jobs = {jobs} (iteration {iter}/{iters})");
+            let mut pass = Vec::new();
+            let traces = bench::timed(&mut pass, BENCH_STAGES[0], jobs, || {
+                SpriteTraceSet::generate(&cfg)
+            });
+            let env = Env {
+                traces,
+                server: sprite_server_workloads(&server_cfg),
+                trace_config: cfg.clone(),
+            };
+            let f2 = bench::timed(&mut pass, BENCH_STAGES[1], jobs, || exp::fig2::run(&env));
+            let f3 = bench::timed(&mut pass, BENCH_STAGES[2], jobs, || exp::fig3::run(&env));
+            let t3 = bench::timed(&mut pass, BENCH_STAGES[3], jobs, || exp::tab3::run(&env));
+            let card = bench::timed(&mut pass, BENCH_STAGES[4], jobs, || {
+                exp::scorecard::run(&env)
+            });
+            bench::annotate(&mut pass, scale.name(), &rev, iter);
+            records.append(&mut pass);
+            // Determinism gate: the rendered artifacts (traces included)
+            // must be byte-identical across job counts and repetitions.
+            // Streamed through the workspace's canonical digest instead of
+            // holding concatenated renders.
+            let mut digest = nvfs::obs::digest::Digest::new();
+            digest.update(&render_ops(env.traces.trace(0).ops()));
+            digest.update(&f2.figure.render());
+            digest.update(&f3.figure.render());
+            digest.update(&t3.table.render());
+            digest.update(&card.table.render());
+            let digest = digest.hex();
+            match &reference {
+                None => reference = Some(digest),
+                Some(first) if *first == digest => {}
+                Some(_) => {
+                    return Err(format!(
+                        "jobs={jobs} produced different artifacts than jobs=1"
+                    ));
+                }
             }
         }
     }
@@ -738,9 +764,45 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     outln!("wrote {}", out.display());
     for r in &records {
-        outln!("  {:<12} jobs={:<3} {:>10.1} ms", r.name, r.jobs, r.wall_ms);
+        outln!(
+            "  {:<12} jobs={:<3} iter={:<3} {:>10.1} ms",
+            r.name,
+            r.jobs,
+            r.iter,
+            r.wall_ms
+        );
+    }
+    if profile {
+        outln!("{}", render_profile());
     }
     Ok(())
+}
+
+/// Aggregates every observability timing span recorded so far by name:
+/// call count, total inclusive wall, and total **exclusive** wall (the
+/// column that sums to real elapsed time without double-billing nested
+/// phases). Sorted by exclusive time, heaviest first.
+fn render_profile() -> String {
+    use std::collections::BTreeMap;
+    let mut by_name: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
+    for span in nvfs::obs::timing::spans() {
+        let slot = by_name.entry(span.name).or_insert((0, 0.0, 0.0));
+        slot.0 += 1;
+        slot.1 += span.wall_ms;
+        slot.2 += span.excl_ms;
+    }
+    let mut rows: Vec<(String, (u64, f64, f64))> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .2.total_cmp(&a.1 .2).then_with(|| a.0.cmp(&b.0)));
+    let mut out = String::from("profile (per-phase, aggregated):\n");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>6} {:>12} {:>12}",
+        "phase", "calls", "wall ms", "excl ms"
+    );
+    for (name, (calls, wall, excl)) in &rows {
+        let _ = writeln!(out, "  {name:<24} {calls:>6} {wall:>12.1} {excl:>12.1}");
+    }
+    out.trim_end().to_string()
 }
 
 fn cmd_obs(mut args: VecDeque<String>) -> Result<(), String> {

@@ -96,6 +96,46 @@ fn jobs_do_not_change_metrics_or_events() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The scorecard is the widest fan-out in the pipeline (11 concurrent
+/// sub-experiments, each driving the sharded session loop): its stdout
+/// and its manifest `run` section must not move between `--jobs 1` and
+/// `--jobs 8`.
+#[test]
+fn scorecard_is_jobs_invariant_end_to_end() {
+    let dir = tempdir("scorecard");
+    let run = |jobs: &str| {
+        let manifest = dir.join(format!("scorecard-j{jobs}.json"));
+        let out = nvfs(&[
+            "--jobs",
+            jobs,
+            "--manifest-out",
+            manifest.to_str().unwrap(),
+            "scorecard",
+            "--scale",
+            "tiny",
+        ]);
+        assert!(
+            out.status.success(),
+            "jobs={jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            std::fs::read_to_string(&manifest).expect("manifest written"),
+        )
+    };
+    let (stdout1, manifest1) = run("1");
+    let (stdout8, manifest8) = run("8");
+    assert_eq!(stdout1, stdout8, "scorecard stdout differs, jobs 1 vs 8");
+    assert!(stdout1.contains("28 of 28 checks passed"), "{stdout1}");
+    assert_eq!(
+        run_section(&manifest1),
+        run_section(&manifest8),
+        "scorecard manifest run sections differ, jobs 1 vs 8"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn manifest_matches_golden() {
     let dir = tempdir("golden");

@@ -1,0 +1,219 @@
+//! Sharded-vs-serial engine equivalence: the client-sharded drive loop
+//! (PR 6) must be byte-identical to the original serial loop on every
+//! model, every trace, with and without warmup, at any job count.
+//!
+//! A hook that keeps the `RunHook` defaults (`shard_barriers` → `None`)
+//! is the forcing device: stacking one onto a run pins the session to
+//! the serial loop without changing anything else, so the two paths can
+//! be diffed directly inside one process.
+
+use nvfs::core::client::ServerWrite;
+use nvfs::core::{
+    ObsRecorder, RunHook, SimConfig, SimSession, TrafficStats, WarmupReset, WriteLogCapture,
+};
+use nvfs::experiments::env::Env;
+use nvfs::trace::event::OpenMode;
+use nvfs::trace::op::{Op, OpKind, OpStream};
+use nvfs::trace::synth::SpriteTraceSet;
+use nvfs::types::{ByteRange, ClientId, FileId, SimTime};
+
+/// Declining `shard_barriers` (the trait default) vetoes sharding for
+/// the whole stack; every other callback stays inert.
+struct ForceSerial;
+impl RunHook for ForceSerial {}
+
+fn model_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("volatile", SimConfig::volatile(2 << 20)),
+        ("write-aside", SimConfig::write_aside(2 << 20, 1 << 20)),
+        ("hybrid", SimConfig::hybrid(2 << 20, 1 << 20)),
+        ("unified", SimConfig::unified(8 << 20, 16384)),
+    ]
+}
+
+fn run_sharded(config: &SimConfig, ops: &OpStream) -> (TrafficStats, Vec<ServerWrite>) {
+    let (mut obs, mut log) = (ObsRecorder::new(), WriteLogCapture::new());
+    let out = SimSession::new(config).run(ops, &mut [&mut obs, &mut log]);
+    (out.stats, log.take())
+}
+
+fn run_serial(config: &SimConfig, ops: &OpStream) -> (TrafficStats, Vec<ServerWrite>) {
+    let (mut pin, mut obs, mut log) = (ForceSerial, ObsRecorder::new(), WriteLogCapture::new());
+    let out = SimSession::new(config).run(ops, &mut [&mut pin, &mut obs, &mut log]);
+    (out.stats, log.take())
+}
+
+/// Every cache model, two multi-client traces: identical traffic stats
+/// and byte-identical time-ordered write logs on both paths.
+#[test]
+fn sharded_matches_forced_serial_across_models() {
+    let env = Env::tiny();
+    for trace in [3usize, 6] {
+        let t = env.traces.trace(trace);
+        assert!(t.clients() > 1, "equivalence needs a multi-client trace");
+        for (name, config) in model_configs() {
+            let sharded = run_sharded(&config, t.ops());
+            let serial = run_serial(&config, t.ops());
+            assert_eq!(sharded.0, serial.0, "{name} stats, trace {trace}");
+            assert_eq!(sharded.1, serial.1, "{name} writes, trace {trace}");
+        }
+    }
+}
+
+/// Warmup reset is the one shipped hook that interposes mid-run on a
+/// sharded session (via a barrier). The barrier replay must put the
+/// cluster in exactly the serial loop's state at the reset index.
+#[test]
+fn sharded_matches_forced_serial_with_warmup() {
+    let env = Env::tiny();
+    let ops = env.trace7().ops();
+    for (name, config) in model_configs() {
+        for fraction in [0.25, 0.5] {
+            let run = |force_serial: bool| {
+                let mut warm = WarmupReset::fraction(ops.len(), fraction);
+                let (mut pin, mut obs, mut log) =
+                    (ForceSerial, ObsRecorder::new(), WriteLogCapture::new());
+                let mut hooks: Vec<&mut dyn RunHook> = vec![&mut warm, &mut obs, &mut log];
+                if force_serial {
+                    hooks.push(&mut pin);
+                }
+                let out = SimSession::new(&config).run(ops, &mut hooks);
+                (out.stats, log.take())
+            };
+            let sharded = run(false);
+            let serial = run(true);
+            assert_eq!(sharded.0, serial.0, "{name} stats, warmup {fraction}");
+            assert_eq!(sharded.1, serial.1, "{name} writes, warmup {fraction}");
+        }
+    }
+}
+
+/// A hand-built stream that forces every sharding regime at once:
+/// private files (pure shard ops), a read-only shared file (shardable),
+/// a write-shared file and a migration (global ops), all interleaved
+/// across three clients with cleaner-driven write-back in between.
+#[test]
+fn entangled_files_and_migration_match_serial() {
+    let c = [ClientId(0), ClientId(1), ClientId(2)];
+    let private = [FileId(10), FileId(11), FileId(12)];
+    let shared_ro = FileId(20);
+    let shared_rw = FileId(21);
+    let migrated = FileId(22);
+
+    let mut ops = OpStream::new();
+    let mut push = |t: u64, client: ClientId, kind: OpKind| {
+        ops.push(Op {
+            time: SimTime::from_secs(t),
+            client,
+            kind,
+        });
+    };
+
+    // Seed the read-only shared file and the migrated file with writes.
+    push(
+        1,
+        c[0],
+        OpKind::Write {
+            file: shared_ro,
+            range: ByteRange::new(0, 8192),
+        },
+    );
+    push(
+        2,
+        c[0],
+        OpKind::Write {
+            file: migrated,
+            range: ByteRange::new(0, 4096),
+        },
+    );
+    // Long interleaved body: private traffic + cross-client activity,
+    // spaced so several 5-second cleaner ticks fire between ops.
+    for i in 0..40u64 {
+        let t = 10 + i * 7;
+        let who = (i % 3) as usize;
+        push(
+            t,
+            c[who],
+            OpKind::Write {
+                file: private[who],
+                range: ByteRange::new(i * 512, i * 512 + 2048),
+            },
+        );
+        push(
+            t + 1,
+            c[(who + 1) % 3],
+            OpKind::Read {
+                file: shared_ro,
+                range: ByteRange::new((i % 8) * 1024, (i % 8) * 1024 + 1024),
+            },
+        );
+        if i % 5 == 0 {
+            // Write-sharing with opens: exercises last-writer recall and
+            // the caching-disable path on the global server.
+            push(
+                t + 2,
+                c[who],
+                OpKind::Open {
+                    file: shared_rw,
+                    mode: OpenMode::Write,
+                },
+            );
+            push(
+                t + 3,
+                c[who],
+                OpKind::Write {
+                    file: shared_rw,
+                    range: ByteRange::new(i * 256, i * 256 + 512),
+                },
+            );
+            push(t + 4, c[who], OpKind::Close { file: shared_rw });
+        }
+        if i == 20 {
+            push(
+                t + 5,
+                c[0],
+                OpKind::Migrate {
+                    pid: nvfs::types::ProcessId(1),
+                    to: c[2],
+                    files: vec![migrated],
+                },
+            );
+        }
+    }
+    push(300, c[1], OpKind::Fsync { file: private[1] });
+    push(
+        301,
+        c[2],
+        OpKind::Truncate {
+            file: private[2],
+            new_len: 1024,
+        },
+    );
+    push(302, c[0], OpKind::Delete { file: shared_rw });
+
+    for (name, config) in model_configs() {
+        let sharded = run_sharded(&config, &ops);
+        let serial = run_serial(&config, &ops);
+        assert_eq!(sharded.0, serial.0, "{name} stats");
+        assert_eq!(sharded.1, serial.1, "{name} writes");
+        assert!(sharded.0.app_write_bytes > 0);
+    }
+}
+
+/// The sharded loop must be byte-invariant in the job count: same
+/// windows, same merge order, same output whether the window tasks run
+/// on one thread or several. (This is the only test in this binary that
+/// touches the global job count.)
+#[test]
+fn session_output_is_jobs_invariant() {
+    let traces = SpriteTraceSet::generate(&nvfs::trace::synth::TraceSetConfig::tiny());
+    let ops = traces.trace(6).ops();
+    let config = SimConfig::unified(8 << 20, 16384);
+    nvfs::par::set_jobs(1);
+    let one = run_sharded(&config, ops);
+    nvfs::par::set_jobs(4);
+    let four = run_sharded(&config, ops);
+    nvfs::par::set_jobs(1);
+    assert_eq!(one.0, four.0, "stats must not depend on --jobs");
+    assert_eq!(one.1, four.1, "write log must not depend on --jobs");
+}
