@@ -85,6 +85,11 @@ pub struct ClientCache {
     policy: Policy,
     device: NvramDevice,
     log: Vec<ServerWrite>,
+    /// While a network partition severs this client's link, bytes the
+    /// model is *forced* to push to the server are shed here instead of
+    /// reaching the write log — the paper's degraded-mode loss (§2.3).
+    severed: bool,
+    shed_log: Vec<ServerWrite>,
     /// Reused buffer for per-tick dirty-block scans (cleaner hot path).
     scratch_blocks: Vec<BlockId>,
 }
@@ -102,6 +107,8 @@ impl ClientCache {
             device: NvramDevice::new(config.nvram_bytes)
                 .with_access_ratio(config.nvram_access_ratio),
             log: Vec::new(),
+            severed: false,
+            shed_log: Vec::new(),
             scratch_blocks: Vec::new(),
         }
     }
@@ -111,10 +118,28 @@ impl ClientCache {
         std::mem::take(&mut self.log)
     }
 
-    /// Clears every accumulated counter (write log and NVRAM device
-    /// counters) without touching cache contents — used by warm-up runs.
+    /// Marks this client's server link as severed (network partition) or
+    /// healed. While severed, forced server flushes are shed.
+    pub fn set_severed(&mut self, severed: bool) {
+        self.severed = severed;
+    }
+
+    /// Whether the server link is currently severed.
+    pub fn severed(&self) -> bool {
+        self.severed
+    }
+
+    /// Removes and returns the writes shed while the link was severed.
+    pub fn take_shed_writes(&mut self) -> Vec<ServerWrite> {
+        std::mem::take(&mut self.shed_log)
+    }
+
+    /// Clears every accumulated counter (write log, shed log and NVRAM
+    /// device counters) without touching cache contents — used by warm-up
+    /// runs.
     pub fn reset_counters(&mut self) {
         self.log.clear();
+        self.shed_log.clear();
         self.device.reset_counters();
     }
 
@@ -826,6 +851,26 @@ impl ClientCache {
         stats: &mut TrafficStats,
     ) {
         if bytes == 0 {
+            return;
+        }
+        if self.severed && cause != FlushCause::Recovery {
+            // Degraded mode: the server is unreachable, so a flush the
+            // model cannot defer loses its bytes. The shed log stays out
+            // of the write log, traffic stats and obs histograms — these
+            // bytes never reached the server.
+            self.shed_log.push(ServerWrite {
+                time: t,
+                client: self.client,
+                file,
+                bytes,
+                cause,
+            });
+            nvfs_obs::event("write_shed", t.as_micros())
+                .str("cause", cause.label())
+                .u64("client", self.client.0 as u64)
+                .u64("file", file.0 as u64)
+                .u64("bytes", bytes)
+                .emit();
             return;
         }
         self.log.push(ServerWrite {

@@ -45,6 +45,7 @@ pub mod consistency;
 pub mod cost;
 pub mod lifetime;
 pub mod metrics;
+pub mod net;
 pub mod omniscient;
 pub mod policy;
 pub mod recovery;
@@ -57,6 +58,7 @@ pub use config::{CacheModelKind, ConsistencyMode, PolicyKind, SimConfig};
 pub use consistency::ConsistencyServer;
 pub use lifetime::{ByteFate, FateRecord, LifetimeLog};
 pub use metrics::TrafficStats;
+pub use net::{NetFaultInjector, NetReport, NetStats};
 pub use omniscient::OmniscientSchedule;
 pub use policy::Policy;
 pub use recovery::{recover, recover_up_to, snapshot_nvram, RecoveryError, RecoveryOutcome};
@@ -64,4 +66,4 @@ pub use session::{
     warmup_cut, CrashEvent, DrainEvent, FaultInjector, FlushEvent, ObsRecorder, OpAction,
     OracleJudge, RunHook, SessionOutput, SimEngine, SimSession, WarmupReset, WriteLogCapture,
 };
-pub use sim::{ClusterSim, FaultRunReport};
+pub use sim::{ClusterSim, FaultRunReport, NetFaultRunReport};

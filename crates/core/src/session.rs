@@ -243,6 +243,12 @@ pub struct SimEngine<'cfg> {
     /// Whether any hook in the current stack consumes flush events; when
     /// false the engine skips queueing them entirely (hot-path win).
     pub(crate) flush_events: bool,
+    /// Network partition state, installed by [`crate::net::NetFaultInjector`];
+    /// `None` (the default) leaves every existing path byte-identical.
+    pub(crate) net: Option<crate::net::NetState>,
+    /// Shed writes recovered from crashed caches (see
+    /// [`ClientCache::take_shed_writes`]).
+    shed_writes: Vec<ServerWrite>,
     /// Reused buffer for per-tick written-back file ids.
     writeback_scratch: Vec<FileId>,
 }
@@ -270,6 +276,8 @@ impl<'cfg> SimEngine<'cfg> {
             ops_replayed: 0,
             sim_end: SimTime::ZERO,
             flush_events: true,
+            net: None,
+            shed_writes: Vec::new(),
             writeback_scratch: Vec::new(),
         }
     }
@@ -297,6 +305,40 @@ impl<'cfg> SimEngine<'cfg> {
     /// The time of the last op seen.
     pub fn sim_end(&self) -> SimTime {
         self.sim_end
+    }
+
+    /// Re-derives every client's severed flag from the installed network
+    /// partition windows at instant `at`. No-op without a network plan.
+    pub(crate) fn sync_net_severed(&mut self, at: SimTime) {
+        if let Some(net) = &self.net {
+            for (&cid, cache) in self.clients.iter_mut() {
+                cache.set_severed(net.severed(cid, at));
+            }
+        }
+    }
+
+    /// When a partition has the server unreachable at `at`, a recovered
+    /// board cannot drain until the partition heals; otherwise `at`.
+    pub fn recovery_drain_time(&self, at: SimTime) -> SimTime {
+        match &self.net {
+            Some(net) => net.drain_time(at),
+            None => at,
+        }
+    }
+
+    /// Drains every write shed during partitions — from live caches and
+    /// from the stash crashed caches left behind — in client order.
+    pub fn take_shed_writes(&mut self) -> Vec<ServerWrite> {
+        let mut out = std::mem::take(&mut self.shed_writes);
+        for cache in self.clients.values_mut() {
+            out.append(&mut cache.take_shed_writes());
+        }
+        out
+    }
+
+    /// Accounts bytes lost to an open partition (degraded-mode loss).
+    pub fn note_partition_loss(&mut self, bytes: u64) {
+        self.reliability.bytes_lost_partition += bytes;
     }
 
     /// Zeroes every traffic counter — the engine's and each cache's —
@@ -341,6 +383,7 @@ impl<'cfg> SimEngine<'cfg> {
             self.stats.nvram_writes += d.writes();
             self.stats.nvram_bytes += d.bytes_transferred();
             self.recovery_writes.append(&mut cache.take_server_writes());
+            self.shed_writes.append(&mut cache.take_shed_writes());
             Some(board)
         } else {
             None
@@ -419,7 +462,17 @@ impl<'cfg> SimEngine<'cfg> {
     /// Advance the 5-second block cleaner up to `now` (volatile and
     /// hybrid models only): each tick writes back blocks older than the
     /// 30-second delay, queueing one [`FlushEvent`] per flushed file.
+    /// With a network plan installed, every flush instant — each tick
+    /// and the final `now` — sees severed flags current for that
+    /// instant, so partition epochs cut write-backs mid-gap.
     fn advance_cleaner(&mut self, now: SimTime) {
+        self.advance_cleaner_ticks(now);
+        if self.net.is_some() {
+            self.sync_net_severed(now);
+        }
+    }
+
+    fn advance_cleaner_ticks(&mut self, now: SimTime) {
         if !self.run_cleaner {
             return;
         }
@@ -440,6 +493,9 @@ impl<'cfg> SimEngine<'cfg> {
                 return;
             }
             let tick = self.next_tick;
+            if self.net.is_some() {
+                self.sync_net_severed(tick);
+            }
             if tick >= SimTime::ZERO + self.config.write_back_delay {
                 let cutoff = tick - self.config.write_back_delay;
                 let SimEngine {
@@ -908,19 +964,23 @@ impl<'s> FaultInjector<'s> {
     /// Drains every board whose relocation completed by `now`, in
     /// (recovery time, client) order so the result is deterministic.
     /// Batteries age on the schedule's failure clock while the board
-    /// is without bus power.
+    /// is without bus power. With a network plan installed, a board due
+    /// while the server is partitioned waits for the heal — and its
+    /// batteries keep aging through the wait.
     fn drain_due(&mut self, engine: &mut SimEngine<'_>, now: SimTime) {
         loop {
             let due = self
                 .in_transit
                 .iter()
                 .enumerate()
-                .filter(|(_, (_, f))| f.recovery_time() <= now)
-                .min_by_key(|(_, (_, f))| (f.recovery_time(), f.client.0))
+                .filter(|(_, (_, f))| engine.recovery_drain_time(f.recovery_time()) <= now)
+                .min_by_key(|(_, (_, f))| {
+                    (engine.recovery_drain_time(f.recovery_time()), f.client.0)
+                })
                 .map(|(i, _)| i);
             let Some(idx) = due else { break };
             let (mut board, fault) = self.in_transit.remove(idx);
-            let at = fault.recovery_time();
+            let at = engine.recovery_drain_time(fault.recovery_time());
             board
                 .batteries_mut()
                 .age_to(at, fault.battery_clock(self.schedule.plan.board_batteries));

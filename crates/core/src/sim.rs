@@ -13,6 +13,7 @@
 //! drives one [`SimSession`]. Custom compositions (warmup + faults +
 //! oracle, say) are assembled the same way by callers.
 
+use nvfs_faults::net::NetFaultPlan;
 use nvfs_faults::{FaultSchedule, ReliabilityStats};
 use nvfs_oracle::Oracle;
 use nvfs_trace::op::OpStream;
@@ -20,6 +21,7 @@ use nvfs_trace::op::OpStream;
 use crate::client::ServerWrite;
 use crate::config::SimConfig;
 use crate::metrics::TrafficStats;
+use crate::net::{NetFaultInjector, NetReport};
 use crate::session::{
     FaultInjector, ObsRecorder, OracleJudge, SimSession, WarmupReset, WriteLogCapture,
 };
@@ -53,6 +55,21 @@ pub struct FaultRunReport {
     pub reliability: ReliabilityStats,
     /// Time-ordered server-write log including recovery drains.
     pub writes: Vec<ServerWrite>,
+}
+
+/// Results of a network-faulted run ([`ClusterSim::run_with_net_faults`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetFaultRunReport {
+    /// Ordinary traffic counters (shed bytes never appear here — they
+    /// did not reach the server).
+    pub stats: TrafficStats,
+    /// Reliability accounting; partition-shed bytes land in
+    /// [`ReliabilityStats::bytes_lost_partition`].
+    pub reliability: ReliabilityStats,
+    /// Time-ordered server-write log of the bytes that *did* get through.
+    pub writes: Vec<ServerWrite>,
+    /// Wire-layer counters, judge summary and verdicts.
+    pub net: NetReport,
 }
 
 impl ClusterSim {
@@ -154,6 +171,63 @@ impl ClusterSim {
                 stats: out.stats,
                 reliability: out.reliability,
                 writes: log.take(),
+            },
+            judge.into_oracle(),
+        )
+    }
+
+    /// Replays `ops` with the deterministic network layer between the
+    /// clients and the server: every server-interacting op and flush note
+    /// becomes an RPC resolved through `net` (drops, duplicates, delays,
+    /// retries, timed partitions). While a client's link is severed,
+    /// flushes the model cannot defer are shed and accounted as
+    /// [`ReliabilityStats::bytes_lost_partition`]; the wire transcript is
+    /// judged by the [`NetJudge`](nvfs_oracle::NetJudge) and the verdicts
+    /// returned in the report. Deterministic and serial: byte-identical
+    /// at any worker-thread count.
+    pub fn run_with_net_faults(&self, ops: &OpStream, net: &NetFaultPlan) -> NetFaultRunReport {
+        let (mut netinj, mut obs, mut log) = (
+            NetFaultInjector::new(net),
+            ObsRecorder::new(),
+            WriteLogCapture::new(),
+        );
+        let out = SimSession::new(&self.config).run(ops, &mut [&mut netinj, &mut obs, &mut log]);
+        NetFaultRunReport {
+            stats: out.stats,
+            reliability: out.reliability,
+            writes: log.take(),
+            net: netinj.into_report(),
+        }
+    }
+
+    /// Like [`ClusterSim::run_with_net_faults`], but composed with a
+    /// crash [`FaultSchedule`] and the durability [`Oracle`]: partitions,
+    /// retries and crashes interleave in one run, recovery drains defer
+    /// past whole-server partitions, and every crash + recovery is judged
+    /// against the shadow durability model on top of the wire contract.
+    pub fn run_with_net_faults_verified(
+        &self,
+        ops: &OpStream,
+        net: &NetFaultPlan,
+        schedule: &FaultSchedule,
+    ) -> (NetFaultRunReport, Oracle) {
+        let (mut netinj, mut faults, mut obs, mut judge, mut log) = (
+            NetFaultInjector::new(net),
+            FaultInjector::new(schedule),
+            ObsRecorder::new(),
+            OracleJudge::new(),
+            WriteLogCapture::new(),
+        );
+        let out = SimSession::new(&self.config).run(
+            ops,
+            &mut [&mut netinj, &mut faults, &mut obs, &mut judge, &mut log],
+        );
+        (
+            NetFaultRunReport {
+                stats: out.stats,
+                reliability: out.reliability,
+                writes: log.take(),
+                net: netinj.into_report(),
             },
             judge.into_oracle(),
         )

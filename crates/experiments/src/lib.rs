@@ -32,6 +32,7 @@
 //! | [`warmup`] | methodology — quantifying the paper's cold-start caveat |
 //! | [`faults`] | §2.3/§4 — bytes lost under a seeded fault schedule, per cache model |
 //! | [`verify_crash`] | robustness — durability oracle crash-point sweep with typed verdicts |
+//! | [`verify_net`] | robustness — network judge: RPC retries, partitions, degraded modes |
 //! | [`scorecard`] | every claim above evaluated programmatically with PASS/FAIL verdicts |
 //!
 //! All runners share an [`env::Env`] so the synthetic workloads are only
@@ -78,6 +79,7 @@ pub mod tab2;
 pub mod tab3;
 pub mod tab4;
 pub mod verify_crash;
+pub mod verify_net;
 pub mod warmup;
 pub mod write_buffer;
 

@@ -156,7 +156,7 @@ impl Experiment for Entry {
 /// The registry, in canonical output order: the default-run artifacts
 /// first (the historic `nvfs experiments` order), then the opt-in
 /// entries (`nvram-speed`, `faults`, `scorecard`).
-static REGISTRY: [Entry; 24] = [
+static REGISTRY: [Entry; 25] = [
     Entry::new(
         "tab1",
         "Table 1 — NVRAM costs",
@@ -317,6 +317,13 @@ static REGISTRY: [Entry; 24] = [
         false,
         &[],
         run_faults,
+    ),
+    Entry::new(
+        "verify-net",
+        "robustness — network judge: partitions, retries, degraded modes",
+        false,
+        &[],
+        run_verify_net,
     ),
     Entry::new(
         "scorecard",
@@ -534,6 +541,16 @@ fn run_nvram_speed(env: &Env) -> Result<Artifacts, String> {
 fn run_faults(env: &Env) -> Result<Artifacts, String> {
     let out = crate::faults::run(env).map_err(|e| e.to_string())?;
     Ok(Artifacts::new(out.render()))
+}
+
+fn run_verify_net(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::verify_net::run(env)?;
+    let failure = (!out.is_clean()).then(|| "network judge has violations".to_string());
+    Ok(Artifacts {
+        text: out.render(),
+        csv: Vec::new(),
+        failure,
+    })
 }
 
 fn run_scorecard(env: &Env) -> Result<Artifacts, String> {

@@ -10,7 +10,7 @@ use nvfs_report::{Cell, Table};
 use crate::env::Env;
 use crate::{
     bus_nvram, disk_sort, fig2, fig3, fig4, fig5, presto, read_latency, tab1, tab2, tab3,
-    write_buffer,
+    verify_net, write_buffer,
 };
 
 /// One evaluated claim.
@@ -79,6 +79,7 @@ fn gather(
     bus_nvram::BusNvram,
     presto::Presto,
     read_latency::ReadLatency,
+    verify_net::VerifyNet,
 ) {
     // Each sub-experiment runs in its own submission-indexed obs task
     // frame (the same contract `par_map` gives its items) so the metric
@@ -99,6 +100,9 @@ fn gather(
             nvfs_obs::task_frame(&base, 8, || bus_nvram::run(env)),
             nvfs_obs::task_frame(&base, 9, presto::run),
             nvfs_obs::task_frame(&base, 10, read_latency::run),
+            nvfs_obs::task_frame(&base, 11, || {
+                verify_net::run(env).expect("verify-net sweep failed")
+            }),
         );
     }
     // The sub-experiments return heterogeneous types, so fan out with
@@ -117,6 +121,11 @@ fn gather(
         let bn = s.spawn(move || nvfs_obs::task_frame(base, 8, || bus_nvram::run(env)));
         let p = s.spawn(move || nvfs_obs::task_frame(base, 9, presto::run));
         let rl = s.spawn(move || nvfs_obs::task_frame(base, 10, read_latency::run));
+        let vn = s.spawn(move || {
+            nvfs_obs::task_frame(base, 11, || {
+                verify_net::run(env).expect("verify-net sweep failed")
+            })
+        });
         (
             t1.join().expect("tab1 panicked"),
             f2.join().expect("fig2 panicked"),
@@ -129,13 +138,14 @@ fn gather(
             bn.join().expect("bus_nvram panicked"),
             p.join().expect("presto panicked"),
             rl.join().expect("read_latency panicked"),
+            vn.join().expect("verify_net panicked"),
         )
     })
 }
 
 /// Evaluates every claim over `env`.
 pub fn run(env: &Env) -> Scorecard {
-    let (t1, f2, f3, f4, f5, t3, wb, ds, bn, p, rl) = gather(env);
+    let (t1, f2, f3, f4, f5, t3, wb, ds, bn, p, rl, vn) = gather(env);
 
     let mut checks = Vec::new();
     let mut push = |id, paper, measured, band| {
@@ -376,6 +386,26 @@ pub fn run(env: &Env) -> Scorecard {
         "up to ~37% under heavy load",
         rl.heavy_penalty_pct,
         (25.0, 100.0),
+    );
+
+    // Network judge (§2.3 degraded modes under partitions).
+    push(
+        "net.ordering",
+        "partition loss: volatile > write-aside > unified",
+        f64::from(vn.loss_ordering_holds()),
+        (1.0, 1.0),
+    );
+    push(
+        "net.contract",
+        "no acked byte lost, none double-applied",
+        (vn.summary.acked_lost + vn.summary.double_apply + vn.summary.partition_leak) as f64,
+        (0.0, 0.0),
+    );
+    push(
+        "net.dedup",
+        "server dedup suppresses every duplicate",
+        vn.summary.duplicates as f64,
+        (1.0, 1e12),
     );
 
     let mut table = Table::new(

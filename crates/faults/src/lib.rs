@@ -50,6 +50,8 @@ use std::fmt;
 use nvfs_rng::{Rng, SeedableRng, StdRng};
 use nvfs_types::{ClientId, SimDuration, SimTime};
 
+pub mod net;
+
 /// Battery cells sampled per board. Schedules always sample this many
 /// lifetimes and boards keep the first [`FaultPlanConfig::board_batteries`]
 /// of them, so redundancy choices never shift the other RNG streams.
@@ -545,6 +547,10 @@ pub struct ReliabilityStats {
     pub boards_recovered: u64,
     /// Boards found dead at recovery time.
     pub boards_dead: u64,
+    /// Bytes a cache model was forced to push toward an unreachable server
+    /// while a network partition was open (shed on the wire; only the
+    /// degraded-mode network runs of PR 7 populate this).
+    pub bytes_lost_partition: u64,
 }
 
 impl ReliabilityStats {
@@ -554,6 +560,7 @@ impl ReliabilityStats {
             + self.bytes_lost_battery
             + self.bytes_lost_torn
             + self.bytes_lost_buffer
+            + self.bytes_lost_partition
     }
 
     /// Bytes lost as a percentage of bytes at risk (0 when nothing was at
@@ -581,6 +588,7 @@ impl ReliabilityStats {
         self.bytes_rewritten_torn += other.bytes_rewritten_torn;
         self.boards_recovered += other.boards_recovered;
         self.boards_dead += other.boards_dead;
+        self.bytes_lost_partition += other.bytes_lost_partition;
     }
 
     /// Folds this run's accounting into the `faults.*` counters of the
@@ -600,6 +608,11 @@ impl ReliabilityStats {
         counter_add("faults.bytes_rewritten_torn", self.bytes_rewritten_torn);
         counter_add("faults.boards_recovered", self.boards_recovered);
         counter_add("faults.boards_dead", self.boards_dead);
+        // Guarded so crash-only runs keep their manifests byte-identical:
+        // the counter exists only when a network run actually shed bytes.
+        if self.bytes_lost_partition > 0 {
+            counter_add("faults.bytes_lost_partition", self.bytes_lost_partition);
+        }
     }
 }
 

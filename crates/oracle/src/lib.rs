@@ -30,7 +30,9 @@
 #![warn(missing_docs)]
 
 mod judge;
+mod netjudge;
 mod shadow;
 
 pub use judge::{CrashReport, Oracle, OracleSummary, Verdict};
+pub use netjudge::{NetJudge, NetSummary, NetVerdict, WireEvent};
 pub use shadow::{torn_prefix, DrainExpectation, DurableMap, DurablePromise, ServerState};

@@ -1,0 +1,423 @@
+//! Network-layer judge: at-most-once delivery and no-acked-loss.
+//!
+//! The crash oracle (`judge.rs`) checks the *durability* contract; this
+//! module checks the *wire* contract the PR 7 RPC layer claims to
+//! implement. The network layer emits a [`WireEvent`] transcript as it
+//! resolves each request — transmissions, deliveries, server applies,
+//! acknowledgements — and the [`NetJudge`] replays that transcript against
+//! three invariants:
+//!
+//! * **No acknowledged request is lost** — an ack the client acted on must
+//!   correspond to a server apply ([`NetVerdict::AckedLost`]).
+//! * **No request is applied twice** — retransmissions and duplicated
+//!   deliveries must be deduplicated by request id
+//!   ([`NetVerdict::DoubleApply`]).
+//! * **Partitions actually partition** — no delivery may be timestamped
+//!   inside a window that severs its edge ([`NetVerdict::PartitionLeak`]).
+//!
+//! Like the crash oracle, the judge is an independent reimplementation: it
+//! knows only the partition windows (as plain tuples, so this crate does
+//! not depend on `nvfs-faults`) and the transcript, never the RPC state
+//! machine's internals.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nvfs_types::{ClientId, SimTime};
+
+/// One observable action of the network layer, in transcript order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireEvent {
+    /// A transmission attempt vanished on the wire.
+    Dropped {
+        /// Sending client.
+        client: ClientId,
+        /// Request id (unique per client).
+        req_id: u64,
+        /// Zero-based transmission attempt.
+        attempt: u32,
+        /// Send instant.
+        at: SimTime,
+    },
+    /// A transmission reached the server.
+    Delivered {
+        /// Sending client.
+        client: ClientId,
+        /// Request id (unique per client).
+        req_id: u64,
+        /// Delivery instant.
+        at: SimTime,
+        /// Whether this is a wire-duplicated copy of an earlier delivery.
+        duplicate: bool,
+    },
+    /// The server applied the request (first delivery past dedup).
+    Applied {
+        /// Sending client.
+        client: ClientId,
+        /// Request id (unique per client).
+        req_id: u64,
+        /// Apply instant.
+        at: SimTime,
+    },
+    /// The client received the acknowledgement and retired the request.
+    Acked {
+        /// Sending client.
+        client: ClientId,
+        /// Request id (unique per client).
+        req_id: u64,
+        /// Ack instant.
+        at: SimTime,
+    },
+    /// The client exhausted its retry budget and gave the request up
+    /// (degraded mode; the data's fate is the cache model's problem).
+    GaveUp {
+        /// Sending client.
+        client: ClientId,
+        /// Request id (unique per client).
+        req_id: u64,
+        /// Final instant.
+        at: SimTime,
+    },
+}
+
+/// A violated wire invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetVerdict {
+    /// The client retired a request on an ack the server never applied.
+    AckedLost {
+        /// Sending client.
+        client: ClientId,
+        /// Request id.
+        req_id: u64,
+    },
+    /// The server applied one request id more than once.
+    DoubleApply {
+        /// Sending client.
+        client: ClientId,
+        /// Request id.
+        req_id: u64,
+    },
+    /// A delivery was timestamped inside a partition severing its edge.
+    PartitionLeak {
+        /// Sending client.
+        client: ClientId,
+        /// Request id.
+        req_id: u64,
+        /// Delivery instant inside the window.
+        at: SimTime,
+    },
+}
+
+impl NetVerdict {
+    /// Stable machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetVerdict::AckedLost { .. } => "acked-lost",
+            NetVerdict::DoubleApply { .. } => "double-apply",
+            NetVerdict::PartitionLeak { .. } => "partition-leak",
+        }
+    }
+}
+
+impl fmt::Display for NetVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetVerdict::AckedLost { client, req_id } => {
+                write!(f, "acked-lost: client {} request {req_id}", client.0)
+            }
+            NetVerdict::DoubleApply { client, req_id } => {
+                write!(f, "double-apply: client {} request {req_id}", client.0)
+            }
+            NetVerdict::PartitionLeak { client, req_id, at } => write!(
+                f,
+                "partition-leak: client {} request {req_id} delivered at {at} inside a partition",
+                client.0
+            ),
+        }
+    }
+}
+
+/// Running wire-contract totals — mergeable so a `par_map` sweep can fold
+/// per-task summaries deterministically (mirrors `OracleSummary`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSummary {
+    /// Requests acknowledged to clients.
+    pub acked: u64,
+    /// Requests the server applied.
+    pub applied: u64,
+    /// Deliveries observed (including duplicates).
+    pub deliveries: u64,
+    /// Duplicate deliveries the server had to suppress.
+    pub duplicates: u64,
+    /// Transmissions dropped on the wire.
+    pub dropped: u64,
+    /// Requests abandoned after the retry budget.
+    pub gave_up: u64,
+    /// `AckedLost` findings.
+    pub acked_lost: u64,
+    /// `DoubleApply` findings.
+    pub double_apply: u64,
+    /// `PartitionLeak` findings.
+    pub partition_leak: u64,
+}
+
+impl NetSummary {
+    /// Total wire-invariant violations.
+    pub fn violations(&self) -> u64 {
+        self.acked_lost + self.double_apply + self.partition_leak
+    }
+
+    /// One-line machine-readable verdict (stable key order) — what
+    /// `nvfs verify-net` prints and CI parses.
+    pub fn verdict_json(&self, seed: u64) -> String {
+        format!(
+            concat!(
+                "{{\"net_judge\":\"{}\",\"seed\":{},\"acked\":{},\"applied\":{},",
+                "\"duplicates\":{},\"dropped\":{},\"gave_up\":{},",
+                "\"acked_lost\":{},\"double_apply\":{},\"partition_leak\":{}}}"
+            ),
+            if self.violations() == 0 {
+                "clean"
+            } else {
+                "violated"
+            },
+            seed,
+            self.acked,
+            self.applied,
+            self.duplicates,
+            self.dropped,
+            self.gave_up,
+            self.acked_lost,
+            self.double_apply,
+            self.partition_leak,
+        )
+    }
+
+    /// Folds `other` into `self` (order-independent).
+    pub fn merge(&mut self, other: &NetSummary) {
+        self.acked += other.acked;
+        self.applied += other.applied;
+        self.deliveries += other.deliveries;
+        self.duplicates += other.duplicates;
+        self.dropped += other.dropped;
+        self.gave_up += other.gave_up;
+        self.acked_lost += other.acked_lost;
+        self.double_apply += other.double_apply;
+        self.partition_leak += other.partition_leak;
+    }
+}
+
+/// Replays a [`WireEvent`] transcript against the wire contract.
+///
+/// Partition windows arrive as `(edge, start, end)` tuples — `None`
+/// severs every edge (whole-server partition), `Some(client)` one edge —
+/// with half-open `[start, end)` semantics.
+#[derive(Debug, Clone, Default)]
+pub struct NetJudge {
+    windows: Vec<(Option<ClientId>, SimTime, SimTime)>,
+    applied: BTreeMap<(u32, u64), u64>,
+    acked: BTreeSet<(u32, u64)>,
+    summary: NetSummary,
+    verdicts: Vec<NetVerdict>,
+}
+
+impl NetJudge {
+    /// Creates a judge that knows the plan's partition windows.
+    pub fn new(windows: Vec<(Option<ClientId>, SimTime, SimTime)>) -> Self {
+        NetJudge {
+            windows,
+            ..NetJudge::default()
+        }
+    }
+
+    fn severed(&self, client: ClientId, at: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|&(edge, start, end)| start <= at && at < end && edge.is_none_or(|c| c == client))
+    }
+
+    /// Feeds one transcript event to the judge.
+    pub fn observe(&mut self, event: &WireEvent) {
+        match *event {
+            WireEvent::Dropped { .. } => self.summary.dropped += 1,
+            WireEvent::Delivered {
+                client,
+                req_id,
+                at,
+                duplicate,
+            } => {
+                self.summary.deliveries += 1;
+                if duplicate {
+                    self.summary.duplicates += 1;
+                }
+                if self.severed(client, at) {
+                    self.summary.partition_leak += 1;
+                    self.verdicts
+                        .push(NetVerdict::PartitionLeak { client, req_id, at });
+                }
+            }
+            WireEvent::Applied { client, req_id, .. } => {
+                self.summary.applied += 1;
+                let n = self.applied.entry((client.0, req_id)).or_insert(0);
+                *n += 1;
+                if *n == 2 {
+                    self.summary.double_apply += 1;
+                    self.verdicts
+                        .push(NetVerdict::DoubleApply { client, req_id });
+                }
+            }
+            WireEvent::Acked { client, req_id, .. } => {
+                if self.acked.insert((client.0, req_id)) {
+                    self.summary.acked += 1;
+                }
+            }
+            WireEvent::GaveUp { .. } => self.summary.gave_up += 1,
+        }
+    }
+
+    /// Finishes the transcript: every acked request must have been
+    /// applied. Returns the summary and all violation verdicts.
+    pub fn finish(mut self) -> (NetSummary, Vec<NetVerdict>) {
+        for &(client, req_id) in &self.acked {
+            if !self.applied.contains_key(&(client, req_id)) {
+                self.summary.acked_lost += 1;
+                self.verdicts.push(NetVerdict::AckedLost {
+                    client: ClientId(client),
+                    req_id,
+                });
+            }
+        }
+        emit_obs(&self.summary);
+        (self.summary, self.verdicts)
+    }
+}
+
+fn emit_obs(summary: &NetSummary) {
+    use nvfs_obs::counter_add;
+    counter_add("oracle.net_acked", summary.acked);
+    counter_add("oracle.net_applied", summary.applied);
+    counter_add("oracle.net_dup_suppressed", summary.duplicates);
+    if summary.violations() > 0 {
+        counter_add("oracle.net_violations", summary.violations());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u32) -> ClientId {
+        ClientId(id)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn clean_exchange_produces_no_verdicts() {
+        let mut judge = NetJudge::new(vec![]);
+        for (rid, at) in [(0u64, 1u64), (1, 2)] {
+            judge.observe(&WireEvent::Delivered {
+                client: c(0),
+                req_id: rid,
+                at: t(at),
+                duplicate: false,
+            });
+            judge.observe(&WireEvent::Applied {
+                client: c(0),
+                req_id: rid,
+                at: t(at),
+            });
+            judge.observe(&WireEvent::Acked {
+                client: c(0),
+                req_id: rid,
+                at: t(at + 1),
+            });
+        }
+        let (summary, verdicts) = judge.finish();
+        assert!(verdicts.is_empty());
+        assert_eq!(summary.violations(), 0);
+        assert_eq!(summary.acked, 2);
+        assert_eq!(summary.applied, 2);
+    }
+
+    #[test]
+    fn acked_without_apply_is_acked_lost() {
+        let mut judge = NetJudge::new(vec![]);
+        judge.observe(&WireEvent::Acked {
+            client: c(3),
+            req_id: 7,
+            at: t(1),
+        });
+        let (summary, verdicts) = judge.finish();
+        assert_eq!(summary.acked_lost, 1);
+        assert_eq!(
+            verdicts,
+            vec![NetVerdict::AckedLost {
+                client: c(3),
+                req_id: 7
+            }]
+        );
+        assert!(summary
+            .verdict_json(9)
+            .starts_with("{\"net_judge\":\"violated\",\"seed\":9,"));
+    }
+
+    #[test]
+    fn double_apply_is_flagged_once_per_extra_apply() {
+        let mut judge = NetJudge::new(vec![]);
+        for _ in 0..3 {
+            judge.observe(&WireEvent::Applied {
+                client: c(1),
+                req_id: 4,
+                at: t(2),
+            });
+        }
+        let (summary, verdicts) = judge.finish();
+        assert_eq!(summary.double_apply, 1, "one verdict per request id");
+        assert_eq!(summary.applied, 3);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].label(), "double-apply");
+    }
+
+    #[test]
+    fn delivery_inside_partition_leaks() {
+        // Server window [10, 20) severs everyone; client-1 window [30, 40).
+        let mut judge = NetJudge::new(vec![(None, t(10), t(20)), (Some(c(1)), t(30), t(40))]);
+        let deliver = |judge: &mut NetJudge, client, at| {
+            judge.observe(&WireEvent::Delivered {
+                client,
+                req_id: 0,
+                at,
+                duplicate: false,
+            });
+        };
+        deliver(&mut judge, c(0), t(15)); // inside server window: leak
+        deliver(&mut judge, c(0), t(35)); // other client's window: fine
+        deliver(&mut judge, c(1), t(35)); // inside own window: leak
+        deliver(&mut judge, c(1), t(40)); // half-open end: fine
+        let (summary, verdicts) = judge.finish();
+        assert_eq!(summary.partition_leak, 2);
+        assert_eq!(verdicts.len(), 2);
+    }
+
+    #[test]
+    fn summary_merge_is_field_wise() {
+        let mut a = NetSummary {
+            acked: 1,
+            applied: 1,
+            ..NetSummary::default()
+        };
+        let b = NetSummary {
+            acked: 2,
+            dropped: 5,
+            partition_leak: 1,
+            ..NetSummary::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.acked, 3);
+        assert_eq!(a.dropped, 5);
+        assert_eq!(a.violations(), 1);
+    }
+}

@@ -10,7 +10,9 @@
 use std::collections::BTreeMap;
 
 use nvfs_core::client::{FlushCause, ServerWrite};
-use nvfs_core::{ClusterSim, SimConfig, TrafficStats};
+use nvfs_core::{ClusterSim, NetReport, SimConfig, TrafficStats};
+use nvfs_faults::net::NetFaultPlan;
+use nvfs_faults::ReliabilityStats;
 use nvfs_lfs::fs::{run_filesystem, FsReport, LfsConfig};
 use nvfs_trace::op::OpStream;
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOp, LfsOpKind};
@@ -23,6 +25,22 @@ pub struct PipelineReport {
     pub client: TrafficStats,
     /// Server-side LFS report over the client-generated write stream.
     pub server: FsReport,
+}
+
+/// Combined result of a net-faulted client + server pipeline run
+/// ([`client_server_pipeline_net`]).
+#[derive(Debug, Clone)]
+pub struct NetPipelineReport {
+    /// Client-side traffic statistics (shed bytes excluded — they never
+    /// reached the server).
+    pub client: TrafficStats,
+    /// Server-side LFS report over the writes that survived the wire.
+    pub server: FsReport,
+    /// Wire-layer counters, judge summary and verdicts.
+    pub net: NetReport,
+    /// Reliability accounting; partition sheds land in
+    /// [`ReliabilityStats::bytes_lost_partition`].
+    pub reliability: ReliabilityStats,
 }
 
 /// Converts the client→server write log into a server-side LFS workload.
@@ -90,6 +108,31 @@ pub fn client_server_pipeline(
     PipelineReport { client, server }
 }
 
+/// Like [`client_server_pipeline`], but with the client↔server wire driven
+/// through a compiled [`NetFaultPlan`]: every client interaction becomes an
+/// RPC subject to drops, duplicates, delays and timed partitions, and the
+/// LFS only sees the writes that actually survived the network. Flushes
+/// shed at a severed link never enter the server workload — they are
+/// accounted in [`ReliabilityStats::bytes_lost_partition`] instead — so
+/// the server-side segment behaviour of a degraded cluster can be measured
+/// directly.
+pub fn client_server_pipeline_net(
+    ops: &OpStream,
+    client_cfg: &SimConfig,
+    lfs_cfg: &LfsConfig,
+    net: &NetFaultPlan,
+) -> NetPipelineReport {
+    let report = ClusterSim::new(client_cfg.clone()).run_with_net_faults(ops, net);
+    let workload = server_workload_from_writes(&report.writes);
+    let server = run_filesystem(&workload, lfs_cfg);
+    NetPipelineReport {
+        client: report.stats,
+        server,
+        net: report.net,
+        reliability: report.reliability,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +189,33 @@ mod tests {
         assert_eq!(unified.server.count(SegmentCause::Fsync), 0);
         // Client NVRAM also shrinks the total server write volume.
         assert!(unified.client.server_write_bytes < volatile.client.server_write_bytes);
+    }
+
+    #[test]
+    fn partitioned_pipeline_starves_the_server_by_model() {
+        use nvfs_faults::net::NetFaultPlanConfig;
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let trace = traces.trace(0);
+        let cfg = NetFaultPlanConfig::new(trace.clients() as u32, trace.duration())
+            .with_server_partitions(2)
+            .with_partition_duration(SimDuration::from_secs(900));
+        let net = NetFaultPlan::compile(9, &cfg).unwrap();
+        let run = |sim_cfg: SimConfig| {
+            client_server_pipeline_net(trace.ops(), &sim_cfg, &LfsConfig::direct(), &net)
+        };
+        let volatile = run(SimConfig::volatile(2 << 20));
+        let unified = run(SimConfig::unified(2 << 20, 2 << 20));
+        // Sheds never enter the server workload, and the wire contract
+        // holds for both models.
+        for r in [&volatile, &unified] {
+            assert!(r.server.app_write_bytes >= r.client.server_write_bytes);
+            assert_eq!(r.net.summary.violations(), 0, "{:?}", r.net.verdicts);
+        }
+        // A volatile client loses its aged write-backs at the severed
+        // server; a whole-cache NVRAM client just defers and reconciles.
+        assert!(
+            volatile.reliability.bytes_lost_partition > unified.reliability.bytes_lost_partition
+        );
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn main() -> ExitCode {
         "lfs" => cmd_lfs(args),
         "faults" => cmd_faults(args),
         "verify-crash" => cmd_verify_crash(args),
+        "verify-net" => cmd_verify_net(args),
         "experiments" => cmd_experiments(args),
         "scorecard" => cmd_scorecard(args),
         "export-csv" => cmd_export_csv(args),
@@ -189,6 +190,12 @@ commands:
                mid-drain per block, dead board, battery edge, pre/post
                flush) plus torn replay-write checks; prints a one-line
                JSON verdict and exits nonzero on any violation
+  verify-net   [--scale S] [--seed N]
+               network judge: deterministic net-fault sweep (client and
+               server partitions, drops, duplicates, reordering, composed
+               crashes) proving no acked byte is lost, no request applies
+               twice, and the partition loss ordering volatile >
+               write-aside > unified; exits nonzero on any violation
   experiments  [--scale S] [--list] [--only ID] [ID...]
 {ids}
                --list prints every registered id with its paper artifact;
@@ -588,6 +595,36 @@ fn cmd_verify_crash(mut args: VecDeque<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_verify_net(mut args: VecDeque<String>) -> Result<(), String> {
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
+    let seed: u64 = take_flag(&mut args, "--seed")?
+        .unwrap_or_else(|| exp::faults::DEFAULT_SEED.to_string())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    nvfs::obs::manifest::set_seed(seed);
+    note_config(&[
+        ("command", "verify-net"),
+        ("scale", scale.name()),
+        ("seed", &seed.to_string()),
+    ]);
+    eprintln!("[verify-net] jobs = {}", nvfs::par::jobs());
+    let out = catching("verify-net", || exp::verify_net::run_seeded(&env, seed))?;
+    outln!("{}", out.render());
+    if out.violations() > 0 {
+        return Err(format!(
+            "network judge found {} violation(s)",
+            out.violations()
+        ));
+    }
+    if !out.loss_ordering_holds() {
+        return Err(
+            "partition-loss ordering volatile > write-aside > unified does not hold".into(),
+        );
+    }
+    Ok(())
+}
+
 fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
     // `--list` prints the registry and exits before any workload is
     // generated; CI diffs this output against the ids in `nvfs help`.
@@ -692,7 +729,7 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     let scale = parse_scale(&mut args)?;
     let (cfg, server_cfg) = (scale.trace_config(), scale.server_config());
     let out =
-        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr6.json".into()));
+        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr7.json".into()));
     let iters: usize = match take_flag(&mut args, "--iters")? {
         Some(v) => v
             .parse()

@@ -96,7 +96,7 @@ fn jobs_do_not_change_metrics_or_events() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The scorecard is the widest fan-out in the pipeline (11 concurrent
+/// The scorecard is the widest fan-out in the pipeline (12 concurrent
 /// sub-experiments, each driving the sharded session loop): its stdout
 /// and its manifest `run` section must not move between `--jobs 1` and
 /// `--jobs 8`.
@@ -127,11 +127,60 @@ fn scorecard_is_jobs_invariant_end_to_end() {
     let (stdout1, manifest1) = run("1");
     let (stdout8, manifest8) = run("8");
     assert_eq!(stdout1, stdout8, "scorecard stdout differs, jobs 1 vs 8");
-    assert!(stdout1.contains("28 of 28 checks passed"), "{stdout1}");
+    assert!(stdout1.contains("31 of 31 checks passed"), "{stdout1}");
     assert_eq!(
         run_section(&manifest1),
         run_section(&manifest8),
         "scorecard manifest run sections differ, jobs 1 vs 8"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A net-faulted run replays serially inside the engine but fans out
+/// across the sweep: `nvfs verify-net` stdout and its manifest `run`
+/// section must be byte-identical at `--jobs 1` and `--jobs 8`, and the
+/// tiny report must match the golden copy checked into `tests/golden/`.
+#[test]
+fn verify_net_is_jobs_invariant_and_matches_golden() {
+    let dir = tempdir("verify-net");
+    let run = |jobs: &str| {
+        let manifest = dir.join(format!("net-j{jobs}.json"));
+        let out = nvfs(&[
+            "--jobs",
+            jobs,
+            "--manifest-out",
+            manifest.to_str().unwrap(),
+            "verify-net",
+            "--scale",
+            "tiny",
+        ]);
+        assert!(
+            out.status.success(),
+            "jobs={jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            std::fs::read_to_string(&manifest).expect("manifest written"),
+        )
+    };
+    let (stdout1, manifest1) = run("1");
+    let (stdout8, manifest8) = run("8");
+    assert_eq!(stdout1, stdout8, "verify-net stdout differs, jobs 1 vs 8");
+    assert_eq!(
+        run_section(&manifest1),
+        run_section(&manifest8),
+        "verify-net manifest run sections differ, jobs 1 vs 8"
+    );
+    assert!(stdout1.contains("\"net_judge\":\"clean\""), "{stdout1}");
+    let golden = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/net_tiny.txt"),
+    )
+    .expect("golden net report present");
+    assert_eq!(
+        stdout1, golden,
+        "verify-net output drifted from tests/golden/net_tiny.txt; \
+         regenerate it if the change is intentional"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -202,8 +202,8 @@ fn entangled_files_and_migration_match_serial() {
 
 /// The sharded loop must be byte-invariant in the job count: same
 /// windows, same merge order, same output whether the window tasks run
-/// on one thread or several. (This is the only test in this binary that
-/// touches the global job count.)
+/// on one thread or several. (This and the net-fault test below are the
+/// only tests in this binary that touch the global job count.)
 #[test]
 fn session_output_is_jobs_invariant() {
     let traces = SpriteTraceSet::generate(&nvfs::trace::synth::TraceSetConfig::tiny());
@@ -216,4 +216,36 @@ fn session_output_is_jobs_invariant() {
     nvfs::par::set_jobs(1);
     assert_eq!(one.0, four.0, "stats must not depend on --jobs");
     assert_eq!(one.1, four.1, "write log must not depend on --jobs");
+}
+
+/// A net-faulted run keeps the `shard_barriers` default (`None`), so the
+/// network hook pins the session to the exact serial loop: its report —
+/// stats, write log, wire counters, judge summary — must be identical
+/// whether the surrounding sweep runs on one worker thread or several,
+/// and identical to itself run twice.
+#[test]
+fn net_faulted_run_is_jobs_invariant() {
+    use nvfs::core::ClusterSim;
+    use nvfs::faults::net::{NetFaultPlan, NetFaultPlanConfig};
+    use nvfs::types::SimDuration;
+
+    let traces = SpriteTraceSet::generate(&nvfs::trace::synth::TraceSetConfig::tiny());
+    let t = traces.trace(3);
+    let cfg = NetFaultPlanConfig::new(t.clients() as u32, t.duration())
+        .with_client_partitions(t.clients() as u32)
+        .with_server_partitions(1)
+        .with_partition_duration(SimDuration::from_secs(300))
+        .with_drop_probability(0.2)
+        .with_duplicate_probability(0.2);
+    let net = NetFaultPlan::compile(13, &cfg).unwrap();
+    for (name, config) in model_configs() {
+        let sim = ClusterSim::new(config);
+        nvfs::par::set_jobs(1);
+        let one = sim.run_with_net_faults(t.ops(), &net);
+        nvfs::par::set_jobs(8);
+        let eight = sim.run_with_net_faults(t.ops(), &net);
+        nvfs::par::set_jobs(1);
+        assert_eq!(one, eight, "{name}: net report must not depend on --jobs");
+        assert_eq!(one.net.summary.violations(), 0, "{name}");
+    }
 }
