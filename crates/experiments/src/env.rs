@@ -2,10 +2,10 @@
 //!
 //! Generating the synthetic trace set is the most expensive step of most
 //! experiments, so runners share one [`Env`]. The [`Scale`] enum is the
-//! single source of truth for the three workload sizes (`tiny`, `small`,
-//! `paper`) — the CLI parses `--scale` straight into it via [`FromStr`]
-//! and every consumer derives its trace/server configuration from the
-//! same value.
+//! single source of truth for the four workload sizes (`tiny`, `small`,
+//! `paper`, `mega`) — the CLI parses `--scale` straight into it via
+//! [`FromStr`] and every consumer derives its trace/server configuration
+//! from the same value.
 
 use std::fmt;
 use std::str::FromStr;
@@ -33,7 +33,8 @@ impl Scale {
     /// Every scale, smallest first.
     pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Small, Scale::Paper, Scale::Mega];
 
-    /// The canonical lowercase name (`"tiny"`, `"small"`, `"paper"`).
+    /// The canonical lowercase name (`"tiny"`, `"small"`, `"paper"`,
+    /// `"mega"`).
     pub fn name(self) -> &'static str {
         match self {
             Scale::Tiny => "tiny",
@@ -153,6 +154,24 @@ mod tests {
             assert_eq!(scale.to_string(), scale.name());
         }
         assert_eq!(Scale::default(), Scale::Small);
+    }
+
+    #[test]
+    fn experiments_doc_enumerates_every_scale() {
+        // The CLI and EXPERIMENTS.md must agree on the valid scale set —
+        // `mega` once existed in code but not in the docs.
+        let doc =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md"))
+                .unwrap();
+        let enumeration = Scale::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join("|");
+        assert!(
+            doc.contains(&format!("--scale {enumeration}")),
+            "EXPERIMENTS.md does not enumerate `--scale {enumeration}`"
+        );
     }
 
     #[test]

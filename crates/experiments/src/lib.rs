@@ -28,6 +28,7 @@
 //! | [`read_latency`] | §3 closing analysis — optimal write size ≈ 2 tracks, full-segment read penalty |
 //! | [`diagrams`] | Figures 1 and 7 rendered from live simulator state |
 //! | [`lfs_vs_ffs`] | §3 framing — LFS amortization vs the update-in-place baseline |
+//! | [`lfs_wal_vs_buffer`] | extension — logging vs paging: NVRAM write-ahead log vs write buffer |
 //! | [`server_cache`] | §3 opening — a server NVRAM cache absorbs client write traffic |
 //! | [`warmup`] | methodology — quantifying the paper's cold-start caveat |
 //! | [`faults`] | §2.3/§4 — bytes lost under a seeded fault schedule, per cache model |
@@ -67,6 +68,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod lfs_vs_ffs;
+pub mod lfs_wal_vs_buffer;
 pub mod nvram_speed;
 pub mod pipeline;
 pub mod presto;

@@ -155,8 +155,9 @@ impl Experiment for Entry {
 
 /// The registry, in canonical output order: the default-run artifacts
 /// first (the historic `nvfs experiments` order), then the opt-in
-/// entries (`nvram-speed`, `faults`, `scorecard`).
-static REGISTRY: [Entry; 25] = [
+/// entries (`nvram-speed`, `faults`, `verify-net`, `lfs-wal-vs-buffer`,
+/// `scorecard`).
+static REGISTRY: [Entry; 26] = [
     Entry::new(
         "tab1",
         "Table 1 — NVRAM costs",
@@ -324,6 +325,13 @@ static REGISTRY: [Entry; 25] = [
         false,
         &[],
         run_verify_net,
+    ),
+    Entry::new(
+        "lfs-wal-vs-buffer",
+        "extension — logging vs paging: NVRAM WAL vs write buffer",
+        false,
+        &[],
+        run_lfs_wal_vs_buffer,
     ),
     Entry::new(
         "scorecard",
@@ -548,6 +556,28 @@ fn run_verify_net(env: &Env) -> Result<Artifacts, String> {
     let failure = (!out.is_clean()).then(|| "network judge has violations".to_string());
     Ok(Artifacts {
         text: out.render(),
+        csv: Vec::new(),
+        failure,
+    })
+}
+
+fn run_lfs_wal_vs_buffer(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::lfs_wal_vs_buffer::run(env);
+    let failure = if out.post_append_violations > 0 {
+        Some(format!(
+            "{} oracle violations after post-append crashes",
+            out.post_append_violations
+        ))
+    } else if out.non_regressions() < 6 {
+        Some(format!(
+            "WAL fsync latency holds on only {} of 8 workloads (need >= 6)",
+            out.non_regressions()
+        ))
+    } else {
+        None
+    };
+    Ok(Artifacts {
+        text: out.table.render(),
         csv: Vec::new(),
         failure,
     })

@@ -9,8 +9,8 @@ use nvfs_report::{Cell, Table};
 
 use crate::env::Env;
 use crate::{
-    bus_nvram, disk_sort, fig2, fig3, fig4, fig5, presto, read_latency, tab1, tab2, tab3,
-    verify_net, write_buffer,
+    bus_nvram, disk_sort, fig2, fig3, fig4, fig5, lfs_wal_vs_buffer, presto, read_latency, tab1,
+    tab2, tab3, verify_net, write_buffer,
 };
 
 /// One evaluated claim.
@@ -80,6 +80,7 @@ fn gather(
     presto::Presto,
     read_latency::ReadLatency,
     verify_net::VerifyNet,
+    lfs_wal_vs_buffer::WalVsBuffer,
 ) {
     // Each sub-experiment runs in its own submission-indexed obs task
     // frame (the same contract `par_map` gives its items) so the metric
@@ -103,6 +104,7 @@ fn gather(
             nvfs_obs::task_frame(&base, 11, || {
                 verify_net::run(env).expect("verify-net sweep failed")
             }),
+            nvfs_obs::task_frame(&base, 12, || lfs_wal_vs_buffer::run(env)),
         );
     }
     // The sub-experiments return heterogeneous types, so fan out with
@@ -126,6 +128,7 @@ fn gather(
                 verify_net::run(env).expect("verify-net sweep failed")
             })
         });
+        let wl = s.spawn(move || nvfs_obs::task_frame(base, 12, || lfs_wal_vs_buffer::run(env)));
         (
             t1.join().expect("tab1 panicked"),
             f2.join().expect("fig2 panicked"),
@@ -139,13 +142,14 @@ fn gather(
             p.join().expect("presto panicked"),
             rl.join().expect("read_latency panicked"),
             vn.join().expect("verify_net panicked"),
+            wl.join().expect("lfs_wal_vs_buffer panicked"),
         )
     })
 }
 
 /// Evaluates every claim over `env`.
 pub fn run(env: &Env) -> Scorecard {
-    let (t1, f2, f3, f4, f5, t3, wb, ds, bn, p, rl, vn) = gather(env);
+    let (t1, f2, f3, f4, f5, t3, wb, ds, bn, p, rl, vn, wl) = gather(env);
 
     let mut checks = Vec::new();
     let mut push = |id, paper, measured, band| {
@@ -406,6 +410,20 @@ pub fn run(env: &Env) -> Scorecard {
         "server dedup suppresses every duplicate",
         vn.summary.duplicates as f64,
         (1.0, 1e12),
+    );
+
+    // Write-ahead log (logging vs paging extension).
+    push(
+        "wal.latency",
+        "WAL fsync <= write buffer's on >=6 of 8 FSs",
+        wl.non_regressions() as f64,
+        (6.0, 8.0),
+    );
+    push(
+        "wal.loss",
+        "post-append crashes lose no acknowledged byte",
+        wl.post_append_violations as f64,
+        (0.0, 0.0),
     );
 
     let mut table = Table::new(

@@ -17,6 +17,14 @@
 //! checksum fails, [`roll_forward`] truncates it, and the rewrite from
 //! NVRAM must reconverge byte-for-byte with an untorn baseline run.
 //!
+//! The WAL half sweeps the write-ahead-log server mode through its four
+//! crash points (mid-append, post-append, mid-truncation, torn record) at
+//! a seed-chosen quartile of every workload, replaying each run's event
+//! stream through [`nvfs_oracle::WalJudge`] — a byte is promised the
+//! instant its record is durably appended, so a lost acked record, a
+//! resurrected torn record, or a truncation that outran writeback all
+//! surface as typed verdicts.
+//!
 //! Everything is a pure function of `(seed, scale)` and byte-identical at
 //! any `--jobs` count; CI diffs the rendered report against a golden copy.
 //!
@@ -26,11 +34,15 @@
 //! [`roll_forward`]: nvfs_lfs::SegmentWriter::roll_forward
 
 use nvfs_core::{CacheModelKind, ClusterSim, SimConfig};
-use nvfs_faults::{CrashPointKind, FaultError, FaultPlanConfig, FaultSchedule, ServerCrashFault};
-use nvfs_lfs::{run_filesystem_faulted, LfsConfig, SEGMENT_BYTES};
-use nvfs_oracle::OracleSummary;
+use nvfs_faults::{
+    CrashPointKind, FaultError, FaultPlanConfig, FaultSchedule, ServerCrashFault, WalCrashFault,
+    WalCrashPoint,
+};
+use nvfs_lfs::wal_fs::{run_filesystem_wal_faulted, WalFsReport, WalTraceEvent};
+use nvfs_lfs::{run_filesystem_faulted, Chunks, LfsConfig, WalConfig, SEGMENT_BYTES};
+use nvfs_oracle::{DurableMap, OracleSummary, WalEvent, WalJudge};
 use nvfs_report::{Cell, Table};
-use nvfs_types::{SimDuration, SimTime, BLOCK_SIZE};
+use nvfs_types::{ClientId, SimDuration, SimTime, BLOCK_SIZE};
 
 use crate::env::Env;
 use crate::faults::{batteries_for, model_name, BASE_BYTES, DEFAULT_SEED, MODELS};
@@ -106,6 +118,17 @@ pub struct ServerCheckRow {
     pub violations: u64,
 }
 
+/// One row of the WAL sweep: one [`WalCrashPoint`] judged across every
+/// server workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalSweepRow {
+    /// The WAL crash point swept.
+    pub point: WalCrashPoint,
+    /// Merged oracle verdicts across the workload set (each run's
+    /// shutdown truncation-invariant check included).
+    pub summary: OracleSummary,
+}
+
 /// Output of the crash-point sweep.
 #[derive(Debug, Clone)]
 pub struct VerifyCrash {
@@ -113,21 +136,30 @@ pub struct VerifyCrash {
     pub seed: u64,
     /// Client rows, in `MODELS` × [`crash_points`] order.
     pub rows: Vec<CrashPointRow>,
-    /// Merged client oracle summary.
+    /// Merged oracle summary (client and WAL halves).
     pub summary: OracleSummary,
     /// Server rows, in mode × fraction order.
     pub server_rows: Vec<ServerCheckRow>,
+    /// WAL rows, in [`WalCrashPoint::ALL`] order.
+    pub wal_rows: Vec<WalSweepRow>,
     /// Client sweep table.
     pub client_table: Table,
     /// Server sweep table.
     pub server_table: Table,
+    /// WAL sweep table.
+    pub wal_table: Table,
 }
 
 impl VerifyCrash {
-    /// Total violations across both halves of the sweep.
+    /// Total violations across all three halves of the sweep.
     pub fn violations(&self) -> u64 {
         self.rows.iter().map(CrashPointRow::violations).sum::<u64>()
             + self.server_rows.iter().map(|r| r.violations).sum::<u64>()
+            + self
+                .wal_rows
+                .iter()
+                .map(|r| r.summary.violations())
+                .sum::<u64>()
     }
 
     /// Whether every crash point recovered exactly the durable contract.
@@ -158,13 +190,34 @@ impl VerifyCrash {
         )
     }
 
-    /// Both tables plus the verdict line, as printed by `nvfs verify-crash`.
+    /// All three tables plus the verdict line, as printed by
+    /// `nvfs verify-crash`.
     pub fn render(&self) -> String {
         format!(
-            "{}\n{}\n{}\n",
+            "{}\n{}\n{}\n{}\n",
             self.client_table.render(),
             self.server_table.render(),
+            self.wal_table.render(),
             self.verdict_json()
+        )
+    }
+
+    /// Merged summary of the WAL rows alone.
+    pub fn wal_summary(&self) -> OracleSummary {
+        let mut s = OracleSummary::default();
+        for row in &self.wal_rows {
+            s.merge(&row.summary);
+        }
+        s
+    }
+
+    /// The WAL table plus its own verdict line, as printed by
+    /// `nvfs verify-crash --wal` (the CI smoke golden).
+    pub fn render_wal(&self) -> String {
+        format!(
+            "{}\n{}\n",
+            self.wal_table.render(),
+            self.wal_summary().verdict_json(self.seed)
         )
     }
 }
@@ -352,6 +405,118 @@ pub fn server_sweep(env: &Env) -> Vec<ServerCheckRow> {
     rows
 }
 
+fn chunks_to_map(chunks: &Chunks) -> DurableMap {
+    let mut m = DurableMap::new();
+    for (file, ranges) in chunks {
+        let slot = m.entry(*file).or_default();
+        for r in ranges.iter() {
+            slot.insert(r);
+        }
+    }
+    m
+}
+
+/// Replays a WAL run's event stream through [`WalJudge`], including the
+/// shutdown truncation-invariant check at `finish_at` (which must lie
+/// strictly after the last crash).
+pub fn judge_wal_report(
+    client: ClientId,
+    report: &WalFsReport,
+    finish_at: SimTime,
+) -> OracleSummary {
+    let events: Vec<WalEvent> = report
+        .trace
+        .events
+        .iter()
+        .map(|e| match e {
+            WalTraceEvent::Append { t, file, ranges } => WalEvent::Append {
+                t: *t,
+                file: *file,
+                ranges: ranges.clone(),
+            },
+            WalTraceEvent::Delete { t, file } => WalEvent::Delete { t: *t, file: *file },
+            WalTraceEvent::Crash(incident) => WalEvent::Crash {
+                at: incident.at,
+                replayed: chunks_to_map(&incident.replayed),
+                disk: chunks_to_map(&incident.disk),
+            },
+        })
+        .collect();
+    let mut judge = WalJudge::new(client);
+    judge.run(&events);
+    judge.finish(finish_at, &chunks_to_map(&report.trace.final_disk));
+    judge.summary()
+}
+
+/// Runs the WAL half: every [`WalCrashPoint`] crashed into every server
+/// workload at a seed-chosen quartile, judged through [`WalJudge`], merged
+/// into per-point rows in lattice order.
+pub fn wal_sweep(env: &Env, seed: u64) -> Vec<WalSweepRow> {
+    let duration = env.trace_config.duration().as_micros();
+    let config = WalConfig::sprite();
+    let mut jobs = Vec::new();
+    for (point_idx, point) in WalCrashPoint::ALL.iter().enumerate() {
+        for i in 0..env.server.len() {
+            jobs.push((point_idx, *point, i));
+        }
+    }
+    let runs = nvfs_par::par_map(jobs, nvfs_par::jobs(), |(point_idx, point, i)| {
+        // A deterministic but seed- and case-varying quartile, so the
+        // sweep crosses different log/dirty states without RNG state.
+        let quartile = 1 + ((seed ^ i as u64 ^ point_idx as u64) % 3);
+        let crash = WalCrashFault {
+            time: SimTime::from_micros(duration * quartile / 4),
+            point,
+        };
+        let (report, _) = run_filesystem_wal_faulted(&env.server[i], &config, &[crash]);
+        let finish_at = SimTime::from_micros(duration * 2);
+        (
+            point,
+            judge_wal_report(ClientId(i as u32), &report, finish_at),
+        )
+    });
+    let mut rows: Vec<WalSweepRow> = Vec::new();
+    for (point, summary) in runs {
+        match rows.last_mut() {
+            Some(row) if row.point == point => row.summary.merge(&summary),
+            _ => rows.push(WalSweepRow { point, summary }),
+        }
+    }
+    rows
+}
+
+/// Renders the WAL sweep table.
+pub fn wal_table(seed: u64, rows: &[WalSweepRow]) -> Table {
+    let mut table = Table::new(
+        &format!("Durability oracle — WAL crash-point sweep (seed {seed})"),
+        &[
+            "crash point",
+            "incidents",
+            "clean",
+            "lost",
+            "resurrected",
+            "double-replay",
+            "expected KB",
+            "observed KB",
+        ],
+    );
+    let kb = |b: u64| Cell::f1(b as f64 / 1024.0);
+    for row in rows {
+        let s = &row.summary;
+        table.push_row(vec![
+            Cell::from(row.point.label()),
+            Cell::Int(s.crash_points as i64),
+            Cell::Int(s.clean as i64),
+            Cell::Int(s.lost_durable as i64),
+            Cell::Int(s.resurrected as i64),
+            Cell::Int(s.double_replay as i64),
+            kb(s.bytes_expected),
+            kb(s.bytes_observed),
+        ]);
+    }
+    table
+}
+
 /// Renders the client sweep table.
 pub fn client_table(seed: u64, rows: &[CrashPointRow]) -> Table {
     let mut table = Table::new(
@@ -426,13 +591,19 @@ pub fn run_seeded(env: &Env, seed: u64) -> Result<VerifyCrash, FaultError> {
         summary.merge(&row.summary);
     }
     let server_rows = server_sweep(env);
+    let wal_rows = wal_sweep(env, seed);
+    for row in &wal_rows {
+        summary.merge(&row.summary);
+    }
     Ok(VerifyCrash {
         seed,
         client_table: client_table(seed, &rows),
         server_table: server_table(seed, &server_rows),
+        wal_table: wal_table(seed, &wal_rows),
         rows,
         summary,
         server_rows,
+        wal_rows,
     })
 }
 
@@ -481,6 +652,26 @@ mod tests {
         assert!(s
             .verdict_json(seed)
             .starts_with("{\"oracle\":\"clean\",\"seed\":42"));
+    }
+
+    #[test]
+    fn wal_rows_cover_the_crash_point_lattice() {
+        let out = run(&Env::tiny()).unwrap();
+        assert_eq!(out.wal_rows.len(), WalCrashPoint::ALL.len());
+        for (row, point) in out.wal_rows.iter().zip(WalCrashPoint::ALL) {
+            assert_eq!(row.point, point);
+            // 8 workload crashes + 8 shutdown truncation checks per point.
+            assert_eq!(row.summary.crash_points, 16, "{point}");
+            assert_eq!(row.summary.violations(), 0, "{point}");
+        }
+        // Post-append crashes force real replays, so the sweep exercises
+        // the promise machinery rather than judging empty incidents.
+        assert!(out.wal_summary().bytes_observed > 0);
+        assert!(out.render_wal().contains("WAL crash-point sweep"));
+        assert!(out
+            .wal_summary()
+            .verdict_json(out.seed)
+            .starts_with("{\"oracle\":\"clean\""));
     }
 
     #[test]

@@ -158,6 +158,9 @@ pub struct FaultPlanConfig {
     pub relocation_delay: SimDuration,
     /// Number of file-server crash events for the LFS study.
     pub server_crashes: u32,
+    /// Number of WAL-mode server crash events (the write-ahead-log commit
+    /// path has its own crash-point lattice, see [`WalCrashPoint`]).
+    pub wal_crashes: u32,
     /// Probability that a recovery drain or restart segment write is torn
     /// (partially applied).
     pub torn_write_probability: f64,
@@ -175,6 +178,7 @@ impl FaultPlanConfig {
             battery_mtbf: SimDuration::from_secs(24 * 3600),
             relocation_delay: SimDuration::from_secs(600),
             server_crashes: 0,
+            wal_crashes: 0,
             torn_write_probability: 0.0,
         }
     }
@@ -215,6 +219,12 @@ impl FaultPlanConfig {
         self
     }
 
+    /// Sets the number of WAL-mode server crash events (builder style).
+    pub fn with_wal_crashes(mut self, n: u32) -> Self {
+        self.wal_crashes = n;
+        self
+    }
+
     fn validate(&self) -> Result<(), FaultError> {
         if self.client_crashes > 0 && self.clients == 0 {
             return Err(FaultError::NoClients);
@@ -238,7 +248,7 @@ impl FaultPlanConfig {
                 value: self.torn_write_probability,
             });
         }
-        if (self.client_crashes > 0 || self.server_crashes > 0)
+        if (self.client_crashes > 0 || self.server_crashes > 0 || self.wal_crashes > 0)
             && self.duration == SimDuration::ZERO
         {
             return Err(FaultError::ZeroDuration);
@@ -294,6 +304,62 @@ pub struct ServerCrashFault {
     pub torn_segment: Option<f64>,
 }
 
+/// Where in the WAL commit protocol a server crash lands. The four points
+/// cover every boundary of the append → writeback → truncate cycle; the
+/// durability oracle sweeps all of them in `nvfs verify-crash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalCrashPoint {
+    /// The crash interrupts an append at the frame boundary: only the
+    /// record header reaches NVRAM. The fsync was never acknowledged, so
+    /// the bytes are not promised; roll-forward must truncate the frame.
+    MidAppend,
+    /// The record is durably appended (and therefore promised) but the
+    /// crash lands before any segment writeback: recovery must replay it.
+    PostAppend,
+    /// A drain's segment writes completed but the crash interrupts log
+    /// truncation: already-drained records survive in the log, and their
+    /// re-replay on recovery must be idempotent.
+    MidTruncation,
+    /// The crash tears the tail record mid-payload: the frame looks whole
+    /// but its checksum fails, and roll-forward must truncate it.
+    TornRecord,
+}
+
+impl WalCrashPoint {
+    /// Every WAL crash point, in protocol order.
+    pub const ALL: [WalCrashPoint; 4] = [
+        WalCrashPoint::MidAppend,
+        WalCrashPoint::PostAppend,
+        WalCrashPoint::MidTruncation,
+        WalCrashPoint::TornRecord,
+    ];
+
+    /// Short static label for reports and events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WalCrashPoint::MidAppend => "mid-append",
+            WalCrashPoint::PostAppend => "post-append",
+            WalCrashPoint::MidTruncation => "mid-truncation",
+            WalCrashPoint::TornRecord => "torn-record",
+        }
+    }
+}
+
+impl fmt::Display for WalCrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One scheduled WAL-mode server crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalCrashFault {
+    /// When the server dies.
+    pub time: SimTime,
+    /// Where in the commit protocol the crash lands.
+    pub point: WalCrashPoint,
+}
+
 /// A compiled, deterministic fault schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultSchedule {
@@ -305,6 +371,8 @@ pub struct FaultSchedule {
     pub client_crashes: Vec<ClientCrashFault>,
     /// Server crashes, sorted by time.
     pub server_crashes: Vec<ServerCrashFault>,
+    /// WAL-mode server crashes, sorted by time.
+    pub wal_crashes: Vec<WalCrashFault>,
 }
 
 /// Stream-splitting constants: each fault dimension draws from its own RNG
@@ -313,6 +381,7 @@ const STREAM_CRASH: u64 = 0x632d_6372_6173_6801; // "c-crash"
 const STREAM_BATTERY: u64 = 0x6261_7474_6572_7902; // "battery"
 const STREAM_TORN: u64 = 0x746f_726e_2d77_7203; // "torn-wr"
 const STREAM_SERVER: u64 = 0x7365_7276_6572_6304; // "serverc"
+const STREAM_WAL: u64 = 0x7761_6c2d_6c6f_6705; // "wal-log"
 
 impl FaultSchedule {
     /// Compiles the deterministic schedule for `(seed, plan)`.
@@ -389,8 +458,19 @@ impl FaultSchedule {
             })
             .collect();
 
+        // WAL-mode server crashes: a uniform time per event, cycling through
+        // the crash-point lattice so every point is hit before any repeats.
+        let mut rng = StdRng::seed_from_u64(seed ^ STREAM_WAL);
+        let mut wal_crashes: Vec<WalCrashFault> = (0..plan.wal_crashes as usize)
+            .map(|i| WalCrashFault {
+                time: SimTime::from_micros(rng.gen_range(0..micros)),
+                point: WalCrashPoint::ALL[i % WalCrashPoint::ALL.len()],
+            })
+            .collect();
+
         client_crashes.sort_by_key(|c| (c.time, c.client.0));
         server_crashes.sort_by_key(|a| a.time);
+        wal_crashes.sort_by_key(|a| a.time);
         nvfs_obs::counter_add("faults.schedules_compiled", 1);
         nvfs_obs::counter_add(
             "faults.client_crashes_scheduled",
@@ -400,11 +480,15 @@ impl FaultSchedule {
             "faults.server_crashes_scheduled",
             server_crashes.len() as u64,
         );
+        if !wal_crashes.is_empty() {
+            nvfs_obs::counter_add("faults.wal_crashes_scheduled", wal_crashes.len() as u64);
+        }
         Ok(FaultSchedule {
             seed,
             plan: plan.clone(),
             client_crashes,
             server_crashes,
+            wal_crashes,
         })
     }
 }
@@ -648,6 +732,26 @@ mod tests {
             .client_crashes
             .iter()
             .all(|c| c.time <= SimTime::ZERO + SimDuration::from_secs(3600)));
+    }
+
+    #[test]
+    fn wal_crashes_cycle_the_point_lattice_in_time_order() {
+        let s = FaultSchedule::compile(7, &plan().with_wal_crashes(6)).unwrap();
+        assert_eq!(s.wal_crashes.len(), 6);
+        assert!(s.wal_crashes.windows(2).all(|w| w[0].time <= w[1].time));
+        // Before sorting by time the points cycle the lattice, so every
+        // point appears at least once in any batch of >= 4.
+        for point in WalCrashPoint::ALL {
+            assert!(
+                s.wal_crashes.iter().any(|c| c.point == point),
+                "missing {point}"
+            );
+        }
+        // The WAL stream is independent: plain plans are unperturbed.
+        let plain = FaultSchedule::compile(7, &plan()).unwrap();
+        assert!(plain.wal_crashes.is_empty());
+        assert_eq!(plain.client_crashes, s.client_crashes);
+        assert_eq!(plain.server_crashes, s.server_crashes);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! segments ever reach the disk.
 
 use nvfs_faults::{ReliabilityStats, ServerCrashFault};
-use nvfs_types::{FileId, RangeSet, SimDuration, SimTime};
+use nvfs_types::{blocks_of_range, FileId, RangeSet, SimDuration, SimTime};
 
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOpKind};
 
@@ -107,7 +107,7 @@ impl Default for LfsConfig {
 }
 
 /// Results of simulating one file system over one workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FsReport {
     /// File-system name (e.g. `/user6`).
     pub name: String,
@@ -117,6 +117,10 @@ pub struct FsReport {
     pub fsync_ops: u64,
     /// Fsync calls absorbed by the NVRAM buffer (no disk access).
     pub fsyncs_absorbed: u64,
+    /// Page-granular bytes those absorbed fsyncs copied into NVRAM: the
+    /// buffer stages whole 4 KB blocks, so this is the *paging* cost basis
+    /// the WAL's exact-byte *logging* appends are compared against.
+    pub fsync_absorbed_page_bytes: u64,
     /// Application bytes written into the file system.
     pub app_write_bytes: u64,
     /// Cleaner activity.
@@ -310,6 +314,7 @@ pub fn run_filesystem_faulted(
     let mut cleaner = config.cleaner.map(Cleaner::new);
     let mut fsync_ops = 0u64;
     let mut fsyncs_absorbed = 0u64;
+    let mut fsync_absorbed_page_bytes = 0u64;
     let mut app_write_bytes = 0u64;
     let mut next_sweep = SimTime::ZERO + config.sweep_period;
     let mut end_time = SimTime::ZERO;
@@ -469,6 +474,7 @@ pub fn run_filesystem_faulted(
                     WriteBufferMode::FsyncAbsorb { capacity } => {
                         if let Some(r) = dirty.take_file(file) {
                             fsyncs_absorbed += 1;
+                            fsync_absorbed_page_bytes += page_bytes(file, &r);
                             nvram_bytes += r.len_bytes();
                             nvram.push((file, r));
                             if nvram_bytes >= capacity {
@@ -487,6 +493,7 @@ pub fn run_filesystem_faulted(
                     WriteBufferMode::StageAll { capacity } => {
                         if let Some(r) = dirty.take_file(file) {
                             fsyncs_absorbed += 1;
+                            fsync_absorbed_page_bytes += page_bytes(file, &r);
                             nvram_bytes += r.len_bytes();
                             nvram.push((file, r));
                             drain_full_segments(
@@ -536,11 +543,24 @@ pub fn run_filesystem_faulted(
             records: writer.records().to_vec(),
             fsync_ops,
             fsyncs_absorbed,
+            fsync_absorbed_page_bytes,
             app_write_bytes,
             cleaner: cleaner.map_or(CleanerStats::default(), |c| c.stats()),
         },
         reliability,
     )
+}
+
+/// Bytes NVRAM actually copies when staging `r` at page granularity:
+/// distinct 4 KB blocks touched, times the block size.
+fn page_bytes(file: FileId, r: &RangeSet) -> u64 {
+    let mut blocks = std::collections::BTreeSet::new();
+    for piece in r.iter() {
+        for b in blocks_of_range(file, piece) {
+            blocks.insert(b.index);
+        }
+    }
+    blocks.len() as u64 * 4096
 }
 
 /// Writes full segments out of the NVRAM staging buffer; forces a flush if

@@ -35,6 +35,8 @@ pub enum SegmentCause {
     Shutdown,
     /// Restart replay of the NVRAM write buffer after a server crash.
     Recovery,
+    /// Lazy background drain of the NVRAM write-ahead log.
+    WalDrain,
 }
 
 impl SegmentCause {
@@ -58,6 +60,7 @@ impl SegmentCause {
             SegmentCause::Cleaner => "cleaner",
             SegmentCause::Shutdown => "shutdown",
             SegmentCause::Recovery => "recovery",
+            SegmentCause::WalDrain => "wal-drain",
         }
     }
 }

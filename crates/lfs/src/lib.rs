@@ -13,6 +13,10 @@
 //!   modes (none / fsync-absorbing / full staging), producing the
 //!   [`fs::FsReport`]s behind Tables 3 and 4 and the 10–25% / 90%
 //!   disk-write-reduction claims;
+//! * [`wal_fs`] — the write-ahead-log server mode: `fsync` appends exact
+//!   bytes to an NVRAM log and acks immediately, segments drain lazily,
+//!   and the log truncates only after writeback completes — the *logging*
+//!   alternative to the write buffer's *paging*;
 //! * [`read_latency`] — the §3 closing analysis: M/G/1 read response time
 //!   vs write size (optimal ≈ two tracks; full segments cost ~14%);
 //! * [`ffs_baseline`] — the traditional update-in-place comparator that the
@@ -41,6 +45,7 @@ pub mod layout;
 pub mod log;
 pub mod read_latency;
 pub mod sampling;
+pub mod wal_fs;
 
 pub use cleaner::{Cleaner, CleanerConfig, CleanerStats};
 pub use dirty::DirtyCache;
@@ -53,3 +58,7 @@ pub use layout::{SegmentCause, SegmentRecord, SEGMENT_BYTES};
 pub use log::{Chunks, RollForward, SegmentUsage, SegmentWriter};
 pub use read_latency::ReadLatencyModel;
 pub use sampling::{sample_counters, CounterSample};
+pub use wal_fs::{
+    run_filesystem_wal, run_filesystem_wal_faulted, run_server_wal, run_server_wal_faulted,
+    FsyncSample, WalConfig, WalCrashIncident, WalFsReport, WalStats, WalTrace, WalTraceEvent,
+};

@@ -93,6 +93,16 @@ impl SegmentUsage {
     pub fn total_live_bytes(&self) -> u64 {
         self.locs.len() as u64 * 4096
     }
+
+    /// Every live byte range on disk, grouped per file — the durability
+    /// oracle's view of what a post-crash scan of the log would find.
+    pub fn live_ranges(&self) -> Vec<(FileId, RangeSet)> {
+        let mut per_file: BTreeMap<FileId, RangeSet> = BTreeMap::new();
+        for b in self.locs.keys() {
+            per_file.entry(b.file).or_default().insert(b.byte_range());
+        }
+        per_file.into_iter().collect()
+    }
 }
 
 /// Packs dirty chunks into segments and appends them to the log.
@@ -400,8 +410,10 @@ pub struct RollForward {
 /// block-index) content list, in segment order. The simulation carries no
 /// payload bytes, so the block list *is* the content identity; any torn
 /// prefix of it hashes differently, which is all a checksum must provide.
+/// The hasher is the shared [`nvfs_types::framing`] implementation, so the
+/// segment summaries and the WAL records use one checksum definition.
 fn segment_checksum(blocks: &[BlockId]) -> u64 {
-    let mut d = nvfs_obs::digest::Digest::new();
+    let mut d = nvfs_types::framing::Fnv64::new();
     for b in blocks {
         d.update(&format!("{}:{};", b.file.0, b.index));
     }
@@ -416,6 +428,23 @@ mod tests {
 
     fn chunk(file: u32, bytes: u64) -> (FileId, RangeSet) {
         (FileId(file), RangeSet::from_range(ByteRange::new(0, bytes)))
+    }
+
+    #[test]
+    fn summary_checksum_matches_the_obs_digest() {
+        // The shared nvfs-types hasher must stay bit-identical to the obs
+        // digest the summaries were originally computed with, or every
+        // golden checksum in the repo silently changes.
+        let blocks = vec![
+            BlockId::new(FileId(3), 0),
+            BlockId::new(FileId(3), 1),
+            BlockId::new(FileId(7), 2),
+        ];
+        let mut d = nvfs_obs::digest::Digest::new();
+        for b in &blocks {
+            d.update(&format!("{}:{};", b.file.0, b.index));
+        }
+        assert_eq!(segment_checksum(&blocks), d.value());
     }
 
     #[test]

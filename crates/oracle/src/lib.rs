@@ -21,6 +21,10 @@
 //! [`ServerState`] additionally proves replay idempotence: applying the
 //! same recovered drain twice must change nothing the second time.
 //!
+//! [`WalJudge`] extends the same verdict vocabulary to the write-ahead-log
+//! server mode, where a byte is promised the instant its record is durably
+//! appended (the fsync ack), not when a crash captures it.
+//!
 //! The oracle depends only on `nvfs-types` (plus `nvfs-obs` for the
 //! `oracle_verdict` event and `oracle.*` counters), so its prediction of
 //! the drain contract is an *independent reimplementation*, not a call
@@ -32,7 +36,9 @@
 mod judge;
 mod netjudge;
 mod shadow;
+mod wal;
 
 pub use judge::{CrashReport, Oracle, OracleSummary, Verdict};
 pub use netjudge::{NetJudge, NetSummary, NetVerdict, WireEvent};
 pub use shadow::{torn_prefix, DrainExpectation, DurableMap, DurablePromise, ServerState};
+pub use wal::{WalEvent, WalJudge};

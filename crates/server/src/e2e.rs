@@ -14,6 +14,7 @@ use nvfs_core::{ClusterSim, NetReport, SimConfig, TrafficStats};
 use nvfs_faults::net::NetFaultPlan;
 use nvfs_faults::ReliabilityStats;
 use nvfs_lfs::fs::{run_filesystem, FsReport, LfsConfig};
+use nvfs_lfs::wal_fs::{run_filesystem_wal, WalConfig, WalFsReport};
 use nvfs_trace::op::OpStream;
 use nvfs_trace::synth::lfs_workload::{FsWorkload, LfsOp, LfsOpKind};
 use nvfs_types::{ByteRange, FileId, SimDuration};
@@ -40,6 +41,30 @@ pub struct NetPipelineReport {
     pub net: NetReport,
     /// Reliability accounting; partition sheds land in
     /// [`ReliabilityStats::bytes_lost_partition`].
+    pub reliability: ReliabilityStats,
+}
+
+/// Combined result of a client + WAL-mode server pipeline run
+/// ([`client_server_pipeline_wal`]).
+#[derive(Debug, Clone)]
+pub struct WalPipelineReport {
+    /// Client-side traffic statistics.
+    pub client: TrafficStats,
+    /// WAL-mode server report over the client-generated write stream.
+    pub server: WalFsReport,
+}
+
+/// Combined result of a net-faulted client + WAL-mode server pipeline run
+/// ([`client_server_pipeline_wal_net`]).
+#[derive(Debug, Clone)]
+pub struct WalNetPipelineReport {
+    /// Client-side traffic statistics (shed bytes excluded).
+    pub client: TrafficStats,
+    /// WAL-mode server report over the writes that survived the wire.
+    pub server: WalFsReport,
+    /// Wire-layer counters, judge summary and verdicts.
+    pub net: NetReport,
+    /// Reliability accounting for the degraded wire.
     pub reliability: ReliabilityStats,
 }
 
@@ -108,6 +133,22 @@ pub fn client_server_pipeline(
     PipelineReport { client, server }
 }
 
+/// Runs the pipeline with the server in write-ahead-log mode: the server's
+/// consistency commit path changes so a client fsync RPC is acknowledged
+/// the moment its record is durably appended to the NVRAM log — the
+/// segment writes the paper's commit path would have waited for happen
+/// lazily in the background drain instead.
+pub fn client_server_pipeline_wal(
+    ops: &OpStream,
+    client_cfg: &SimConfig,
+    wal_cfg: &WalConfig,
+) -> WalPipelineReport {
+    let (client, writes) = ClusterSim::new(client_cfg.clone()).run_detailed(ops);
+    let workload = server_workload_from_writes(&writes);
+    let server = run_filesystem_wal(&workload, wal_cfg);
+    WalPipelineReport { client, server }
+}
+
 /// Like [`client_server_pipeline`], but with the client↔server wire driven
 /// through a compiled [`NetFaultPlan`]: every client interaction becomes an
 /// RPC subject to drops, duplicates, delays and timed partitions, and the
@@ -126,6 +167,28 @@ pub fn client_server_pipeline_net(
     let workload = server_workload_from_writes(&report.writes);
     let server = run_filesystem(&workload, lfs_cfg);
     NetPipelineReport {
+        client: report.stats,
+        server,
+        net: report.net,
+        reliability: report.reliability,
+    }
+}
+
+/// [`client_server_pipeline_wal`] with the wire driven through a compiled
+/// [`NetFaultPlan`]: drops, duplicates, delays and partitions shape which
+/// writes the WAL-mode server ever sees, so degraded-cluster behaviour of
+/// the logging commit path can be measured under the same wire contract as
+/// the paging one.
+pub fn client_server_pipeline_wal_net(
+    ops: &OpStream,
+    client_cfg: &SimConfig,
+    wal_cfg: &WalConfig,
+    net: &NetFaultPlan,
+) -> WalNetPipelineReport {
+    let report = ClusterSim::new(client_cfg.clone()).run_with_net_faults(ops, net);
+    let workload = server_workload_from_writes(&report.writes);
+    let server = run_filesystem_wal(&workload, wal_cfg);
+    WalNetPipelineReport {
         client: report.stats,
         server,
         net: report.net,
@@ -216,6 +279,57 @@ mod tests {
         assert!(
             volatile.reliability.bytes_lost_partition > unified.reliability.bytes_lost_partition
         );
+    }
+
+    #[test]
+    fn wal_server_acks_fsyncs_from_the_log() {
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let ops = traces.trace(0).ops();
+        let client_cfg = SimConfig::volatile(2 << 20);
+        let direct = client_server_pipeline(ops, &client_cfg, &LfsConfig::direct());
+        let wal = client_server_pipeline_wal(ops, &client_cfg, &WalConfig::sprite());
+        // Same client traffic feeds both servers.
+        assert_eq!(
+            wal.client.server_write_bytes,
+            direct.client.server_write_bytes
+        );
+        // The fsyncs that forced partial segments in direct mode are all
+        // absorbed by log appends in WAL mode.
+        assert!(direct.server.count(SegmentCause::Fsync) > 0);
+        assert_eq!(wal.server.fs.count(SegmentCause::Fsync), 0);
+        assert_eq!(
+            wal.server.wal.appends,
+            direct.server.count(SegmentCause::Fsync) as u64
+        );
+        // No fsync ever waited on a disk write: every ack came straight
+        // from the NVRAM append, the logging path's latency claim.
+        assert!(wal
+            .server
+            .fsync_samples
+            .iter()
+            .all(|s| s.forced_segments == 0));
+    }
+
+    #[test]
+    fn net_faulted_wal_pipeline_keeps_the_wire_contract() {
+        use nvfs_faults::net::NetFaultPlanConfig;
+        let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+        let trace = traces.trace(2);
+        let cfg = NetFaultPlanConfig::new(trace.clients() as u32, trace.duration())
+            .with_drop_probability(0.05)
+            .with_duplicate_probability(0.02)
+            .with_server_partitions(1)
+            .with_partition_duration(SimDuration::from_secs(300));
+        let net = NetFaultPlan::compile(17, &cfg).unwrap();
+        let r = client_server_pipeline_wal_net(
+            trace.ops(),
+            &SimConfig::volatile(2 << 20),
+            &WalConfig::sprite(),
+            &net,
+        );
+        assert_eq!(r.net.summary.violations(), 0, "{:?}", r.net.verdicts);
+        // Whatever survived the wire is conserved into the WAL server.
+        assert!(r.server.fs.app_write_bytes >= r.client.server_write_bytes);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   interval sets, the workhorses of byte-level dirty tracking and the
 //!   byte-lifetime analysis of §2.3 of the paper.
 //! * [`block`] — 4 KB cache/FS block geometry helpers.
+//! * [`framing`] — the FNV-1a checksummed record framing shared by the LFS
+//!   segment summary blocks and the NVRAM write-ahead log.
 //!
 //! # Examples
 //!
@@ -30,11 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod framing;
 pub mod id;
 pub mod range;
 pub mod time;
 
 pub use block::{blocks_of_range, BLOCK_SIZE};
+pub use framing::{decode_stream, encode_record, DecodedStream, Fnv64, FramedRecord};
 pub use id::{BlockId, BlockIndex, ClientId, FileId, ProcessId};
 pub use range::{ByteRange, RangeSet};
 pub use time::{SimDuration, SimTime, BLOCK_CLEANER_PERIOD, DELAYED_WRITE_BACK};

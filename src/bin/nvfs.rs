@@ -185,11 +185,14 @@ commands:
                seeded fault schedule (client crashes, battery death, torn
                writes, server crashes); --oracle re-judges every recovery
                against the shadow durability model and fails on violations
-  verify-crash [--scale S] [--seed N]
+  verify-crash [--scale S] [--seed N] [--wal]
                durability oracle: deterministic crash-point sweep (full,
                mid-drain per block, dead board, battery edge, pre/post
-               flush) plus torn replay-write checks; prints a one-line
-               JSON verdict and exits nonzero on any violation
+               flush) plus torn replay-write checks and the WAL server
+               mode's crash-point lattice (mid-append, post-append,
+               mid-truncation, torn record); prints a one-line JSON
+               verdict and exits nonzero on any violation; --wal runs and
+               prints only the WAL sweep (the CI smoke golden)
   verify-net   [--scale S] [--seed N]
                network judge: deterministic net-fault sweep (client and
                server partitions, drops, duplicates, reordering, composed
@@ -569,6 +572,7 @@ fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 fn cmd_verify_crash(mut args: VecDeque<String>) -> Result<(), String> {
+    let wal_only = take_switch(&mut args, "--wal");
     let scale = parse_scale(&mut args)?;
     let env = scale.env();
     let seed: u64 = take_flag(&mut args, "--seed")?
@@ -582,6 +586,26 @@ fn cmd_verify_crash(mut args: VecDeque<String>) -> Result<(), String> {
         ("seed", &seed.to_string()),
     ]);
     eprintln!("[verify-crash] jobs = {}", nvfs::par::jobs());
+    if wal_only {
+        // The CI smoke path: just the WAL crash-point lattice, judged and
+        // rendered with its own verdict line, diffed against a golden.
+        let rows = catching("verify-crash", || {
+            Ok::<_, String>(exp::verify_crash::wal_sweep(&env, seed))
+        })?;
+        let mut summary = nvfs::oracle::OracleSummary::default();
+        for row in &rows {
+            summary.merge(&row.summary);
+        }
+        outln!("{}", exp::verify_crash::wal_table(seed, &rows).render());
+        outln!("{}", summary.verdict_json(seed));
+        if summary.violations() > 0 {
+            return Err(format!(
+                "durability oracle found {} WAL violation(s)",
+                summary.violations()
+            ));
+        }
+        return Ok(());
+    }
     let out = catching("verify-crash", || {
         exp::verify_crash::run_seeded(&env, seed).map_err(|e| e.to_string())
     })?;
@@ -720,7 +744,7 @@ fn cmd_export_csv(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 /// Stages timed by `nvfs bench`, in pass order.
-const BENCH_STAGES: [&str; 5] = ["gen-traces", "fig2", "fig3", "tab3", "scorecard"];
+const BENCH_STAGES: [&str; 6] = ["gen-traces", "fig2", "fig3", "tab3", "wal", "scorecard"];
 
 fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     use nvfs::par::bench;
@@ -729,7 +753,7 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     let scale = parse_scale(&mut args)?;
     let (cfg, server_cfg) = (scale.trace_config(), scale.server_config());
     let out =
-        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr7.json".into()));
+        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr8.json".into()));
     let iters: usize = match take_flag(&mut args, "--iters")? {
         Some(v) => v
             .parse()
@@ -767,7 +791,10 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
             let f2 = bench::timed(&mut pass, BENCH_STAGES[1], jobs, || exp::fig2::run(&env));
             let f3 = bench::timed(&mut pass, BENCH_STAGES[2], jobs, || exp::fig3::run(&env));
             let t3 = bench::timed(&mut pass, BENCH_STAGES[3], jobs, || exp::tab3::run(&env));
-            let card = bench::timed(&mut pass, BENCH_STAGES[4], jobs, || {
+            let wal = bench::timed(&mut pass, BENCH_STAGES[4], jobs, || {
+                exp::lfs_wal_vs_buffer::run(&env)
+            });
+            let card = bench::timed(&mut pass, BENCH_STAGES[5], jobs, || {
                 exp::scorecard::run(&env)
             });
             bench::annotate(&mut pass, scale.name(), &rev, iter);
@@ -781,6 +808,7 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
             digest.update(&f2.figure.render());
             digest.update(&f3.figure.render());
             digest.update(&t3.table.render());
+            digest.update(&wal.table.render());
             digest.update(&card.table.render());
             let digest = digest.hex();
             match &reference {

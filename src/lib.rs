@@ -18,6 +18,10 @@
 //! * [`disk`] — parametric disk model with FIFO/elevator scheduling.
 //! * [`lfs`] — the log-structured file system study (§3): segments, cleaner,
 //!   fsync-forced partial segments, and the NVRAM segment write buffer.
+//! * [`wal`] — the NVRAM write-ahead log: an append-only log of checksummed,
+//!   sequence-numbered records where `fsync` acks as soon as its record is
+//!   durably appended, segments drain lazily in the background, and the log
+//!   truncates only once its records' segment writes complete.
 //! * [`server`] — Sprite vs NFS server protocols and Prestoserve-style
 //!   server-side NVRAM.
 //! * [`report`] — tables, figure series, and the experiment registry.
@@ -69,3 +73,4 @@ pub use nvfs_rng as rng;
 pub use nvfs_server as server;
 pub use nvfs_trace as trace;
 pub use nvfs_types as types;
+pub use nvfs_wal as wal;

@@ -77,11 +77,15 @@ fn dead_board_loses_data_but_fails_loudly() {
 /// `tests/par_determinism.rs`).
 #[test]
 fn fault_schedule_accounting_is_identical_at_any_job_count() {
+    use nvfs::lfs::{run_server_wal, WalConfig};
+
     let env = Env::tiny();
     nvfs::par::set_jobs(1);
     let sequential = exp::faults::run_seeded(&env, 42).expect("valid fault plan");
+    let wal_sequential = run_server_wal(&env.server, &WalConfig::sprite());
     nvfs::par::set_jobs(4);
     let parallel = exp::faults::run_seeded(&env, 42).expect("valid fault plan");
+    let wal_parallel = run_server_wal(&env.server, &WalConfig::sprite());
     nvfs::par::set_jobs(1);
 
     assert_eq!(
@@ -98,6 +102,46 @@ fn fault_schedule_accounting_is_identical_at_any_job_count() {
         "rendered scorecard differs between jobs=1 and jobs=4"
     );
     assert!(sequential.loss_ordering_holds());
+    assert_eq!(
+        wal_sequential, wal_parallel,
+        "WAL-mode reports differ between jobs=1 and jobs=4"
+    );
+}
+
+/// Random WAL crash schedules: the log's commit protocol — ack on append,
+/// drain lazily, truncate only after writeback — must recover every
+/// acknowledged byte under every `(seed, crash plan)`, across all eight
+/// server workloads and the shutdown truncation invariant. A red run
+/// prints the failing seed.
+#[test]
+fn random_wal_crash_schedules_recover_every_acked_byte() {
+    use nvfs::experiments::verify_crash::judge_wal_report;
+    use nvfs::faults::{FaultPlanConfig, FaultSchedule};
+    use nvfs::lfs::{run_server_wal_faulted, WalConfig};
+    use nvfs::rng::{Rng, SeedableRng, StdRng};
+    use nvfs::types::SimTime;
+
+    let env = Env::tiny();
+    let duration = env.trace_config.duration();
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x7761_6c63_7261_7368 ^ seed);
+        let plan = FaultPlanConfig::new(1, duration).with_wal_crashes(rng.gen_range(1..=6));
+        let schedule = FaultSchedule::compile(seed, &plan)
+            .unwrap_or_else(|e| panic!("seed {seed}: bad WAL crash plan: {e}"));
+        let (reports, _) =
+            run_server_wal_faulted(&env.server, &WalConfig::sprite(), &schedule.wal_crashes);
+        let finish_at = SimTime::from_micros(duration.as_micros() * 2);
+        for (i, report) in reports.iter().enumerate() {
+            let summary = judge_wal_report(ClientId(i as u32), report, finish_at);
+            assert_eq!(
+                summary.violations(),
+                0,
+                "seed {seed} workload {i}: WAL oracle violations\n{}",
+                summary.verdict_json(seed)
+            );
+            assert!(summary.crash_points > 0, "seed {seed} workload {i}");
+        }
+    }
 }
 
 #[test]

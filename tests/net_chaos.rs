@@ -112,6 +112,52 @@ fn random_net_schedules_never_violate_the_contracts() {
     }
 }
 
+/// 16 random schedules through the WAL-mode pipeline: a random network
+/// plan shapes which writes reach the server, a random WAL crash plan
+/// crashes the log at random points, and both judges — the wire judge and
+/// the WAL durability oracle — must stay silent on every seed.
+#[test]
+fn random_wal_schedules_never_violate_the_contracts() {
+    use nvfs::experiments::verify_crash::judge_wal_report;
+    use nvfs::lfs::wal_fs::{run_filesystem_wal_faulted, WalConfig};
+    use nvfs::server::e2e::server_workload_from_writes;
+    use nvfs::types::{ClientId, SimTime};
+
+    let traces = SpriteTraceSet::generate(&TraceSetConfig::tiny());
+    let trace = traces.trace(0);
+    let clients = trace.clients() as u32;
+    let duration = trace.duration();
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x77616c_5f636861 ^ seed);
+        let net_cfg = random_net_plan(&mut rng, clients, duration);
+        let wal_cfg =
+            FaultPlanConfig::new(clients, duration).with_wal_crashes(rng.gen_range(1..=4));
+        let net = NetFaultPlan::compile(seed, &net_cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: bad net plan: {e}"));
+        let schedule = FaultSchedule::compile(seed, &wal_cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: bad WAL crash plan: {e}"));
+        let report = ClusterSim::new(model_config(CacheModelKind::Volatile))
+            .run_with_net_faults(trace.ops(), &net);
+        assert_eq!(
+            report.net.summary.violations(),
+            0,
+            "seed {seed}: wire violations {:?}",
+            report.net.verdicts
+        );
+        let workload = server_workload_from_writes(&report.writes);
+        let (server, _) =
+            run_filesystem_wal_faulted(&workload, &WalConfig::sprite(), &schedule.wal_crashes);
+        let finish_at = SimTime::from_micros(duration.as_micros() * 2);
+        let summary = judge_wal_report(ClientId(seed as u32), &server, finish_at);
+        assert_eq!(
+            summary.violations(),
+            0,
+            "seed {seed}: WAL oracle violations\n{}",
+            summary.verdict_json(seed)
+        );
+    }
+}
+
 /// The same `(seed, plan)` pair replays byte-identically: the chaos sweep
 /// is a pure function of its seeds.
 #[test]

@@ -96,7 +96,7 @@ fn jobs_do_not_change_metrics_or_events() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The scorecard is the widest fan-out in the pipeline (12 concurrent
+/// The scorecard is the widest fan-out in the pipeline (13 concurrent
 /// sub-experiments, each driving the sharded session loop): its stdout
 /// and its manifest `run` section must not move between `--jobs 1` and
 /// `--jobs 8`.
@@ -127,7 +127,7 @@ fn scorecard_is_jobs_invariant_end_to_end() {
     let (stdout1, manifest1) = run("1");
     let (stdout8, manifest8) = run("8");
     assert_eq!(stdout1, stdout8, "scorecard stdout differs, jobs 1 vs 8");
-    assert!(stdout1.contains("31 of 31 checks passed"), "{stdout1}");
+    assert!(stdout1.contains("33 of 33 checks passed"), "{stdout1}");
     assert_eq!(
         run_section(&manifest1),
         run_section(&manifest8),
