@@ -21,7 +21,11 @@
 //!   Table 2);
 //! * [`cost`] — the §2.7 NVRAM-vs-DRAM cost-effectiveness arithmetic;
 //! * [`recovery`] — §4 crash recovery: snapshotting a crashed client's
-//!   NVRAM onto a removable board and recovering it elsewhere.
+//!   NVRAM onto a removable board and recovering it elsewhere;
+//! * [`scrub`] — §2.3 corruption defenses: the [`CorruptionInjector`]
+//!   hook replays stray-write / bit-flip / decay schedules under a
+//!   protection mode with a background checksum scrub, classifying every
+//!   corrupt byte as detected, silent, repaired, or vacated.
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@ pub mod net;
 pub mod omniscient;
 pub mod policy;
 pub mod recovery;
+pub mod scrub;
 pub mod session;
 pub(crate) mod shard;
 pub mod sim;
@@ -62,6 +67,7 @@ pub use net::{NetFaultInjector, NetReport, NetStats};
 pub use omniscient::OmniscientSchedule;
 pub use policy::Policy;
 pub use recovery::{recover, recover_up_to, snapshot_nvram, RecoveryError, RecoveryOutcome};
+pub use scrub::{CorruptionInjector, ScrubReport};
 pub use session::{
     warmup_cut, CrashEvent, DrainEvent, FaultInjector, FlushEvent, ObsRecorder, OpAction,
     OracleJudge, RunHook, SessionOutput, SimEngine, SimSession, WarmupReset, WriteLogCapture,

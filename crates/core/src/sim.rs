@@ -13,15 +13,19 @@
 //! drives one [`SimSession`]. Custom compositions (warmup + faults +
 //! oracle, say) are assembled the same way by callers.
 
+use nvfs_faults::corrupt::CorruptionSchedule;
 use nvfs_faults::net::NetFaultPlan;
 use nvfs_faults::{FaultSchedule, ReliabilityStats};
+use nvfs_nvram::protect::ProtectionMode;
 use nvfs_oracle::Oracle;
 use nvfs_trace::op::OpStream;
+use nvfs_types::SimDuration;
 
 use crate::client::ServerWrite;
 use crate::config::SimConfig;
 use crate::metrics::TrafficStats;
 use crate::net::{NetFaultInjector, NetReport};
+use crate::scrub::{CorruptionInjector, ScrubReport};
 use crate::session::{
     FaultInjector, ObsRecorder, OracleJudge, SimSession, WarmupReset, WriteLogCapture,
 };
@@ -173,6 +177,48 @@ impl ClusterSim {
                 writes: log.take(),
             },
             judge.into_oracle(),
+        )
+    }
+
+    /// Like [`ClusterSim::run_with_faults_verified`], but with an NVRAM
+    /// corruption schedule layered on top: stray writes, bit flips, and
+    /// board decay land on the clients' NVRAM contents under the given
+    /// [`ProtectionMode`], with an optional background checksum scrub
+    /// sweeping every `scrub_interval`. Corruption is pure metadata —
+    /// the traffic statistics, write log, and crash/recovery flow are
+    /// byte-identical to the corruption-free run (modulo the scrub's
+    /// repair reads, charged to server read traffic) — and every corrupt
+    /// byte's fate is classified in the returned [`ScrubReport`].
+    ///
+    /// Deterministic and serial: byte-identical at any worker-thread
+    /// count.
+    pub fn run_with_corruption_verified(
+        &self,
+        ops: &OpStream,
+        schedule: &FaultSchedule,
+        corruption: &CorruptionSchedule,
+        mode: ProtectionMode,
+        scrub_interval: Option<SimDuration>,
+    ) -> (FaultRunReport, Oracle, ScrubReport) {
+        let (mut faults, mut corrupt, mut obs, mut judge, mut log) = (
+            FaultInjector::new(schedule),
+            CorruptionInjector::new(corruption, mode, scrub_interval),
+            ObsRecorder::new(),
+            OracleJudge::new(),
+            WriteLogCapture::new(),
+        );
+        let out = SimSession::new(&self.config).run(
+            ops,
+            &mut [&mut faults, &mut corrupt, &mut obs, &mut judge, &mut log],
+        );
+        (
+            FaultRunReport {
+                stats: out.stats,
+                reliability: out.reliability,
+                writes: log.take(),
+            },
+            judge.into_oracle(),
+            corrupt.into_report(),
         )
     }
 

@@ -34,6 +34,8 @@
 //! | [`faults`] | §2.3/§4 — bytes lost under a seeded fault schedule, per cache model |
 //! | [`verify_crash`] | robustness — durability oracle crash-point sweep with typed verdicts |
 //! | [`verify_net`] | robustness — network judge: RPC retries, partitions, degraded modes |
+//! | [`verify_scrub`] | robustness — corruption sweep: protection modes × corruption kinds × crash points |
+//! | [`scrub_overhead`] | robustness — protection overhead vs undetected corruption |
 //! | [`scorecard`] | every claim above evaluated programmatically with PASS/FAIL verdicts |
 //!
 //! All runners share an [`env::Env`] so the synthetic workloads are only
@@ -75,6 +77,7 @@ pub mod presto;
 pub mod read_latency;
 pub mod registry;
 pub mod scorecard;
+pub mod scrub_overhead;
 pub mod server_cache;
 pub mod tab1;
 pub mod tab2;
@@ -82,6 +85,7 @@ pub mod tab3;
 pub mod tab4;
 pub mod verify_crash;
 pub mod verify_net;
+pub mod verify_scrub;
 pub mod warmup;
 pub mod write_buffer;
 

@@ -157,7 +157,7 @@ impl Experiment for Entry {
 /// first (the historic `nvfs experiments` order), then the opt-in
 /// entries (`nvram-speed`, `faults`, `verify-net`, `lfs-wal-vs-buffer`,
 /// `scorecard`).
-static REGISTRY: [Entry; 26] = [
+static REGISTRY: [Entry; 28] = [
     Entry::new(
         "tab1",
         "Table 1 — NVRAM costs",
@@ -339,6 +339,20 @@ static REGISTRY: [Entry; 26] = [
         false,
         &[],
         run_scorecard,
+    ),
+    Entry::new(
+        "verify-scrub",
+        "robustness — corruption sweep: protection modes under fire",
+        false,
+        &[],
+        run_verify_scrub,
+    ),
+    Entry::new(
+        "scrub-overhead",
+        "robustness — protection overhead vs undetected corruption",
+        false,
+        &[],
+        run_scrub_overhead,
     ),
 ];
 
@@ -594,6 +608,31 @@ fn run_scorecard(env: &Env) -> Result<Artifacts, String> {
     let failure = (!card.all_passed()).then(|| "scorecard has failures".to_string());
     Ok(Artifacts {
         text,
+        csv: Vec::new(),
+        failure,
+    })
+}
+
+fn run_verify_scrub(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::verify_scrub::run(env).map_err(|e| e.to_string())?;
+    let failure = (!out.is_clean()).then(|| "corruption sweep has violations".to_string());
+    Ok(Artifacts {
+        text: out.render(),
+        csv: Vec::new(),
+        failure,
+    })
+}
+
+fn run_scrub_overhead(env: &Env) -> Result<Artifacts, String> {
+    let out = crate::scrub_overhead::run(env);
+    let failure = if !out.ordering_holds() {
+        Some("protection overhead is not ordered unprotected < write-protect < verified".into())
+    } else {
+        (!out.defense_holds())
+            .then(|| "protection modes do not deliver their corruption guarantees".to_string())
+    };
+    Ok(Artifacts {
+        text: out.table.render(),
         csv: Vec::new(),
         failure,
     })

@@ -9,8 +9,8 @@ use nvfs_report::{Cell, Table};
 
 use crate::env::Env;
 use crate::{
-    bus_nvram, disk_sort, fig2, fig3, fig4, fig5, lfs_wal_vs_buffer, presto, read_latency, tab1,
-    tab2, tab3, verify_net, write_buffer,
+    bus_nvram, disk_sort, fig2, fig3, fig4, fig5, lfs_wal_vs_buffer, presto, read_latency,
+    scrub_overhead, tab1, tab2, tab3, verify_net, write_buffer,
 };
 
 /// One evaluated claim.
@@ -81,6 +81,7 @@ fn gather(
     read_latency::ReadLatency,
     verify_net::VerifyNet,
     lfs_wal_vs_buffer::WalVsBuffer,
+    scrub_overhead::ScrubOverhead,
 ) {
     // Each sub-experiment runs in its own submission-indexed obs task
     // frame (the same contract `par_map` gives its items) so the metric
@@ -105,6 +106,7 @@ fn gather(
                 verify_net::run(env).expect("verify-net sweep failed")
             }),
             nvfs_obs::task_frame(&base, 12, || lfs_wal_vs_buffer::run(env)),
+            nvfs_obs::task_frame(&base, 13, || scrub_overhead::run(env)),
         );
     }
     // The sub-experiments return heterogeneous types, so fan out with
@@ -129,6 +131,7 @@ fn gather(
             })
         });
         let wl = s.spawn(move || nvfs_obs::task_frame(base, 12, || lfs_wal_vs_buffer::run(env)));
+        let so = s.spawn(move || nvfs_obs::task_frame(base, 13, || scrub_overhead::run(env)));
         (
             t1.join().expect("tab1 panicked"),
             f2.join().expect("fig2 panicked"),
@@ -143,13 +146,14 @@ fn gather(
             rl.join().expect("read_latency panicked"),
             vn.join().expect("verify_net panicked"),
             wl.join().expect("lfs_wal_vs_buffer panicked"),
+            so.join().expect("scrub_overhead panicked"),
         )
     })
 }
 
 /// Evaluates every claim over `env`.
 pub fn run(env: &Env) -> Scorecard {
-    let (t1, f2, f3, f4, f5, t3, wb, ds, bn, p, rl, vn, wl) = gather(env);
+    let (t1, f2, f3, f4, f5, t3, wb, ds, bn, p, rl, vn, wl, so) = gather(env);
 
     let mut checks = Vec::new();
     let mut push = |id, paper, measured, band| {
@@ -424,6 +428,33 @@ pub fn run(env: &Env) -> Scorecard {
         "post-append crashes lose no acknowledged byte",
         wl.post_append_violations as f64,
         (0.0, 0.0),
+    );
+
+    // NVRAM corruption defenses (§2.3 protection & scrub extension).
+    use nvfs_nvram::protect::ProtectionMode;
+    push(
+        "scrub.verified",
+        "verified + scrub ships zero silent bytes",
+        f64::from(so.row(ProtectionMode::Verified).report.bytes_silent == 0),
+        (1.0, 1.0),
+    );
+    push(
+        "scrub.unprotected",
+        "unprotected ships silent corruption",
+        f64::from(so.row(ProtectionMode::Unprotected).report.bytes_silent > 0),
+        (1.0, 1.0),
+    );
+    push(
+        "scrub.overhead",
+        "overhead ordered: none < write-protect < verified",
+        f64::from(so.ordering_holds()),
+        (1.0, 1.0),
+    );
+    push(
+        "scrub.conservation",
+        "every corrupt byte accounted to exactly one fate",
+        f64::from(so.rows.iter().all(|r| r.report.conservation_holds())),
+        (1.0, 1.0),
     );
 
     let mut table = Table::new(

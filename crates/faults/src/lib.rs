@@ -50,6 +50,7 @@ use std::fmt;
 use nvfs_rng::{Rng, SeedableRng, StdRng};
 use nvfs_types::{ClientId, SimDuration, SimTime};
 
+pub mod corrupt;
 pub mod net;
 
 /// Battery cells sampled per board. Schedules always sample this many

@@ -13,7 +13,10 @@
 //! * [`board`] — a removable board holding dirty byte ranges, with the
 //!   crash → move → recover flow of §4;
 //! * [`cost`] — the Table 1 price catalogue and the cost-effectiveness
-//!   arithmetic of §2.7.
+//!   arithmetic of §2.7;
+//! * [`protect`] — write-protection modes and per-block FNV checksums:
+//!   the §2.3 defense against stray kernel writes and media decay, with
+//!   protect-window timing charged at Table 1 access rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +25,10 @@ pub mod battery;
 pub mod board;
 pub mod cost;
 pub mod device;
+pub mod protect;
 
 pub use battery::{survival_probability, BatteryBank, BatteryState};
 pub use board::{NvramBoard, RecoveredData};
 pub use cost::{dram, nvram_catalogue, MemoryKind, MemoryProduct};
 pub use device::NvramDevice;
+pub use protect::{block_checksum, corruption_mask, ChecksumStore, ProtectionMode};

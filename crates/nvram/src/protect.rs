@@ -1,0 +1,373 @@
+//! NVRAM write-protection modes and per-block FNV checksums.
+//!
+//! The paper weighs write-protecting the NVRAM cache against its
+//! access-cost penalty (§2.3): battery-backed RAM survives power loss,
+//! but a stray kernel write or media decay corrupts it as easily as any
+//! other RAM. This module supplies the two defensive levers and their
+//! Table-1 cost arithmetic:
+//!
+//! * [`ProtectionMode`] — how aggressively the cache defends itself:
+//!   `Unprotected` (fast, blind), `WriteProtected` (the board is kept
+//!   read-only except inside a short window around each legitimate
+//!   write, shrinking the stray-write vulnerability to open windows
+//!   only), and `Verified` (per-block checksums are recomputed on every
+//!   read-back and recovery drain, so corrupt data is *detected* before
+//!   it can masquerade as good).
+//! * [`ChecksumStore`] — the per-block FNV-1a checksum table. The
+//!   checksum of a block is [`block_checksum`]`(file, block, generation)`
+//!   computed with the same [`Fnv64`] that frames the WAL; corruption is
+//!   modelled as an XOR mask on the *data* side ([`corruption_mask`]),
+//!   so a damaged block's recomputed checksum no longer matches the
+//!   stored one and [`ChecksumStore::mismatched`] finds it.
+//!
+//! Costs use the Table-1 arithmetic established for the WAL study:
+//! byte-counted NVRAM work at [`NVRAM_NS_PER_BYTE`]. Toggling the
+//! board's protection register costs [`PROTECT_TOGGLE_BYTES`] each way.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use nvfs_types::framing::Fnv64;
+use nvfs_types::{FileId, BLOCK_SIZE};
+
+/// NVRAM access cost per byte, Table-1 arithmetic (40 MB/s ⇒ 25 ns/B).
+pub const NVRAM_NS_PER_BYTE: u64 = 25;
+
+/// Bytes of register traffic per protect/unprotect toggle (one control
+/// word each way).
+pub const PROTECT_TOGGLE_BYTES: u64 = 8;
+
+/// How the NVRAM cache defends itself against stray writes and decay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ProtectionMode {
+    /// No defense: every corruption lands, none is detected outside the
+    /// background scrub.
+    #[default]
+    Unprotected,
+    /// The board is write-protected except inside a short window after
+    /// each legitimate write ([`protect_window_micros`]); stray writes
+    /// outside open windows bounce off the protection hardware.
+    /// Bit flips and decay are physical and bypass protection.
+    WriteProtected,
+    /// Per-block checksums are verified on every read-back and recovery
+    /// drain: corruption still lands, but is always *detected* before
+    /// the damaged bytes can pass as good data.
+    Verified,
+}
+
+impl ProtectionMode {
+    /// Every mode, cheapest first.
+    pub const ALL: [ProtectionMode; 3] = [
+        ProtectionMode::Unprotected,
+        ProtectionMode::WriteProtected,
+        ProtectionMode::Verified,
+    ];
+
+    /// Short static label for reports and events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtectionMode::Unprotected => "unprotected",
+            ProtectionMode::WriteProtected => "write-protect",
+            ProtectionMode::Verified => "verified",
+        }
+    }
+
+    /// Whether read-back/drain checksum verification is on.
+    pub fn verifies_reads(&self) -> bool {
+        matches!(self, ProtectionMode::Verified)
+    }
+
+    /// Whether stray writes outside an open window bounce.
+    pub fn bounces_stray_writes(&self) -> bool {
+        matches!(self, ProtectionMode::WriteProtected)
+    }
+}
+
+impl fmt::Display for ProtectionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ProtectionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "unprotected" => Ok(ProtectionMode::Unprotected),
+            "write-protect" => Ok(ProtectionMode::WriteProtected),
+            "verified" => Ok(ProtectionMode::Verified),
+            other => Err(format!(
+                "unknown protection mode {other:?} (unprotected|write-protect|verified)"
+            )),
+        }
+    }
+}
+
+/// Length of the open (writable) window after a legitimate write under
+/// [`ProtectionMode::WriteProtected`]: unprotect, write one block,
+/// re-protect, all at Table-1 byte rates, rounded up to a microsecond.
+pub const fn protect_window_micros() -> u64 {
+    ((2 * PROTECT_TOGGLE_BYTES + BLOCK_SIZE) * NVRAM_NS_PER_BYTE).div_ceil(1000)
+}
+
+/// Protect/unprotect toggle overhead for `nvram_writes` block writes:
+/// two register touches per write at byte rates.
+pub const fn write_protect_overhead_ns(nvram_writes: u64) -> u64 {
+    nvram_writes * 2 * PROTECT_TOGGLE_BYTES * NVRAM_NS_PER_BYTE
+}
+
+/// Checksum-verification overhead for `verified_bytes` of read-back
+/// traffic: every verified byte is touched once more by the hasher.
+pub const fn verify_overhead_ns(verified_bytes: u64) -> u64 {
+    verified_bytes * NVRAM_NS_PER_BYTE
+}
+
+/// Background-scrub overhead for `blocks_scanned` whole-block reads.
+pub const fn scrub_overhead_ns(blocks_scanned: u64) -> u64 {
+    blocks_scanned * BLOCK_SIZE * NVRAM_NS_PER_BYTE
+}
+
+/// The checksum stored alongside a block: FNV-1a over the file id, the
+/// block number and the write generation (all little-endian), produced
+/// by the same hasher that frames the WAL.
+pub fn block_checksum(file: FileId, block: u64, generation: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.update_bytes(&u64::from(file.0).to_le_bytes());
+    h.update_bytes(&block.to_le_bytes());
+    h.update_bytes(&generation.to_le_bytes());
+    h.value()
+}
+
+/// The data-side damage mask of one corruption event: FNV-1a of the
+/// event sequence number, forced odd so no event masks to zero and two
+/// distinct events cannot cancel to a clean block by accident.
+pub fn corruption_mask(event_seq: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.update_bytes(&event_seq.to_le_bytes());
+    h.value() | 1
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockSum {
+    /// Write generation the stored checksum was computed at.
+    generation: u64,
+    /// Checksum written with the block.
+    stored: u64,
+    /// Checksum of the block's *current* contents; diverges from
+    /// `stored` when corruption lands.
+    current: u64,
+}
+
+/// Per-block FNV checksum table for one client's NVRAM-resident dirty
+/// blocks. A block is *mismatched* when the checksum of its current
+/// contents no longer equals the stored one — the condition the
+/// background scrub and the `Verified` read-back path test.
+///
+/// # Examples
+///
+/// ```
+/// use nvfs_nvram::protect::ChecksumStore;
+/// use nvfs_types::FileId;
+///
+/// let mut sums = ChecksumStore::new();
+/// sums.note_write(FileId(1), 0);
+/// assert!(sums.verify(FileId(1), 0));
+/// sums.corrupt(FileId(1), 0, 7);
+/// assert!(!sums.verify(FileId(1), 0));
+/// assert_eq!(sums.mismatched(), vec![(FileId(1), 0)]);
+/// sums.repair(FileId(1), 0);
+/// assert!(sums.verify(FileId(1), 0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChecksumStore {
+    blocks: BTreeMap<(FileId, u64), BlockSum>,
+}
+
+impl ChecksumStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ChecksumStore::default()
+    }
+
+    /// Number of tracked blocks.
+    pub fn tracked(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Records a legitimate write of `(file, block)`: the generation
+    /// advances and the stored checksum is refreshed from the new
+    /// contents, so an overwrite heals any earlier damage.
+    pub fn note_write(&mut self, file: FileId, block: u64) {
+        let entry = self
+            .blocks
+            .entry((file, block))
+            .or_insert_with(|| BlockSum {
+                generation: 0,
+                stored: block_checksum(file, block, 0),
+                current: block_checksum(file, block, 0),
+            });
+        entry.generation += 1;
+        entry.stored = block_checksum(file, block, entry.generation);
+        entry.current = entry.stored;
+    }
+
+    /// Applies corruption event `event_seq` to `(file, block)`: the
+    /// block's contents change, so the checksum of its current data
+    /// diverges from the stored one. Untracked blocks are first
+    /// registered at generation zero.
+    pub fn corrupt(&mut self, file: FileId, block: u64, event_seq: u64) {
+        let entry = self
+            .blocks
+            .entry((file, block))
+            .or_insert_with(|| BlockSum {
+                generation: 0,
+                stored: block_checksum(file, block, 0),
+                current: block_checksum(file, block, 0),
+            });
+        entry.current ^= corruption_mask(event_seq);
+    }
+
+    /// Whether `(file, block)`'s current contents still match the
+    /// stored checksum. Untracked blocks verify clean.
+    pub fn verify(&self, file: FileId, block: u64) -> bool {
+        self.blocks
+            .get(&(file, block))
+            .is_none_or(|b| b.current == b.stored)
+    }
+
+    /// Every mismatched block, in `(file, block)` order.
+    pub fn mismatched(&self) -> Vec<(FileId, u64)> {
+        self.blocks
+            .iter()
+            .filter(|(_, b)| b.current != b.stored)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Restores `(file, block)` to a matching checksum (a scrub repair
+    /// or an honest discard of detected-corrupt contents).
+    pub fn repair(&mut self, file: FileId, block: u64) {
+        if let Some(b) = self.blocks.get_mut(&(file, block)) {
+            b.current = b.stored;
+        }
+    }
+
+    /// Drops `(file, block)` (the block left NVRAM).
+    pub fn forget(&mut self, file: FileId, block: u64) {
+        self.blocks.remove(&(file, block));
+    }
+
+    /// Drops every block of `file` (delete, recall, or drain).
+    pub fn forget_file(&mut self, file: FileId) {
+        self.blocks.retain(|&(f, _), _| f != file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in ProtectionMode::ALL {
+            assert_eq!(mode.label().parse::<ProtectionMode>(), Ok(mode));
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(ProtectionMode::default(), ProtectionMode::Unprotected);
+        let err = "armored".parse::<ProtectionMode>().unwrap_err();
+        assert!(err.contains("unprotected|write-protect|verified"), "{err}");
+    }
+
+    #[test]
+    fn mode_capabilities_partition_the_lattice() {
+        assert!(!ProtectionMode::Unprotected.bounces_stray_writes());
+        assert!(!ProtectionMode::Unprotected.verifies_reads());
+        assert!(ProtectionMode::WriteProtected.bounces_stray_writes());
+        assert!(!ProtectionMode::WriteProtected.verifies_reads());
+        assert!(!ProtectionMode::Verified.bounces_stray_writes());
+        assert!(ProtectionMode::Verified.verifies_reads());
+    }
+
+    #[test]
+    fn cost_arithmetic_matches_table_one() {
+        // (2 toggles × 8 B + one 4 KB block) × 25 ns = 102.8 µs → 103 µs.
+        assert_eq!(protect_window_micros(), 103);
+        assert_eq!(write_protect_overhead_ns(1), 400);
+        assert_eq!(verify_overhead_ns(BLOCK_SIZE), 102_400);
+        assert_eq!(scrub_overhead_ns(1), BLOCK_SIZE * NVRAM_NS_PER_BYTE);
+    }
+
+    #[test]
+    fn overwrite_heals_a_corrupt_block() {
+        let mut sums = ChecksumStore::new();
+        sums.note_write(FileId(3), 2);
+        sums.corrupt(FileId(3), 2, 1);
+        assert!(!sums.verify(FileId(3), 2));
+        sums.note_write(FileId(3), 2);
+        assert!(sums.verify(FileId(3), 2), "fresh data, fresh checksum");
+        assert!(sums.mismatched().is_empty());
+    }
+
+    #[test]
+    fn distinct_events_never_cancel_to_clean() {
+        let mut sums = ChecksumStore::new();
+        sums.note_write(FileId(0), 0);
+        sums.corrupt(FileId(0), 0, 10);
+        sums.corrupt(FileId(0), 0, 11);
+        assert!(
+            !sums.verify(FileId(0), 0),
+            "two different masks must not cancel"
+        );
+        // The same event twice *does* cancel — which is why event
+        // sequence numbers are unique per schedule.
+        sums.corrupt(FileId(0), 0, 11);
+        sums.corrupt(FileId(0), 0, 10);
+        assert!(sums.verify(FileId(0), 0));
+    }
+
+    #[test]
+    fn masks_are_odd_and_checksums_are_fnv() {
+        for seq in 0..64 {
+            assert_eq!(corruption_mask(seq) & 1, 1, "mask for {seq} is even");
+        }
+        // Pin the checksum to the shared FNV implementation.
+        let mut h = Fnv64::new();
+        h.update_bytes(&7u64.to_le_bytes());
+        h.update_bytes(&3u64.to_le_bytes());
+        h.update_bytes(&1u64.to_le_bytes());
+        assert_eq!(block_checksum(FileId(7), 3, 1), h.value());
+    }
+
+    #[test]
+    fn forget_drops_tracking() {
+        let mut sums = ChecksumStore::new();
+        sums.note_write(FileId(1), 0);
+        sums.note_write(FileId(1), 1);
+        sums.note_write(FileId(2), 0);
+        sums.corrupt(FileId(1), 1, 5);
+        sums.forget(FileId(1), 1);
+        assert!(sums.verify(FileId(1), 1), "untracked blocks verify clean");
+        sums.forget_file(FileId(1));
+        assert_eq!(sums.tracked(), 1);
+        assert!(!sums.is_empty());
+        sums.forget_file(FileId(2));
+        assert!(sums.is_empty());
+    }
+
+    #[test]
+    fn corrupting_an_untracked_block_registers_it() {
+        let mut sums = ChecksumStore::new();
+        sums.corrupt(FileId(9), 4, 2);
+        assert_eq!(sums.tracked(), 1);
+        assert!(!sums.verify(FileId(9), 4));
+        sums.repair(FileId(9), 4);
+        assert!(sums.verify(FileId(9), 4));
+    }
+}

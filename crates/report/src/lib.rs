@@ -23,8 +23,10 @@
 
 pub mod figure;
 pub mod plot;
+pub mod run;
 pub mod table;
 
 pub use figure::{Figure, Series};
 pub use plot::{render_plot, PlotOptions};
+pub use run::catching;
 pub use table::{Cell, Table};

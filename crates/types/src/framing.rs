@@ -267,6 +267,42 @@ mod tests {
     }
 
     #[test]
+    fn every_single_bit_flip_truncates_at_the_damaged_record() {
+        // The corruption property: flipping ANY single bit of a framed
+        // stream never panics the decoder and never yields a damaged
+        // record — decode returns exactly the intact records before the
+        // one containing the flipped bit. (A flip in a length field may
+        // masquerade as a tear; the checksum still refuses to let a
+        // damaged payload through.)
+        let mut rng = Rng(0x0123_4567_89ab_cdef);
+        let mut buf = Vec::new();
+        let mut ends = Vec::new();
+        let mut originals = Vec::new();
+        for seq in 0..12u64 {
+            let len = (rng.next() % 32) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            encode_record(seq, &payload, &mut buf);
+            ends.push(buf.len());
+            originals.push(FramedRecord { seq, payload });
+        }
+        for bit in 0..buf.len() * 8 {
+            let byte = bit / 8;
+            buf[byte] ^= 1 << (bit % 8);
+            let out = decode_stream(&buf);
+            // The record containing the flipped byte is the first whose
+            // end lies beyond it; everything before decodes verbatim.
+            let damaged = ends.iter().filter(|&&e| e <= byte).count();
+            assert_eq!(out.records, originals[..damaged], "bit {bit} (byte {byte})");
+            assert_eq!(
+                out.valid_bytes,
+                if damaged == 0 { 0 } else { ends[damaged - 1] },
+                "bit {bit} (byte {byte})"
+            );
+            buf[byte] ^= 1 << (bit % 8);
+        }
+    }
+
+    #[test]
     fn empty_and_header_only_streams_decode_to_nothing() {
         assert_eq!(decode_stream(&[]).records.len(), 0);
         let mut buf = Vec::new();

@@ -50,6 +50,7 @@ use nvfs::experiments as exp;
 use nvfs::experiments::env::Env;
 use nvfs::experiments::registry;
 use nvfs::experiments::Scale;
+use nvfs::report::catching;
 use nvfs::trace::serialize::{parse_ops, render_ops};
 use nvfs::trace::stats::TraceStats;
 use nvfs::trace::synth::SpriteTraceSet;
@@ -107,6 +108,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(args),
         "verify-crash" => cmd_verify_crash(args),
         "verify-net" => cmd_verify_net(args),
+        "verify-scrub" => cmd_verify_scrub(args),
         "experiments" => cmd_experiments(args),
         "scorecard" => cmd_scorecard(args),
         "export-csv" => cmd_export_csv(args),
@@ -199,6 +201,14 @@ commands:
                crashes) proving no acked byte is lost, no request applies
                twice, and the partition loss ordering volatile >
                write-aside > unified; exits nonzero on any violation
+  verify-scrub [--scale S] [--seed N]
+               corruption judge: deterministic sweep of protection modes
+               (unprotected, write-protect, verified) against corruption
+               kinds (stray writes, bit flips, board decay) across crash
+               points, with a 60 s background checksum scrub; proves
+               every corrupt byte lands in exactly one fate (detected,
+               repaired, vacated, bounced, silent) and that verified +
+               scrub ships zero silent bytes; exits nonzero on violation
   experiments  [--scale S] [--list] [--only ID] [ID...]
 {ids}
                --list prints every registered id with its paper artifact;
@@ -495,20 +505,6 @@ fn cmd_lfs(mut args: VecDeque<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs `f`, converting a library panic into an `Err` so the CLI prints a
-/// one-line diagnostic and exits nonzero instead of dumping a backtrace on
-/// bad user input.
-fn catching<T>(label: &str, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
-        let msg = payload
-            .downcast_ref::<String>()
-            .map(String::as_str)
-            .or_else(|| payload.downcast_ref::<&str>().copied())
-            .unwrap_or("unknown panic");
-        Err(format!("{label} failed: {msg}"))
-    })
-}
-
 fn cmd_faults(mut args: VecDeque<String>) -> Result<(), String> {
     let scale = parse_scale(&mut args)?;
     let env = scale.env();
@@ -649,6 +645,33 @@ fn cmd_verify_net(mut args: VecDeque<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_verify_scrub(mut args: VecDeque<String>) -> Result<(), String> {
+    let scale = parse_scale(&mut args)?;
+    let env = scale.env();
+    let seed: u64 = take_flag(&mut args, "--seed")?
+        .unwrap_or_else(|| exp::faults::DEFAULT_SEED.to_string())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    nvfs::obs::manifest::set_seed(seed);
+    note_config(&[
+        ("command", "verify-scrub"),
+        ("scale", scale.name()),
+        ("seed", &seed.to_string()),
+    ]);
+    eprintln!("[verify-scrub] jobs = {}", nvfs::par::jobs());
+    let out = catching("verify-scrub", || {
+        exp::verify_scrub::run_seeded(&env, seed).map_err(|e| e.to_string())
+    })?;
+    outln!("{}", out.render());
+    if !out.is_clean() {
+        return Err(format!(
+            "corruption sweep found {} violation(s)",
+            out.violations()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_experiments(mut args: VecDeque<String>) -> Result<(), String> {
     // `--list` prints the registry and exits before any workload is
     // generated; CI diffs this output against the ids in `nvfs help`.
@@ -744,7 +767,15 @@ fn cmd_export_csv(mut args: VecDeque<String>) -> Result<(), String> {
 }
 
 /// Stages timed by `nvfs bench`, in pass order.
-const BENCH_STAGES: [&str; 6] = ["gen-traces", "fig2", "fig3", "tab3", "wal", "scorecard"];
+const BENCH_STAGES: [&str; 7] = [
+    "gen-traces",
+    "fig2",
+    "fig3",
+    "tab3",
+    "wal",
+    "scrub",
+    "scorecard",
+];
 
 fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     use nvfs::par::bench;
@@ -753,7 +784,7 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
     let scale = parse_scale(&mut args)?;
     let (cfg, server_cfg) = (scale.trace_config(), scale.server_config());
     let out =
-        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr8.json".into()));
+        PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "BENCH_pr9.json".into()));
     let iters: usize = match take_flag(&mut args, "--iters")? {
         Some(v) => v
             .parse()
@@ -794,7 +825,10 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
             let wal = bench::timed(&mut pass, BENCH_STAGES[4], jobs, || {
                 exp::lfs_wal_vs_buffer::run(&env)
             });
-            let card = bench::timed(&mut pass, BENCH_STAGES[5], jobs, || {
+            let scrub = bench::timed(&mut pass, BENCH_STAGES[5], jobs, || {
+                exp::scrub_overhead::run(&env)
+            });
+            let card = bench::timed(&mut pass, BENCH_STAGES[6], jobs, || {
                 exp::scorecard::run(&env)
             });
             bench::annotate(&mut pass, scale.name(), &rev, iter);
@@ -809,6 +843,7 @@ fn cmd_bench(mut args: VecDeque<String>) -> Result<(), String> {
             digest.update(&f3.figure.render());
             digest.update(&t3.table.render());
             digest.update(&wal.table.render());
+            digest.update(&scrub.table.render());
             digest.update(&card.table.render());
             let digest = digest.hex();
             match &reference {

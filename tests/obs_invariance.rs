@@ -127,7 +127,7 @@ fn scorecard_is_jobs_invariant_end_to_end() {
     let (stdout1, manifest1) = run("1");
     let (stdout8, manifest8) = run("8");
     assert_eq!(stdout1, stdout8, "scorecard stdout differs, jobs 1 vs 8");
-    assert!(stdout1.contains("33 of 33 checks passed"), "{stdout1}");
+    assert!(stdout1.contains("37 of 37 checks passed"), "{stdout1}");
     assert_eq!(
         run_section(&manifest1),
         run_section(&manifest8),
@@ -180,6 +180,56 @@ fn verify_net_is_jobs_invariant_and_matches_golden() {
     assert_eq!(
         stdout1, golden,
         "verify-net output drifted from tests/golden/net_tiny.txt; \
+         regenerate it if the change is intentional"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The corruption sweep forces the serial engine loop (the injector
+/// wants flush events) but fans out across 288 runs: `nvfs verify-scrub`
+/// stdout and its manifest `run` section must be byte-identical at
+/// `--jobs 1` and `--jobs 8`, and the tiny report must match the golden
+/// copy checked into `tests/golden/`.
+#[test]
+fn verify_scrub_is_jobs_invariant_and_matches_golden() {
+    let dir = tempdir("verify-scrub");
+    let run = |jobs: &str| {
+        let manifest = dir.join(format!("scrub-j{jobs}.json"));
+        let out = nvfs(&[
+            "--jobs",
+            jobs,
+            "--manifest-out",
+            manifest.to_str().unwrap(),
+            "verify-scrub",
+            "--scale",
+            "tiny",
+        ]);
+        assert!(
+            out.status.success(),
+            "jobs={jobs}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            std::fs::read_to_string(&manifest).expect("manifest written"),
+        )
+    };
+    let (stdout1, manifest1) = run("1");
+    let (stdout8, manifest8) = run("8");
+    assert_eq!(stdout1, stdout8, "verify-scrub stdout differs, jobs 1 vs 8");
+    assert_eq!(
+        run_section(&manifest1),
+        run_section(&manifest8),
+        "verify-scrub manifest run sections differ, jobs 1 vs 8"
+    );
+    assert!(stdout1.contains("\"scrub\":\"clean\""), "{stdout1}");
+    let golden = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/scrub_tiny.txt"),
+    )
+    .expect("golden scrub report present");
+    assert_eq!(
+        stdout1, golden,
+        "verify-scrub output drifted from tests/golden/scrub_tiny.txt; \
          regenerate it if the change is intentional"
     );
     let _ = std::fs::remove_dir_all(&dir);
